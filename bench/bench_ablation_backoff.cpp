@@ -1,0 +1,90 @@
+// Ablation — iterative back-off (Section 6.2.1 / 8.3).
+//
+// "Patchwork uses iterative back-off during resource acquisition ... if
+// the requested resources are not available, then Patchwork will scale
+// down its request." Without back-off, any site that cannot satisfy the
+// full request fails outright. This bench measures site success rates and
+// monitored-port counts with and without back-off under increasing
+// dedicated-NIC scarcity.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/profiler.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+struct Result {
+  std::size_t sites_ok = 0;
+  std::size_t ports_monitored = 0;
+};
+
+Result trial(bench::BenchWorld& world, bool backoff_enabled,
+             double scarcity) {
+  Result result;
+  for (testbed::SiteId id : world.fed.site_ids()) {
+    testbed::Site& site = world.fed.site(id);
+    if (site.teaching_only()) continue;
+    // Background researchers hold a `scarcity` fraction of dedicated NICs.
+    auto nics = site.available_nics(testbed::NicKind::kDedicatedConnectX);
+    std::vector<testbed::NicId> held;
+    const std::size_t grab =
+        static_cast<std::size_t>(scarcity * static_cast<double>(nics.size()));
+    for (std::size_t i = 0; i < grab; ++i) {
+      site.mutable_nic(nics[i]).allocated_to = testbed::SliceId{4242};
+      held.push_back(nics[i]);
+    }
+
+    core::ProfilerConfig config;
+    config.desired_instances = 4;  // Ambitious request.
+    config.max_backoffs = backoff_enabled ? 3 : 0;
+    config.allocator.backend_failure_rate = 0.0;
+    core::SiteProfiler profiler(world.env, id, config);
+    const core::SetupResult setup = profiler.setup();
+    if (setup.ok) {
+      ++result.sites_ok;
+      result.ports_monitored += profiler.monitored_port_slots();
+    }
+    profiler.teardown();
+    for (testbed::NicId nic : held) {
+      site.mutable_nic(nic).allocated_to.reset();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — iterative back-off under NIC scarcity",
+                "Sections 6.2.1 & 8.3 (frugality / back-off) design choice");
+
+  bench::BenchWorld world;
+  world.warm_up_telemetry();
+
+  util::TextTable table({"NIC scarcity", "Sites ok (no back-off)",
+                         "Sites ok (back-off)", "Ports (no back-off)",
+                         "Ports (back-off)"});
+  const std::size_t production_sites = world.fed.site_count() - 1;
+  for (double scarcity : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    const Result off = trial(world, false, scarcity);
+    const Result on = trial(world, true, scarcity);
+    table.add_row({util::fmt_percent(scarcity, 0),
+                   std::to_string(off.sites_ok) + "/" +
+                       std::to_string(production_sites),
+                   std::to_string(on.sites_ok) + "/" +
+                       std::to_string(production_sites),
+                   std::to_string(off.ports_monitored),
+                   std::to_string(on.ports_monitored)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: with back-off, sites keep succeeding (with "
+         "fewer instances)\nas NICs grow scarce; without it, any site that "
+         "cannot grant the full 4-instance\nrequest fails outright — the "
+         "'Degraded beats Failed' trade-off behind Fig. 10.\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Ablation — shared mirror ports via the scheduling layer (Section 6.3
+// limitation 1).
+//
+// Without sharing, "only a single FABRIC user at a time can mirror a
+// specific switch port": overlapping requests simply fail. The
+// MirrorScheduler time-multiplexes the same hardware. This bench replays
+// an identical request workload (several users wanting overlapping busy
+// ports) both ways and reports served requests, served capture time, and
+// per-user fairness.
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/mirror_scheduler.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+struct Workload {
+  std::vector<core::MirrorRequest> requests;
+};
+
+Workload make_workload() {
+  // Four users; the busy ports 4-6 are in high demand.
+  Workload w;
+  const char* users[] = {"alice", "bob", "carol", "dave"};
+  util::Rng rng(9);
+  for (int i = 0; i < 24; ++i) {
+    core::MirrorRequest r;
+    r.user = users[i % 4];
+    r.source = testbed::PortId{
+        static_cast<std::uint32_t>(4 + rng.uniform_u64(0, 2))};
+    r.directions = testbed::MirrorDirections::kBoth;
+    r.duration = (10 + 10 * rng.uniform_u64(0, 2)) * util::kMinute;
+    w.requests.push_back(r);
+  }
+  return w;
+}
+
+testbed::ToRSwitch make_switch() {
+  std::vector<testbed::SwitchPort> ports;
+  for (int i = 0; i < 2; ++i) {
+    ports.emplace_back(testbed::PortKind::kUplink, 100e9);
+  }
+  for (int i = 0; i < 14; ++i) {
+    ports.emplace_back(testbed::PortKind::kDownlink, 100e9);
+  }
+  return testbed::ToRSwitch(std::move(ports));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — exclusive mirrors vs the scheduling layer",
+                "Section 6.3 limitation 1 (resource sharing)");
+
+  const Workload workload = make_workload();
+  const std::vector<testbed::PortId> destinations = {testbed::PortId{12},
+                                                     testbed::PortId{13}};
+
+  // --- Exclusive locking (the paper's current behaviour) ------------------
+  // Each request grabs the port for its full duration or fails outright if
+  // the source (or a destination) is busy when it arrives.
+  std::size_t exclusive_served = 0;
+  util::Nanos exclusive_time = 0;
+  {
+    testbed::ToRSwitch tor = make_switch();
+    struct Hold {
+      testbed::PortId source;
+      util::Nanos until;
+    };
+    std::vector<Hold> holds;
+    util::Nanos now = 0;
+    for (const core::MirrorRequest& r : workload.requests) {
+      now += 5 * util::kMinute;  // Requests arrive every 5 minutes.
+      std::erase_if(holds, [&](const Hold& h) {
+        if (h.until <= now) {
+          tor.remove_mirror(h.source);
+          return true;
+        }
+        return false;
+      });
+      // Find a free destination.
+      std::optional<testbed::PortId> dest;
+      for (testbed::PortId d : destinations) {
+        if (!tor.port_is_mirror_member(d)) {
+          dest = d;
+          break;
+        }
+      }
+      if (!dest) continue;  // No NIC free right now: request fails.
+      if (!tor.add_mirror({r.source, r.directions, *dest})) continue;
+      holds.push_back(Hold{r.source, now + r.duration});
+      ++exclusive_served;
+      exclusive_time += r.duration;
+    }
+  }
+
+  // --- Scheduled sharing ---------------------------------------------------
+  std::size_t scheduled_served = 0;
+  util::Nanos scheduled_time = 0;
+  std::map<std::string, util::Nanos> fairness;
+  {
+    testbed::ToRSwitch tor = make_switch();
+    core::MirrorScheduler::Policy policy;
+    policy.quantum = 10 * util::kMinute;
+    core::MirrorScheduler scheduler(tor, destinations, policy);
+    util::Nanos now = 0;
+    std::vector<core::MirrorRequestId> ids;
+    for (const core::MirrorRequest& r : workload.requests) {
+      now += 5 * util::kMinute;
+      scheduler.tick(now);
+      ids.push_back(scheduler.submit(r));
+    }
+    // Drain the queue.
+    for (int i = 0; i < 2000 && scheduler.pending_count() +
+                                    scheduler.active().size() >
+                                0;
+         ++i) {
+      now += util::kMinute;
+      scheduler.tick(now);
+    }
+    for (core::MirrorRequestId id : ids) {
+      if (scheduler.remaining(id) == 0) ++scheduled_served;
+    }
+    fairness = scheduler.service_time();
+    for (const auto& [user, t] : fairness) scheduled_time += t;
+  }
+
+  util::TextTable table({"Scheme", "Requests served", "Capture time (min)"});
+  table.add_row({"exclusive locks (paper today)",
+                 std::to_string(exclusive_served) + "/" +
+                     std::to_string(workload.requests.size()),
+                 std::to_string(exclusive_time / util::kMinute)});
+  table.add_row({"mirror scheduler (limitation 1 fixed)",
+                 std::to_string(scheduled_served) + "/" +
+                     std::to_string(workload.requests.size()),
+                 std::to_string(scheduled_time / util::kMinute)});
+  table.print(std::cout);
+
+  std::cout << "\nPer-user capture time under the scheduler:\n";
+  for (const auto& [user, t] : fairness) {
+    std::cout << "  " << user << ": " << t / util::kMinute << " min\n";
+  }
+  std::cout
+      << "\nExpected shape: exclusive locking bounces every request that "
+         "arrives while its\nport or a NIC is held; the scheduler "
+         "eventually serves all of them, splitting\nbusy ports into quanta "
+         "and balancing capture time across users.\n";
+  return 0;
+}

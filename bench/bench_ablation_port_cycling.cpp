@@ -1,0 +1,120 @@
+// Ablation — port-cycling heuristics (Section 6.2.2).
+//
+// Compares the default "busiest ports bias, 1/n other non-idle port"
+// heuristic against the alternatives Patchwork supports: fixed ports,
+// round-robin over all ports (idle included), and busiest-only (a custom
+// heuristic). Metrics: traffic captured (coverage of bytes) and fairness
+// (distinct non-idle ports visited) over the same cycle budget.
+#include <iostream>
+#include <set>
+
+#include "bench_util.hpp"
+#include "core/port_selector.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+struct Outcome {
+  double traffic_share = 0.0;   ///< Fraction of site bytes captured.
+  std::size_t distinct_ports = 0;
+  std::size_t busy_ports_hit = 0;
+};
+
+Outcome evaluate(core::PortPolicy policy, bench::BenchWorld& world,
+                 core::CustomHeuristic custom = nullptr) {
+  core::SamplingPlan plan;
+  plan.policy = policy;
+  plan.busiest_bias_n = 4;
+  util::Rng rng(31);
+
+  const testbed::SiteId site{0};
+  std::vector<testbed::PortId> fixed;
+  if (policy == core::PortPolicy::kFixed) {
+    fixed = {testbed::PortId{4}, testbed::PortId{5}};
+  }
+  core::PortSelector selector(plan, rng, fixed, std::move(custom));
+
+  constexpr int kCycles = 40;
+  double captured = 0.0, total = 0.0;
+  std::set<std::uint32_t> visited;
+  std::size_t busy_hits = 0;
+  for (int c = 0; c < kCycles; ++c) {
+    world.traffic.update_loads(static_cast<util::Nanos>(c) * util::kHour);
+    // Candidate rates straight from ground truth (telemetry adds lag but
+    // not bias; the ablation isolates the heuristic).
+    std::vector<telemetry::PortRate> rates;
+    const auto& tor = world.fed.site(site).tor();
+    double cycle_total = 0.0;
+    for (std::uint32_t p = 0; p < tor.port_count(); ++p) {
+      telemetry::PortRate r;
+      r.port = {site, testbed::PortId{p}};
+      r.tx_bps = tor.port(testbed::PortId{p}).tx_rate_bps();
+      r.rx_bps = tor.port(testbed::PortId{p}).rx_rate_bps();
+      rates.push_back(r);
+      cycle_total += r.total();
+    }
+    std::sort(rates.begin(), rates.end(), [](const auto& a, const auto& b) {
+      return a.total() > b.total();
+    });
+    total += cycle_total;
+    const auto chosen = selector.next(rates);
+    if (!chosen) continue;
+    visited.insert(chosen->value);
+    const auto& port = tor.port(*chosen);
+    captured += port.tx_rate_bps() + port.rx_rate_bps();
+    if (port.tx_rate_bps() + port.rx_rate_bps() > 1e9) ++busy_hits;
+  }
+  Outcome out;
+  out.traffic_share = total > 0 ? captured / total : 0.0;
+  out.distinct_ports = visited.size();
+  out.busy_ports_hit = busy_hits;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — port-cycling heuristics",
+                "Section 6.2.2 (port cycling) design choice");
+
+  bench::BenchWorld world;
+
+  const auto busiest_only =
+      [](const std::vector<telemetry::PortRate>& rates,
+         std::uint32_t) -> std::optional<testbed::PortId> {
+    if (rates.empty()) return std::nullopt;
+    return rates.front().port.port;  // Always the busiest.
+  };
+
+  util::TextTable table({"Heuristic", "Traffic share", "Distinct ports",
+                         "Busy-port cycles"});
+  struct Entry {
+    const char* name;
+    Outcome outcome;
+  };
+  const Entry entries[] = {
+      {"busiest-bias 1/n (default)",
+       evaluate(core::PortPolicy::kBusiestBias, world)},
+      {"fixed 2 ports", evaluate(core::PortPolicy::kFixed, world)},
+      {"round-robin all ports",
+       evaluate(core::PortPolicy::kRoundRobinAll, world)},
+      {"busiest-only (custom)",
+       evaluate(core::PortPolicy::kCustom, world, busiest_only)},
+  };
+  for (const Entry& e : entries) {
+    table.add_row({e.name, util::fmt_percent(e.outcome.traffic_share, 1),
+                   std::to_string(e.outcome.distinct_ports),
+                   std::to_string(e.outcome.busy_ports_hit)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: busiest-only maximizes captured traffic but "
+         "starves coverage;\nround-robin maximizes coverage but wastes "
+         "cycles on idle ports; the paper's\nbusiest-bias heuristic sits "
+         "between — high traffic share with broad coverage\n(the 'fair "
+         "sampling across all non-idle ports' it was designed for).\n";
+  return 0;
+}

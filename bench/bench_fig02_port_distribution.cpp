@@ -1,0 +1,46 @@
+// Figure 2: "Distribution of ports across all production FABRIC sites.
+// Downlinked ports are connected to FABRIC servers at the same site.
+// Uplinked ports are connected to other FABRIC sites' switches."
+//
+// Shape to reproduce: every site has many more downlinks than uplinks, and
+// uplink counts are similar across sites.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace patchwork;
+  bench::banner("Figure 2 — Port distribution across production sites",
+                "Fig. 2, Section 5 (uplink distribution on FABRIC)");
+
+  bench::BenchWorld world;
+  const auto inventory = testbed::port_inventory(world.fed);
+
+  util::TextTable table({"Site", "Uplinks", "Downlinks", "Downlink bar"});
+  util::RunningStats up, down;
+  for (const auto& row : inventory) {
+    if (world.fed.site(row.site).teaching_only()) continue;
+    up.add(static_cast<double>(row.uplinks));
+    down.add(static_cast<double>(row.downlinks));
+  }
+  for (const auto& row : inventory) {
+    if (world.fed.site(row.site).teaching_only()) continue;
+    table.add_row({row.name, std::to_string(row.uplinks),
+                   std::to_string(row.downlinks),
+                   bench::bar(static_cast<double>(row.downlinks), down.max(),
+                              40)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSummary (paper: all sites have many more downlinks than "
+               "uplinks;\nmost sites have a similar number of uplinks):\n"
+            << "  uplinks:   mean " << util::fmt_double(up.mean(), 2)
+            << "  min " << up.min() << "  max " << up.max() << "\n"
+            << "  downlinks: mean " << util::fmt_double(down.mean(), 2)
+            << "  min " << down.min() << "  max " << down.max() << "\n"
+            << "  downlink/uplink ratio of means: "
+            << util::fmt_double(down.mean() / up.mean(), 1) << "x\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: "Average number of slices on FABRIC is 85, with a standard
+// deviation of 52. At most, we saw 272 simultaneous slices on FABRIC."
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "testbed/slice_model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace patchwork;
+  bench::banner("Figure 5 — Simultaneously active slices over a year",
+                "Fig. 5, Section 5");
+
+  util::Rng rng(13);
+  testbed::ActivityModel activity;
+  testbed::SliceActivityModel model(rng, activity);
+  const auto slices = model.generate(365 * util::kDay);
+
+  util::RunningStats stats;
+  std::vector<double> weekly_mean(52, 0.0);
+  std::vector<int> weekly_n(52, 0);
+  for (util::Nanos t = 0; t < 365 * util::kDay; t += 6 * util::kHour) {
+    const auto active = static_cast<double>(
+        testbed::SliceActivityModel::active_count(slices, t));
+    stats.add(active);
+    const std::size_t week = std::min<std::size_t>(
+        51, static_cast<std::size_t>(util::to_seconds(t) /
+                                     (7.0 * 24 * 3600)));
+    weekly_mean[week] += active;
+    weekly_n[week]++;
+  }
+  for (std::size_t w = 0; w < 52; ++w) {
+    if (weekly_n[w]) weekly_mean[w] /= weekly_n[w];
+  }
+  double peak_weekly = 0.0;
+  for (double v : weekly_mean) peak_weekly = std::max(peak_weekly, v);
+
+  util::TextTable table({"Week", "Mean active", "Bar"});
+  for (std::size_t w = 0; w < 52; ++w) {
+    table.add_row({std::to_string(w),
+                   util::fmt_double(weekly_mean[w], 1),
+                   bench::bar(weekly_mean[w], peak_weekly, 40)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper: mean 85, stddev 52, max 272. Measured: mean "
+            << util::fmt_double(stats.mean(), 1) << ", stddev "
+            << util::fmt_double(stats.stddev(), 1) << ", max "
+            << util::fmt_double(stats.max(), 0) << "\n";
+  return 0;
+}

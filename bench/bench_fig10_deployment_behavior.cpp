@@ -1,0 +1,118 @@
+// Figure 10: "Behavior of Patchwork on FABRIC over an ordinary 4-month
+// period in 2024." Patchwork succeeded in profiling all FABRIC sites in
+// 79% of cases; ~20% of cases lacked resources ("Failed": transient
+// back-end problems or no dedicated NICs), "Degraded" runs scaled down
+// through back-off, and "Incomplete" runs crashed.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/coordinator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+core::ProfilerConfig run_config(double backend_failure_rate) {
+  core::ProfilerConfig config;
+  config.plan.cycles = 1;
+  config.plan.samples_per_run = 1;
+  config.plan.max_frames_per_sample = 60;  // Outcome bench: tiny captures.
+  config.desired_instances = 2;            // Back-off visible when scarce.
+  config.max_backoffs = 3;
+  config.crash_probability = 0.012;  // The since-fixed Patchwork bug.
+  config.capture.method = capture::CaptureMethod::kFpgaDpdk;
+  config.capture.cores = 5;
+  config.allocator.backend_failure_rate = backend_failure_rate;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 10 — Patchwork run outcomes over a 4-month period",
+                "Fig. 10, Section 8.1.1 (behavior on the federation)");
+
+  bench::BenchWorld world;
+  world.warm_up_telemetry();
+
+  constexpr int kRuns = 17;  // Weekly over ~4 months.
+  std::size_t success = 0, degraded = 0, failed = 0, incomplete = 0,
+              total = 0;
+
+  util::TextTable table(
+      {"Run", "Success", "Degraded", "Failed", "Incomplete", "Note"});
+  for (int run_index = 0; run_index < kRuns; ++run_index) {
+    // Background researcher load: other slices grab dedicated NICs before
+    // Patchwork arrives. ~12% of sites lose all dedicated NICs; another
+    // ~12% keep only one (forcing back-off from the 2-instance request).
+    struct Held {
+      testbed::SiteId site;
+      std::vector<testbed::NicId> nics;
+    };
+    std::vector<Held> held;
+    for (testbed::SiteId id : world.fed.site_ids()) {
+      testbed::Site& site = world.fed.site(id);
+      auto nics = site.available_nics(testbed::NicKind::kDedicatedConnectX);
+      if (nics.empty()) continue;
+      const double roll = world.rng.uniform();
+      std::size_t grab = 0;
+      if (roll < 0.12) {
+        grab = nics.size();  // Site exhausted.
+      } else if (roll < 0.24) {
+        grab = nics.size() - 1;  // One NIC left: degraded run.
+      }
+      Held h{id, {}};
+      for (std::size_t i = 0; i < grab; ++i) {
+        site.mutable_nic(nics[i]).allocated_to = testbed::SliceId{100000};
+        h.nics.push_back(nics[i]);
+      }
+      if (!h.nics.empty()) held.push_back(std::move(h));
+    }
+
+    // Two runs land on the paper's bad-backend days (e.g. 10-11 Sept):
+    // most allocations bounce off transient back-end errors.
+    const bool backend_episode = run_index == 9 || run_index == 10;
+    core::Coordinator coordinator(
+        world.env, run_config(backend_episode ? 0.55 : 0.02));
+    const core::ProfileRun run = coordinator.run_all_experiment();
+
+    std::size_t s = run.outcome_count(core::RunOutcome::kSuccess);
+    std::size_t d = run.outcome_count(core::RunOutcome::kDegraded);
+    std::size_t f = run.outcome_count(core::RunOutcome::kFailed);
+    std::size_t i = run.outcome_count(core::RunOutcome::kIncomplete);
+    success += s;
+    degraded += d;
+    failed += f;
+    incomplete += i;
+    total += run.reports.size();
+    table.add_row({std::to_string(run_index), std::to_string(s),
+                   std::to_string(d), std::to_string(f), std::to_string(i),
+                   backend_episode ? "backend episode" : ""});
+
+    // Release the background slices.
+    for (const auto& h : held) {
+      for (testbed::NicId nic : h.nics) {
+        world.fed.site(h.site).mutable_nic(nic).allocated_to.reset();
+      }
+    }
+    world.env.advance(util::kHour);
+  }
+  table.print(std::cout);
+
+  const double denom = static_cast<double>(total);
+  std::cout << "\nAggregate over " << kRuns << " runs x "
+            << total / static_cast<std::size_t>(kRuns) << " sites:\n"
+            << "  Success:    " << util::fmt_percent(success / denom, 1)
+            << "\n"
+            << "  Degraded:   " << util::fmt_percent(degraded / denom, 1)
+            << "\n"
+            << "  Failed:     " << util::fmt_percent(failed / denom, 1)
+            << "\n"
+            << "  Incomplete: " << util::fmt_percent(incomplete / denom, 1)
+            << "\n"
+            << "Paper: succeeded in ~79% of cases; ~20% lacked resources "
+               "or hit transient backend errors; the rest crashed.\n";
+  return 0;
+}

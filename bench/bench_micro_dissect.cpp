@@ -1,0 +1,88 @@
+// Micro-benchmark (google-benchmark): dissector and flow-key throughput.
+//
+// The paper notes the offline analysis dominates wall-clock ("most of this
+// time is taken up by Wireshark's protocol dissectors", Section 8.3) — the
+// dissector's per-frame cost is the analysis pipeline's critical path.
+#include <benchmark/benchmark.h>
+
+#include "analysis/acap.hpp"
+#include "net/frame_builder.hpp"
+#include "net/parser.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+net::Frame deep_frame() {
+  return net::FrameBuilder()
+      .ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .vlan(100)
+      .mpls(16001)
+      .mpls(16002)
+      .pseudowire()
+      .ethernet(net::MacAddress::from_id(3), net::MacAddress::from_id(4))
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(10, 0, 0, 2))
+      .tcp(50000, 443)
+      .tls()
+      .pad_to(200)
+      .build();
+}
+
+net::Frame shallow_frame() {
+  return net::FrameBuilder()
+      .ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(10, 0, 0, 2))
+      .tcp(50000, 5201)
+      .pad_to(200)
+      .build();
+}
+
+void BM_DissectShallow(benchmark::State& state) {
+  const net::Frame frame = shallow_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_frame(frame));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DissectShallow);
+
+void BM_DissectDeepEncapsulation(benchmark::State& state) {
+  const net::Frame frame = deep_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_frame(frame));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DissectDeepEncapsulation);
+
+void BM_FlowKeyExtraction(benchmark::State& state) {
+  const net::ParsedFrame parsed = net::parse_frame(deep_frame());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::flow_key_of(parsed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowKeyExtraction);
+
+void BM_AbstractFrame(benchmark::State& state) {
+  const net::ParsedFrame parsed = net::parse_frame(deep_frame());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::abstract_frame(parsed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbstractFrame);
+
+void BM_FrameBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deep_frame());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

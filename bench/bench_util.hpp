@@ -1,0 +1,59 @@
+// Shared setup for the benchmark harnesses: a simulated FABRIC world and
+// banner/rendering helpers so every bench prints the paper-style rows or
+// series for its table/figure.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/environment.hpp"
+#include "sim/clock.hpp"
+#include "telemetry/mflib.hpp"
+#include "testbed/activity_model.hpp"
+#include "testbed/federation.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+
+namespace patchwork::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "==========================================================\n";
+}
+
+/// Render a sparkline-style horizontal bar for console series plots.
+inline std::string bar(double value, double max, int width = 50) {
+  if (max <= 0.0) return "";
+  int n = static_cast<int>(value / max * width + 0.5);
+  if (n < 0) n = 0;
+  if (n > width) n = width;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+/// The standard simulated FABRIC deployment used across benches.
+struct BenchWorld {
+  explicit BenchWorld(std::uint64_t seed = 20241207,
+                      testbed::FederationSpec spec = testbed::FederationSpec())
+      : rng(seed),
+        fed(testbed::make_fabric_like_federation(rng, spec)),
+        mflib(fed),
+        traffic(fed, activity,
+                traffic::make_site_profiles(rng, fed.site_count()),
+                rng.fork()),
+        env(clock, fed, mflib, traffic, rng) {}
+
+  void warm_up_telemetry() { env.advance(11 * util::kMinute); }
+
+  util::Rng rng;
+  sim::Clock clock;
+  testbed::ActivityModel activity;
+  testbed::Federation fed;
+  telemetry::MfLib mflib;
+  traffic::TrafficEngine traffic;
+  core::Environment env;
+};
+
+}  // namespace patchwork::bench

@@ -1,0 +1,106 @@
+// Capture tuning walkthrough: the Appendix B storage-bottleneck experiment
+// as a user-facing exploration.
+//
+// A user planning a high-rate capture wants to know: which capture method,
+// how many cores, what truncation, and what writeback thresholds? This
+// example sweeps those knobs against the host model and prints the
+// decision data — ending with the Appendix B latency wall.
+//
+// Build & run:  ./build/examples/capture_tuning
+#include <iostream>
+#include <tuple>
+
+#include "capture/perf_model.hpp"
+#include "pcap/pcap.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace patchwork;
+
+int main() {
+  std::cout << "=== Step 1: is tcpdump enough? ===\n";
+  host::HostSpec host;
+  std::cout << "tcpdump loss-free ceiling for 1500 B frames: "
+            << util::fmt_double(
+                   capture::tcpdump_lossless_ceiling_bps(host, 1500, 64) /
+                       1e9,
+                   2)
+            << " Gbps — fine for slow links, hopeless for a 100G mirror.\n";
+
+  std::cout << "\n=== Step 2: DPDK core count for a 100G mirror ===\n";
+  util::TextTable cores_table({"Cores", "Loss @100G 1514B trunc200 (%)"});
+  for (std::uint32_t cores : {3u, 4u, 5u, 6u, 8u}) {
+    capture::DpdkRunParams p;
+    p.offered_bps = 100e9;
+    p.frame_size = 1514;
+    p.truncation = 200;
+    p.cores = cores;
+    p.duration = util::kSecond;
+    host::HostSpec spec;
+    spec.page_cache.dirty_background_ratio = 0.60;
+    spec.page_cache.dirty_ratio = 0.80;
+    util::Rng rng(1);
+    cores_table.add_row(
+        {std::to_string(cores),
+         util::fmt_double(
+             capture::simulate_dpdk_writer(spec, p, rng).loss_fraction() *
+                 100.0,
+             2)});
+  }
+  cores_table.print(std::cout);
+  std::cout << "-> 5 cores suffice at 200 B truncation (Table 1, row 1).\n";
+
+  std::cout << "\n=== Step 3: truncation size ===\n";
+  util::TextTable trunc_table({"Truncation (B)", "Cores for 100G",
+                               "Storage GB per hour"});
+  for (std::uint32_t trunc : {64u, 200u, 512u}) {
+    std::uint32_t needed = 16;
+    for (std::uint32_t c = 1; c <= 16; ++c) {
+      if (host.dpdk_capacity_pps(c, trunc) >= 100e9 / (8.0 * 1514.0)) {
+        needed = c;
+        break;
+      }
+    }
+    const double frames_per_hour = 100e9 / (8.0 * 1514.0) * 3600.0;
+    const double gb_per_hour =
+        frames_per_hour * (trunc + pcap::kRecordHeaderSize) / 1e9;
+    trunc_table.add_row({std::to_string(trunc), std::to_string(needed),
+                         util::fmt_double(gb_per_hour, 0)});
+  }
+  trunc_table.print(std::cout);
+  std::cout << "-> 64 B needs fewer cores but loses application headers; "
+               "200 B keeps full stacks.\n";
+
+  std::cout << "\n=== Step 4: the page-cache wall (Appendix B) ===\n";
+  util::TextTable wall({"Thresholds", "Summed >32us latency @21% usage"});
+  for (const auto& [bg, dr, label] :
+       {std::tuple{0.10, 0.20, "10:20"}, std::tuple{0.20, 0.50, "20:50"},
+        std::tuple{0.60, 0.80, "60:80"}}) {
+    host::HostSpec spec;
+    spec.page_cache.dirty_background_ratio = bg;
+    spec.page_cache.dirty_ratio = dr;
+    spec.page_cache.free_cache_bytes = 4ull << 30;
+    spec.page_cache.storage_write_bytes_per_sec = 150e6;
+    capture::DpdkRunParams p;
+    p.offered_bps = 100e9;
+    p.frame_size = 1514;
+    p.truncation = 200;
+    p.cores = 8;
+    p.track_usage_curve = true;
+    p.duration = util::from_seconds(
+        0.25 * static_cast<double>(spec.page_cache.free_cache_bytes) /
+        (100e9 / 8.0 / 1514.0 * 216.0));
+    util::Rng rng(7);
+    const auto stats = capture::simulate_dpdk_writer(spec, p, rng);
+    double at21 = 0.0;
+    for (const auto& pt : stats.usage_curve) {
+      if (pt.usage_fraction <= 0.21) at21 = pt.summed_high_latency_ms;
+    }
+    wall.add_row({label, util::fmt_double(at21, 1) + " ms"});
+  }
+  wall.print(std::cout);
+  std::cout << "-> Tune vm.dirty_* thresholds before long captures: the "
+               "writer stalls at the\n   *midpoint* of the two thresholds, "
+               "well before dirty_ratio (Appendix B).\n";
+  return 0;
+}

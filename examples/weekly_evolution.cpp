@@ -1,0 +1,77 @@
+// Weekly profile evolution — the Section 9 community initiative.
+//
+// "Patchwork now runs weekly to create a profile of FABRIC's network
+// traffic ... it would be useful to produce regular updates to the
+// analysis of FABRIC's network profile." This example runs Patchwork once
+// a week across a simulated season and tracks how the testbed's profile
+// moves: aggregate load follows the deadline calendar while the
+// distributional fingerprints (jumbo share, protocol mix) stay stable —
+// the paper's B1 "diverse yet persistent workloads" finding.
+//
+// Build & run:  ./build/examples/weekly_evolution
+#include <iostream>
+
+#include "analysis/pipeline.hpp"
+#include "core/coordinator.hpp"
+#include "sim/clock.hpp"
+#include "telemetry/mflib.hpp"
+#include "testbed/federation.hpp"
+#include "traffic/engine.hpp"
+#include "util/table.hpp"
+
+using namespace patchwork;
+
+int main() {
+  util::Rng rng(31337);
+  testbed::Federation fed = testbed::make_fabric_like_federation(rng);
+  testbed::ActivityModel activity;
+  telemetry::MfLib mflib(fed);
+  traffic::TrafficEngine traffic(
+      fed, activity, traffic::make_site_profiles(rng, fed.site_count()),
+      rng.fork());
+  sim::Clock clock;
+  core::Environment env(clock, fed, mflib, traffic, rng);
+  // Start the season in early autumn, heading into the November ramp.
+  traffic.set_year_start_offset(static_cast<util::Nanos>(38 * 7) *
+                                util::kDay);
+  env.advance(11 * util::kMinute);
+
+  core::ProfilerConfig config;
+  config.plan.cycles = 2;
+  config.plan.samples_per_run = 2;
+  config.plan.max_frames_per_sample = 1200;
+  config.crash_probability = 0.0;
+  config.capture.snaplen = 200;
+  config.capture.method = capture::CaptureMethod::kFpgaDpdk;
+  config.capture.cores = 5;
+
+  util::TextTable table({"Week", "Samples", "Testbed Tbps", "Jumbo share",
+                         "IPv6 share", "TCP %", "Distinct flows"});
+  for (int week = 0; week < 10; ++week) {
+    core::Coordinator coordinator(env, config);
+    const core::ProfileRun run = coordinator.run_all_experiment();
+    const analysis::ProfileReport report =
+        analysis::run_pipeline(run.captures);
+    const double tbps =
+        env.mflib().testbed_total_tx_bps(30 * util::kMinute) / 1e12;
+    table.add_row(
+        {std::to_string(38 + week), std::to_string(run.captures.size()),
+         util::fmt_double(tbps, 2),
+         util::fmt_percent(report.frame_sizes.jumbo_fraction(), 1),
+         util::fmt_double(
+             report.header_occurrence.percent(net::Protocol::kIpv6), 2),
+         util::fmt_double(
+             report.header_occurrence.percent(net::Protocol::kTcp), 1),
+         std::to_string(report.distinct_flows)});
+    // Advance to the next weekly run.
+    env.advance(7 * util::kDay - (env.clock().now() % (7 * util::kDay)));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the series: aggregate load climbs into the "
+               "SC-week spike (weeks 45-46)\nand falls away after, while "
+               "the jumbo share and protocol mix barely move —\nworkloads "
+               "on the testbed are bursty in volume but persistent in "
+               "character (B1/B3).\n";
+  return 0;
+}

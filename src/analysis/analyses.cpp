@@ -1,0 +1,225 @@
+#include "analysis/analyses.hpp"
+
+#include <algorithm>
+#include <set>
+#include "util/stats.hpp"
+
+namespace patchwork::analysis {
+
+std::vector<double> paper_frame_size_edges() {
+  return {64, 65, 128, 256, 512, 1024, 1519, 2048, 4096, 9217};
+}
+
+double FrameSizeResult::fraction_in(double lo) const {
+  for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
+    if (histogram.bucket_lo(i) == lo) return histogram.fraction(i);
+  }
+  return 0.0;
+}
+
+double FrameSizeResult::jumbo_fraction() const {
+  if (frames == 0) return 0.0;
+  std::uint64_t jumbo = 0;
+  for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
+    if (histogram.bucket_lo(i) >= 1519) jumbo += histogram.bucket(i);
+  }
+  jumbo += histogram.overflow();
+  return static_cast<double>(jumbo) / static_cast<double>(frames);
+}
+
+namespace {
+void add_frames(FrameSizeResult& result, const AcapFile& f) {
+  for (const AcapRecord& r : f.records) {
+    result.histogram.add(static_cast<double>(r.wire_length));
+    ++result.frames;
+  }
+}
+}  // namespace
+
+FrameSizeResult analyze_frame_sizes(const std::vector<AcapFile>& files) {
+  FrameSizeResult result;
+  for (const AcapFile& f : files) add_frames(result, f);
+  return result;
+}
+
+FrameSizeResult analyze_frame_sizes_site(const std::vector<AcapFile>& files,
+                                         const std::string& site) {
+  FrameSizeResult result;
+  for (const AcapFile& f : files) {
+    if (f.site == site) add_frames(result, f);
+  }
+  return result;
+}
+
+double HeaderOccurrenceResult::percent(net::Protocol p) const {
+  if (frames == 0) return 0.0;
+  return 100.0 *
+         static_cast<double>(occurrences[static_cast<std::size_t>(p)]) /
+         static_cast<double>(frames);
+}
+
+HeaderOccurrenceResult analyze_header_occurrence(
+    const std::vector<AcapFile>& files) {
+  HeaderOccurrenceResult result;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      ++result.frames;
+      for (net::Protocol p : r.stack) {
+        ++result.occurrences[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<SiteHeaderVariety> analyze_site_header_variety(
+    const std::vector<AcapFile>& files) {
+  std::map<std::string, std::pair<std::set<net::Protocol>, std::size_t>> acc;
+  for (const AcapFile& f : files) {
+    auto& [protos, deepest] = acc[f.site];
+    for (const AcapRecord& r : f.records) {
+      for (net::Protocol p : r.stack) {
+        switch (p) {
+          case net::Protocol::kTruncated:
+          case net::Protocol::kMalformed:
+            break;
+          default:
+            protos.insert(p);
+        }
+      }
+      deepest = std::max(deepest, r.header_depth());
+    }
+  }
+  std::vector<SiteHeaderVariety> out;
+  out.reserve(acc.size());
+  for (const auto& [site, pd] : acc) {
+    out.push_back(SiteHeaderVariety{site, pd.first.size(), pd.second});
+  }
+  return out;
+}
+
+std::vector<SampleFlowCount> analyze_flows_per_sample(
+    const std::vector<AcapFile>& files) {
+  std::vector<SampleFlowCount> out;
+  out.reserve(files.size());
+  for (const AcapFile& f : files) {
+    std::set<FlowKey> flows;
+    for (const AcapRecord& r : f.records) flows.insert(r.flow);
+    out.push_back(SampleFlowCount{f.site, f.start, flows.size()});
+  }
+  return out;
+}
+
+std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> aggregate_flows(
+    const std::vector<AcapFile>& files) {
+  std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> out;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      FlowAggregate& agg = out[r.flow];
+      if (agg.frames == 0) {
+        agg.first_seen = r.timestamp + f.start;
+        agg.last_seen = agg.first_seen;
+      } else {
+        agg.first_seen = std::min(agg.first_seen, r.timestamp + f.start);
+        agg.last_seen = std::max(agg.last_seen, r.timestamp + f.start);
+      }
+      ++agg.frames;
+      agg.wire_bytes += r.wire_length;
+      if (r.tcp_flags & net::tcp_flags::kRst) ++agg.rst_frames;
+    }
+    // Count distinct samples per flow.
+    std::set<FlowKey> in_sample;
+    for (const AcapRecord& r : f.records) in_sample.insert(r.flow);
+    for (const FlowKey& k : in_sample) ++out[k].samples;
+  }
+  return out;
+}
+
+FlowDistributionResult analyze_flow_distribution(
+    const std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash>& flows) {
+  FlowDistributionResult result;
+  std::vector<double> sizes;
+  sizes.reserve(flows.size());
+  for (const auto& [key, agg] : flows) {
+    ++result.flows;
+    result.size_histogram.add(static_cast<double>(agg.wire_bytes));
+    result.duration_histogram.add(
+        util::to_seconds(agg.last_seen - agg.first_seen));
+    result.largest_flow_bytes =
+        std::max(result.largest_flow_bytes, agg.wire_bytes);
+    sizes.push_back(static_cast<double>(agg.wire_bytes));
+  }
+  if (!sizes.empty()) {
+    result.median_flow_bytes = util::percentile(sizes, 50.0);
+  }
+  return result;
+}
+
+TcpControlResult analyze_tcp_control(const std::vector<AcapFile>& files) {
+  TcpControlResult result;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      if (!r.has(net::Protocol::kTcp)) continue;
+      ++result.tcp_frames;
+      using namespace net::tcp_flags;
+      if (r.tcp_flags & kSyn) ++result.syn;
+      if (r.tcp_flags & kFin) ++result.fin;
+      if (r.tcp_flags & kRst) ++result.rst;
+      // A pure ACK ends at the TCP header: nothing followed on the wire.
+      if ((r.tcp_flags & kAck) && !(r.tcp_flags & (kSyn | kFin | kRst)) &&
+          r.stack.back() == net::Protocol::kTcp) {
+        ++result.pure_ack;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<StackCount> analyze_top_stacks(const std::vector<AcapFile>& files,
+                                           std::size_t k) {
+  std::map<std::string, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      std::string stack;
+      for (net::Protocol p : r.stack) {
+        if (!stack.empty()) stack += '/';
+        stack += net::to_string(p);
+      }
+      ++counts[stack];
+      ++total;
+    }
+  }
+  std::vector<StackCount> out;
+  out.reserve(counts.size());
+  for (const auto& [stack, n] : counts) {
+    out.push_back(StackCount{
+        stack, n,
+        total ? static_cast<double>(n) / static_cast<double>(total) : 0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const StackCount& a,
+                                       const StackCount& b) {
+    if (a.frames != b.frames) return a.frames > b.frames;
+    return a.stack < b.stack;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+TaggingResult analyze_tagging(const std::vector<AcapFile>& files) {
+  TaggingResult result;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      ++result.frames;
+      const bool vlan = r.has(net::Protocol::kVlan);
+      const bool mpls = r.has(net::Protocol::kMpls);
+      if (vlan) ++result.vlan_tagged;
+      if (mpls) ++result.mpls_tagged;
+      if (vlan && mpls) ++result.both_tagged;
+      if (!vlan && !mpls) ++result.untagged;
+    }
+  }
+  return result;
+}
+
+}  // namespace patchwork::analysis

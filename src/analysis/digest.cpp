@@ -1,0 +1,43 @@
+#include "analysis/digest.hpp"
+
+#include "net/parser.hpp"
+#include "pcap/pcap.hpp"
+
+namespace patchwork::analysis {
+
+AcapFile digest(const RawCapture& capture, DigestStats* stats) {
+  AcapFile out;
+  out.site = capture.site;
+  out.port = capture.port;
+  out.start = capture.start;
+  out.duration = capture.duration;
+  out.switch_drops_suspected = capture.switch_drops_suspected;
+
+  auto reader = pcap::PcapReader::open(capture.pcap);
+  if (!reader) {
+    if (stats) ++stats->bad_records;
+    return out;
+  }
+  while (auto frame = reader->next()) {
+    const net::ParsedFrame parsed = net::parse_frame(*frame);
+    AcapRecord rec = abstract_frame(parsed);
+    if (stats) {
+      ++stats->frames;
+      if (rec.has(net::Protocol::kTruncated)) ++stats->truncated_frames;
+      if (rec.has(net::Protocol::kMalformed)) ++stats->malformed_frames;
+    }
+    out.records.push_back(std::move(rec));
+  }
+  if (stats) stats->bad_records += reader->bad_records();
+  return out;
+}
+
+std::vector<AcapFile> digest_all(const std::vector<RawCapture>& captures,
+                                 DigestStats* stats) {
+  std::vector<AcapFile> out;
+  out.reserve(captures.size());
+  for (const RawCapture& c : captures) out.push_back(digest(c, stats));
+  return out;
+}
+
+}  // namespace patchwork::analysis

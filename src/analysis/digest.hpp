@@ -1,0 +1,46 @@
+// The Digest step (Section 6.2.4): raw pcap -> abstract capture.
+//
+// "The Digest step takes raw pcap files and applies the protocol
+// dissectors ... to extract information about each header, discarding
+// unneeded information." Here the dissector is net::parse_bytes, the
+// repository's Wireshark-dissector counterpart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/acap.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::analysis {
+
+/// What the gathering phase ships to the coordinator for one sample: the
+/// pcap plus the instance's logs and sample metadata (Fig. 7 step 4).
+struct RawCapture {
+  std::string site;
+  std::uint32_t port = 0;
+  util::Nanos start = 0;
+  util::Nanos duration = 0;
+  std::uint64_t switch_drops_suspected = 0;
+  std::vector<std::uint8_t> pcap;
+  util::Logger logs;
+};
+
+struct DigestStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bad_records = 0;
+  std::uint64_t truncated_frames = 0;   ///< Snaplen cut into a header.
+  std::uint64_t malformed_frames = 0;
+};
+
+/// Digest one capture. Invalid pcap data produces an empty AcapFile with
+/// `bad_records` counted in `stats`.
+AcapFile digest(const RawCapture& capture, DigestStats* stats = nullptr);
+
+/// Digest a whole gathered profile.
+std::vector<AcapFile> digest_all(const std::vector<RawCapture>& captures,
+                                 DigestStats* stats = nullptr);
+
+}  // namespace patchwork::analysis

@@ -1,0 +1,77 @@
+#include "analysis/index.hpp"
+
+#include <algorithm>
+
+namespace patchwork::analysis {
+
+ProfileIndex::ProfileIndex(const std::vector<AcapFile>& files) {
+  entries_.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const AcapFile& f = files[i];
+    Entry e;
+    e.site = f.site;
+    e.start = f.start;
+    e.end = f.start + f.duration;
+    for (const AcapRecord& r : f.records) {
+      for (net::Protocol p : r.stack) {
+        e.protocols.set(static_cast<std::size_t>(p));
+      }
+    }
+    site_index_[e.site].push_back(i);
+    entries_.push_back(std::move(e));
+  }
+  for (auto& [site, positions] : site_index_) {
+    std::sort(positions.begin(), positions.end(),
+              [this](std::size_t a, std::size_t b) {
+                return entries_[a].start < entries_[b].start;
+              });
+  }
+}
+
+std::vector<std::size_t> ProfileIndex::by_site(const std::string& site) const {
+  const auto it = site_index_.find(site);
+  return it == site_index_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+std::vector<std::size_t> ProfileIndex::by_time(util::Nanos from,
+                                               util::Nanos to) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].start < to && entries_[i].end > from) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ProfileIndex::by_protocol(net::Protocol p) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].protocols.test(static_cast<std::size_t>(p))) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> ProfileIndex::query(
+    const std::string& site, util::Nanos from, util::Nanos to,
+    std::optional<net::Protocol> proto) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i : by_site(site)) {
+    const Entry& e = entries_[i];
+    if (e.start >= to || e.end <= from) continue;
+    if (proto && !e.protocols.test(static_cast<std::size_t>(*proto))) {
+      continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> ProfileIndex::sites() const {
+  std::vector<std::string> out;
+  out.reserve(site_index_.size());
+  for (const auto& [site, _] : site_index_) out.push_back(site);
+  return out;
+}
+
+}  // namespace patchwork::analysis

@@ -1,0 +1,56 @@
+// The Index step (Section 6.2.4).
+//
+// "Since a single profile often produces dozens of gigabytes of data, an
+// Index step is carried out to allow subsequent analyses to more quickly
+// locate the acap files needed." The index maps site, time range, and
+// protocol presence to acap-file positions so an analysis touches only the
+// files it needs.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/acap.hpp"
+
+namespace patchwork::analysis {
+
+class ProfileIndex {
+ public:
+  /// Build the index over a digested profile. The referenced files must
+  /// outlive the index.
+  explicit ProfileIndex(const std::vector<AcapFile>& files);
+
+  /// All file positions for a site, time-ordered.
+  std::vector<std::size_t> by_site(const std::string& site) const;
+
+  /// File positions whose sample interval intersects [from, to).
+  std::vector<std::size_t> by_time(util::Nanos from, util::Nanos to) const;
+
+  /// File positions containing at least one frame with protocol `p`.
+  std::vector<std::size_t> by_protocol(net::Protocol p) const;
+
+  /// Intersection query: site + time + (optionally) protocol.
+  std::vector<std::size_t> query(const std::string& site, util::Nanos from,
+                                 util::Nanos to,
+                                 std::optional<net::Protocol> proto =
+                                     std::nullopt) const;
+
+  std::vector<std::string> sites() const;
+  std::size_t file_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string site;
+    util::Nanos start = 0;
+    util::Nanos end = 0;
+    std::bitset<net::kProtocolCount> protocols;
+  };
+  std::vector<Entry> entries_;
+  std::map<std::string, std::vector<std::size_t>> site_index_;
+};
+
+}  // namespace patchwork::analysis

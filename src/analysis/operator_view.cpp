@@ -1,0 +1,61 @@
+#include "analysis/operator_view.hpp"
+
+#include <set>
+
+namespace patchwork::analysis {
+
+FiveTupleKey FiveTupleKey::from_flow_key(const FlowKey& key) {
+  FiveTupleKey out;
+  out.ip_version = key.ip_version;
+  out.addr_a = key.addr_a;
+  out.addr_b = key.addr_b;
+  out.l4_proto = key.l4_proto;
+  out.port_a = key.port_a;
+  out.port_b = key.port_b;
+  return out;
+}
+
+std::map<FiveTupleKey, OperatorFlowRecord> operator_flow_view(
+    const std::vector<AcapFile>& files) {
+  std::map<FiveTupleKey, OperatorFlowRecord> out;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      const FiveTupleKey key = FiveTupleKey::from_flow_key(r.flow);
+      OperatorFlowRecord& rec = out[key];
+      const util::Nanos t = f.start + r.timestamp;
+      if (rec.frames == 0) {
+        rec.key = key;
+        rec.first_seen = t;
+        rec.last_seen = t;
+      } else {
+        rec.first_seen = std::min(rec.first_seen, t);
+        rec.last_seen = std::max(rec.last_seen, t);
+      }
+      ++rec.frames;
+      rec.wire_bytes += r.wire_length;
+    }
+  }
+  return out;
+}
+
+AsymmetryReport measure_asymmetry(const std::vector<AcapFile>& files) {
+  AsymmetryReport report;
+  // Tag-aware flows per 5-tuple key.
+  std::map<FiveTupleKey, std::set<FlowKey>> grouping;
+  for (const AcapFile& f : files) {
+    for (const AcapRecord& r : f.records) {
+      grouping[FiveTupleKey::from_flow_key(r.flow)].insert(r.flow);
+    }
+  }
+  report.operator_flows = grouping.size();
+  for (const auto& [key, tag_flows] : grouping) {
+    report.patchwork_flows += tag_flows.size();
+    if (tag_flows.size() > 1) {
+      ++report.collapsed_keys;
+      report.hidden_flows += tag_flows.size() - 1;
+    }
+  }
+  return report;
+}
+
+}  // namespace patchwork::analysis

@@ -1,0 +1,70 @@
+// The operator's-eye view, for contrast with Patchwork.
+//
+// Section 4 ("Asymmetry in general profiling"): NetFlow/sFlow/IPFIX-style
+// switch summaries "do not distinguish between testbed users and provide
+// coarse statistics" — a classic exporter keys flows on the bare 5-tuple,
+// so two slices reusing the same 10/8 addresses collapse into one flow,
+// and per-experiment attribution is impossible. This module implements
+// that operator view over the same acap data so the asymmetry can be
+// measured (see bench/ablation and the examples).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/acap.hpp"
+
+namespace patchwork::analysis {
+
+/// A classic NetFlow-style key: network + transport fields only — no
+/// VLAN/MPLS virtualization tags.
+struct FiveTupleKey {
+  std::uint8_t ip_version = 0;
+  std::array<std::uint8_t, 16> addr_a{};
+  std::array<std::uint8_t, 16> addr_b{};
+  std::uint8_t l4_proto = 0;
+  std::uint16_t port_a = 0;
+  std::uint16_t port_b = 0;
+
+  auto operator<=>(const FiveTupleKey&) const = default;
+
+  static FiveTupleKey from_flow_key(const FlowKey& key);
+};
+
+/// NetFlow-v5-style record the operator view can produce.
+struct OperatorFlowRecord {
+  FiveTupleKey key;
+  std::uint64_t frames = 0;
+  std::uint64_t wire_bytes = 0;
+  util::Nanos first_seen = 0;
+  util::Nanos last_seen = 0;
+};
+
+/// Aggregate a digested profile the way a tag-blind exporter would.
+std::map<FiveTupleKey, OperatorFlowRecord> operator_flow_view(
+    const std::vector<AcapFile>& files);
+
+/// How much the operator view loses relative to Patchwork's tag-aware
+/// classification.
+struct AsymmetryReport {
+  std::uint64_t patchwork_flows = 0;  ///< Tag-aware distinct flows.
+  std::uint64_t operator_flows = 0;   ///< 5-tuple distinct flows.
+  /// 5-tuple keys that merge >1 tag-distinct flow (different slices whose
+  /// addresses collide — invisible to the operator).
+  std::uint64_t collapsed_keys = 0;
+  /// Tag-distinct flows hidden inside collapsed keys.
+  std::uint64_t hidden_flows = 0;
+
+  double undercount_fraction() const {
+    return patchwork_flows == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(operator_flows) /
+                           static_cast<double>(patchwork_flows);
+  }
+};
+
+AsymmetryReport measure_asymmetry(const std::vector<AcapFile>& files);
+
+}  // namespace patchwork::analysis

@@ -1,0 +1,78 @@
+#include "analysis/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/report.hpp"
+
+namespace patchwork::analysis {
+
+DigestedProfile digest_profile(const std::vector<RawCapture>& captures) {
+  DigestedProfile out;
+  out.files = digest_all(captures, &out.stats);
+  return out;
+}
+
+ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
+  ProfileReport report;
+  DigestedProfile digested;
+  digested.files = digest_all(captures, &report.digest_stats);
+
+  // The index is built even though this whole-profile report touches every
+  // file — selective analyses (and tests) use it through digest_profile().
+  ProfileIndex index(digested.files);
+  (void)index;
+
+  report.frame_sizes = analyze_frame_sizes(digested.files);
+  report.header_occurrence = analyze_header_occurrence(digested.files);
+  report.site_variety = analyze_site_header_variety(digested.files);
+  report.flows_per_sample = analyze_flows_per_sample(digested.files);
+  report.tcp_control = analyze_tcp_control(digested.files);
+  report.tagging = analyze_tagging(digested.files);
+  report.top_stacks = analyze_top_stacks(digested.files);
+
+  const auto flows = aggregate_flows(digested.files);
+  report.distinct_flows = flows.size();
+  report.flow_distribution = analyze_flow_distribution(flows);
+  report.largest_flow_bytes = report.flow_distribution.largest_flow_bytes;
+
+  // Process step: render every CSV.
+  auto emit = [&report](const std::string& name, auto&& writer) {
+    std::ostringstream os;
+    writer(os);
+    report.csv_files[name] = os.str();
+  };
+  emit("frame_sizes.csv", [&](std::ostream& os) {
+    write_frame_size_csv(os, report.frame_sizes);
+  });
+  emit("site_frame_sizes.csv", [&](std::ostream& os) {
+    write_site_frame_size_csv(os, digested.files);
+  });
+  emit("header_occurrence.csv", [&](std::ostream& os) {
+    write_header_occurrence_csv(os, report.header_occurrence);
+  });
+  emit("site_variety.csv", [&](std::ostream& os) {
+    write_site_variety_csv(os, report.site_variety);
+  });
+  emit("flows_per_sample.csv", [&](std::ostream& os) {
+    write_flows_per_sample_csv(os, report.flows_per_sample);
+  });
+  emit("flow_aggregate.csv", [&](std::ostream& os) {
+    write_flow_aggregate_csv(os, flows);
+  });
+  emit("tcp_control.csv", [&](std::ostream& os) {
+    write_tcp_control_csv(os, report.tcp_control);
+  });
+  emit("tagging.csv", [&](std::ostream& os) {
+    write_tagging_csv(os, report.tagging);
+  });
+  emit("top_stacks.csv", [&](std::ostream& os) {
+    write_top_stacks_csv(os, report.top_stacks);
+  });
+  emit("flow_distribution.csv", [&](std::ostream& os) {
+    write_flow_distribution_csv(os, report.flow_distribution);
+  });
+  return report;
+}
+
+}  // namespace patchwork::analysis

@@ -1,0 +1,44 @@
+// End-to-end offline analysis pipeline (Fig. 9):
+//   gathered captures -> Digest -> Index -> Analyze -> Process (CSV).
+//
+// This is the phase that runs *outside* the testbed, after the coordinator
+// has downloaded the compressed captures and logs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyses.hpp"
+#include "analysis/digest.hpp"
+#include "analysis/index.hpp"
+
+namespace patchwork::analysis {
+
+struct ProfileReport {
+  DigestStats digest_stats;
+  FrameSizeResult frame_sizes;
+  HeaderOccurrenceResult header_occurrence;
+  std::vector<SiteHeaderVariety> site_variety;
+  std::vector<SampleFlowCount> flows_per_sample;
+  TcpControlResult tcp_control;
+  TaggingResult tagging;
+  std::vector<StackCount> top_stacks;
+  FlowDistributionResult flow_distribution;
+  std::uint64_t distinct_flows = 0;
+  std::uint64_t largest_flow_bytes = 0;
+  /// CSV outputs of the Process step, keyed by file name.
+  std::map<std::string, std::string> csv_files;
+};
+
+/// Run the full pipeline over a gathered profile.
+ProfileReport run_pipeline(const std::vector<RawCapture>& captures);
+
+/// Digest + index only (for callers that drive analyses selectively).
+struct DigestedProfile {
+  std::vector<AcapFile> files;
+  DigestStats stats;
+};
+DigestedProfile digest_profile(const std::vector<RawCapture>& captures);
+
+}  // namespace patchwork::analysis

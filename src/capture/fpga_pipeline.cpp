@@ -1,0 +1,30 @@
+#include "capture/fpga_pipeline.hpp"
+
+namespace patchwork::capture {
+
+std::optional<net::Frame> FpgaPipeline::process(const net::Frame& frame) {
+  ++stats_.seen;
+  const net::ParsedFrame parsed = net::parse_frame(frame);
+  if (!config_.filter.matches(parsed)) {
+    ++stats_.filtered_out;
+    return std::nullopt;
+  }
+  if (config_.sample_1_in_n > 1) {
+    if (sample_counter_++ % config_.sample_1_in_n != 0) {
+      ++stats_.sampled_out;
+      return std::nullopt;
+    }
+  }
+  net::Frame out = frame.truncate(config_.snaplen);
+  if (config_.anonymize) {
+    // Re-dissect the truncated copy so rewrite offsets are in bounds.
+    std::vector<std::uint8_t> bytes(out.bytes().begin(), out.bytes().end());
+    const net::ParsedFrame reparsed = net::parse_frame(out);
+    anonymizer_.scrub(bytes, reparsed);
+    out = net::Frame(std::move(bytes), out.wire_length(), out.timestamp());
+  }
+  ++stats_.emitted;
+  return out;
+}
+
+}  // namespace patchwork::capture

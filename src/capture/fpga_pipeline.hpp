@@ -1,0 +1,49 @@
+// FPGA NIC offload pipeline.
+//
+// Models the P4 program Patchwork compiles to Alveo FPGA NICs (via the
+// ESnet smartNIC framework): a line-rate match-action pipeline that
+// performs "sampling, truncation, filtering, and pre-processing"
+// (Section 6.2.1) before frames ever reach the host. Functionally the
+// stages are exact (the host receives precisely the edited bytes);
+// performance-wise the pipeline runs at line rate, which is what removes
+// the per-wire-byte host cost in the DPDK capacity model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "capture/anonymize.hpp"
+#include "capture/config.hpp"
+#include "net/packet.hpp"
+#include "net/parser.hpp"
+
+namespace patchwork::capture {
+
+struct PipelineStats {
+  std::uint64_t seen = 0;
+  std::uint64_t filtered_out = 0;
+  std::uint64_t sampled_out = 0;
+  std::uint64_t emitted = 0;
+};
+
+class FpgaPipeline {
+ public:
+  explicit FpgaPipeline(const CaptureConfig& config)
+      : config_(config), anonymizer_(config.anonymize_key) {}
+
+  /// Run one frame through filter -> 1-in-N sample -> truncate ->
+  /// anonymize. Returns the edited frame, or nullopt if dropped by the
+  /// filter or sampler.
+  std::optional<net::Frame> process(const net::Frame& frame);
+
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PipelineStats{}; }
+
+ private:
+  const CaptureConfig& config_;
+  Anonymizer anonymizer_;
+  PipelineStats stats_;
+  std::uint64_t sample_counter_ = 0;
+};
+
+}  // namespace patchwork::capture

@@ -1,0 +1,182 @@
+#include "capture/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcap/pcap.hpp"
+
+namespace patchwork::capture {
+
+TcpdumpRunStats simulate_tcpdump(const host::HostSpec& spec,
+                                 const TcpdumpRunParams& params) {
+  TcpdumpRunStats stats;
+  const double offered_pps =
+      params.offered_bps / (8.0 * static_cast<double>(params.frame_size));
+  const double capacity_pps =
+      spec.kernel_capacity_pps(params.frame_size, params.snaplen);
+  // Buffer slots: each buffered record holds snaplen bytes plus metadata.
+  const double record_bytes =
+      static_cast<double>(std::min<std::size_t>(params.frame_size,
+                                                params.snaplen)) +
+      pcap::kRecordHeaderSize;
+  const double buffer_slots =
+      static_cast<double>(params.buffer_bytes) / record_bytes;
+
+  // Millisecond-stepped fluid simulation of the capture buffer.
+  const util::Nanos step = util::kMillisecond;
+  double occupancy = 0.0;  // Records in the buffer.
+  double offered_acc = 0.0, captured_acc = 0.0, dropped_acc = 0.0;
+  for (util::Nanos t = 0; t < params.duration; t += step) {
+    const double dt = util::to_seconds(step);
+    const double arrivals = offered_pps * dt;
+    const double drained = std::min(occupancy + arrivals, capacity_pps * dt);
+    double next = occupancy + arrivals - drained;
+    double dropped = 0.0;
+    if (next > buffer_slots) {
+      dropped = next - buffer_slots;
+      next = buffer_slots;
+    }
+    occupancy = next;
+    offered_acc += arrivals;
+    captured_acc += arrivals - dropped;
+    dropped_acc += dropped;
+  }
+  stats.offered_frames = static_cast<std::uint64_t>(offered_acc);
+  stats.captured_frames = static_cast<std::uint64_t>(captured_acc);
+  stats.dropped_frames = static_cast<std::uint64_t>(dropped_acc);
+  return stats;
+}
+
+double tcpdump_lossless_ceiling_bps(const host::HostSpec& spec,
+                                    std::size_t frame_size,
+                                    std::uint32_t snaplen) {
+  double lo = 0.0, hi = 100e9;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    TcpdumpRunParams p;
+    p.offered_bps = mid;
+    p.frame_size = frame_size;
+    p.snaplen = snaplen;
+    p.duration = 10 * util::kSecond;
+    const TcpdumpRunStats s = simulate_tcpdump(spec, p);
+    if (s.loss_fraction() <= 1e-6) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+DpdkRunStats simulate_dpdk_writer(const host::HostSpec& spec,
+                                  const DpdkRunParams& params,
+                                  util::Rng& rng) {
+  DpdkRunStats stats;
+  const double offered_pps =
+      params.offered_bps / (8.0 * static_cast<double>(params.frame_size));
+  const double capacity_pps = spec.dpdk_capacity_pps(
+      params.cores, params.truncation, params.frame_size,
+      params.fpga_offload);
+  if (offered_pps <= 0.0 || capacity_pps <= 0.0) return stats;
+
+  host::PageCache cache(spec.page_cache, rng);
+  const std::uint64_t batch_bytes =
+      static_cast<std::uint64_t>(kWritevBatchFrames) *
+      (params.truncation + pcap::kRecordHeaderSize);
+
+  // Ring state, in frames. Service proceeds at capacity_pps except while
+  // the writer is stalled inside a long sys_writev().
+  double ring = 0.0;
+  const double ring_slots = static_cast<double>(params.rx_queue_depth);
+  double served_since_writev = 0.0;
+
+  // Micro-burst arrival process layered over the constant offered rate:
+  // short line-rate bursts that can overflow the ring when headroom is
+  // slim. Burst arrival is Poisson; burst size is exponential.
+  const double burst_rate_per_sec = 40.0;
+  const double burst_mean_frames = 1200.0;
+
+  // The nominal batch period: time to serve one writev batch.
+  const double batch_period_s =
+      static_cast<double>(kWritevBatchFrames) / capacity_pps;
+
+  double t = 0.0;
+  const double duration_s = util::to_seconds(params.duration);
+  double offered_acc = 0.0, dropped_acc = 0.0;
+  double next_burst = rng.exponential(1.0 / burst_rate_per_sec);
+
+  while (t < duration_s) {
+    const double dt = batch_period_s;
+    // Arrivals during this batch interval.
+    double arrivals = offered_pps * dt;
+    while (next_burst <= t + dt) {
+      arrivals += rng.exponential(burst_mean_frames);
+      next_burst += rng.exponential(1.0 / burst_rate_per_sec);
+    }
+    offered_acc += arrivals;
+
+    // Service: one full batch leaves the ring (if present).
+    const double served =
+        std::min(ring + arrivals, static_cast<double>(kWritevBatchFrames));
+    double next_ring = ring + arrivals - served;
+    if (next_ring > ring_slots) {
+      dropped_acc += next_ring - ring_slots;
+      next_ring = ring_slots;
+    }
+    ring = next_ring;
+    served_since_writev += served;
+    cache.advance(util::from_seconds(dt));
+    t += dt;
+
+    // A sys_writev() every kWritevBatchFrames served frames.
+    if (served_since_writev >= kWritevBatchFrames) {
+      served_since_writev -= kWritevBatchFrames;
+      const util::Nanos lat = cache.write(batch_bytes);
+      ++stats.writev_calls;
+      stats.bytes_stored += batch_bytes;
+      if (params.track_usage_curve) {
+        const double usage =
+            static_cast<double>(cache.total_bytes_written()) /
+            static_cast<double>(spec.page_cache.free_cache_bytes);
+        if (stats.usage_curve.empty() ||
+            usage >= stats.usage_curve.back().usage_fraction + 0.01) {
+          stats.usage_curve.push_back(UsagePoint{
+              usage,
+              static_cast<double>(
+                  cache.latency_histogram().rounded_up_sum_above(32768)) /
+                  1e6});
+        }
+      }
+      // Stall beyond the amortized syscall budget: ordinary fast-regime
+      // writev time is already part of the calibrated per-frame cost, so
+      // only abnormal latency (writeback throttling, outliers) stalls the
+      // ring and piles arrivals up.
+      const double amortized_s = 12e-6;
+      const double stall_s = util::to_seconds(lat) - amortized_s;
+      if (stall_s > 0.0) {
+        double stalled_arrivals = offered_pps * stall_s;
+        while (next_burst <= t + stall_s) {
+          stalled_arrivals += rng.exponential(burst_mean_frames);
+          next_burst += rng.exponential(1.0 / burst_rate_per_sec);
+        }
+        offered_acc += stalled_arrivals;
+        double after = ring + stalled_arrivals;
+        if (after > ring_slots) {
+          dropped_acc += after - ring_slots;
+          after = ring_slots;
+        }
+        ring = after;
+        t += stall_s;
+      }
+    }
+  }
+
+  stats.offered_frames = static_cast<std::uint64_t>(offered_acc);
+  stats.dropped_ring = static_cast<std::uint64_t>(dropped_acc);
+  stats.captured_frames = stats.offered_frames - stats.dropped_ring;
+  stats.writev_latency = cache.latency_histogram();
+  stats.final_dirty_fraction = cache.dirty_fraction();
+  return stats;
+}
+
+}  // namespace patchwork::capture

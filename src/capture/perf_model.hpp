@@ -1,0 +1,103 @@
+// Capture-path performance models.
+//
+// These reproduce the paper's Section 8.1 experiments:
+//   * simulate_tcpdump  — the software-capture ceiling (Section 8.1.2):
+//     single-threaded kernel-path capture with a 32 MB buffer;
+//   * simulate_dpdk_writer — the accelerator-/bypass-assisted path
+//     (Sections 8.1.3-8.1.4, Appendix B, Tables 1-2): frames arrive at a
+//     fixed rate, cores dequeue them from an Rx ring, truncate, and batch
+//     128 frames per sys_writev() into a pcap file through the page-cache
+//     model. Loss happens when the ring overflows while the writer is
+//     stalled by writeback throttling, or when offered load exceeds the
+//     cores' aggregate capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/host_system.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::capture {
+
+inline constexpr std::uint32_t kWritevBatchFrames = 128;  ///< Appendix B.
+
+struct TcpdumpRunParams {
+  double offered_bps = 0.0;
+  std::size_t frame_size = 1500;
+  std::uint32_t snaplen = 64;
+  util::Nanos duration = 10 * util::kSecond;
+  std::uint64_t buffer_bytes = 32ull << 20;  ///< Raised capture buffer.
+};
+
+struct TcpdumpRunStats {
+  std::uint64_t offered_frames = 0;
+  std::uint64_t captured_frames = 0;
+  std::uint64_t dropped_frames = 0;
+  double loss_fraction() const {
+    return offered_frames == 0
+               ? 0.0
+               : static_cast<double>(dropped_frames) /
+                     static_cast<double>(offered_frames);
+  }
+};
+
+TcpdumpRunStats simulate_tcpdump(const host::HostSpec& spec,
+                                 const TcpdumpRunParams& params);
+
+/// Highest offered rate (bps) at which the tcpdump path stays loss-free
+/// for the given frame size, found by bisection.
+double tcpdump_lossless_ceiling_bps(const host::HostSpec& spec,
+                                    std::size_t frame_size,
+                                    std::uint32_t snaplen);
+
+struct DpdkRunParams {
+  double offered_bps = 0.0;
+  std::size_t frame_size = 1514;
+  std::uint32_t truncation = 200;   ///< Bytes stored per frame.
+  std::uint32_t cores = 5;
+  std::uint32_t rx_queue_depth = 4096;
+  util::Nanos duration = 4 * util::kSecond;
+  /// True when an FPGA NIC pre-truncates frames before host delivery
+  /// (method 3); false for the plain DPDK path (method 2), where the full
+  /// frame crosses PCIe and host memory.
+  bool fpga_offload = true;
+  /// Record the Fig.-14-style curve of summed high-bucket writev latency
+  /// against the fraction of free cache memory written so far.
+  bool track_usage_curve = false;
+};
+
+/// One point of the Appendix B latency wall: after writing
+/// `usage_fraction` of free cache memory, the rounded-up sum of all
+/// sys_writev() latencies in buckets >= 32 us (the paper excludes the
+/// average case) is `summed_high_latency_ms`.
+struct UsagePoint {
+  double usage_fraction = 0.0;
+  double summed_high_latency_ms = 0.0;
+};
+
+struct DpdkRunStats {
+  std::uint64_t offered_frames = 0;
+  std::uint64_t captured_frames = 0;
+  std::uint64_t dropped_ring = 0;     ///< Rx ring overflow.
+  std::uint64_t writev_calls = 0;
+  std::uint64_t bytes_stored = 0;
+  util::Log2Histogram writev_latency;  ///< bpftrace-style, nanoseconds.
+  double final_dirty_fraction = 0.0;
+  std::vector<UsagePoint> usage_curve;  ///< Populated if track_usage_curve.
+
+  double loss_fraction() const {
+    return offered_frames == 0
+               ? 0.0
+               : static_cast<double>(dropped_ring) /
+                     static_cast<double>(offered_frames);
+  }
+};
+
+DpdkRunStats simulate_dpdk_writer(const host::HostSpec& spec,
+                                  const DpdkRunParams& params,
+                                  util::Rng& rng);
+
+}  // namespace patchwork::capture

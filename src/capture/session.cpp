@@ -1,0 +1,111 @@
+#include "capture/session.hpp"
+
+#include <algorithm>
+
+#include "net/parser.hpp"
+
+namespace patchwork::capture {
+
+std::string_view to_string(CaptureMethod m) {
+  switch (m) {
+    case CaptureMethod::kTcpdump: return "tcpdump";
+    case CaptureMethod::kDpdk: return "dpdk";
+    case CaptureMethod::kFpgaDpdk: return "fpga+dpdk";
+  }
+  return "?";
+}
+
+double CaptureSession::capacity_pps(double mean_wire_bytes) const {
+  const std::size_t wire = static_cast<std::size_t>(mean_wire_bytes);
+  switch (config_.method) {
+    case CaptureMethod::kTcpdump:
+      // tcpdump is single-threaded regardless of the VM's core count.
+      return host_.kernel_capacity_pps(wire, config_.snaplen);
+    case CaptureMethod::kDpdk:
+      return host_.dpdk_capacity_pps(config_.cores, config_.snaplen, wire,
+                                     /*fpga_offload=*/false);
+    case CaptureMethod::kFpgaDpdk:
+      return host_.dpdk_capacity_pps(config_.cores, config_.snaplen, wire,
+                                     /*fpga_offload=*/true);
+  }
+  return 0.0;
+}
+
+CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
+                                  double offered_pps) {
+  CaptureResult result;
+  CaptureStats& stats = result.stats;
+  stats.offered = frames.size();
+  stats.offered_pps = offered_pps;
+
+  double mean_wire = 0.0;
+  for (const net::Frame& f : frames) {
+    mean_wire += static_cast<double>(f.wire_length());
+  }
+  if (!frames.empty()) mean_wire /= static_cast<double>(frames.size());
+  stats.capacity_pps = capacity_pps(std::max(64.0, mean_wire));
+
+  FpgaPipeline pipeline(config_);
+  pcap::PcapWriter writer(config_.snaplen);
+
+  // With FPGA offload, filtering and sampling happen on the NIC at line
+  // rate, so the host only sees the surviving stream; otherwise every
+  // offered frame consumes host capacity *before* filtering.
+  const bool offload = config_.method == CaptureMethod::kFpgaDpdk;
+
+  // Host-capacity survival probability for frames that consume host
+  // capacity. Applied per frame so timing structure is preserved.
+  auto survives_host = [&](double rate_pps) {
+    if (rate_pps <= stats.capacity_pps) return true;
+    return rng_.chance(stats.capacity_pps / rate_pps);
+  };
+
+  // Effective host arrival rate under offload: the filter/sampler thins
+  // the stream on the NIC first. Estimate the pass fraction from the data.
+  double pass_fraction = 1.0;
+  if (offload) {
+    std::uint64_t pass = 0;
+    for (const net::Frame& f : frames) {
+      if (config_.filter.matches(net::parse_frame(f))) ++pass;
+    }
+    pass_fraction = frames.empty()
+                        ? 1.0
+                        : static_cast<double>(pass) /
+                              static_cast<double>(frames.size());
+    if (config_.sample_1_in_n > 1) {
+      pass_fraction /= static_cast<double>(config_.sample_1_in_n);
+    }
+  }
+
+  for (const net::Frame& frame : frames) {
+    if (!offload) {
+      // Frame hits the host first; capacity loss precedes the filter.
+      if (!survives_host(offered_pps)) {
+        ++stats.dropped_capacity;
+        continue;
+      }
+      const auto processed = pipeline.process(frame);
+      if (!processed) continue;  // Counted by pipeline stats below.
+      writer.write(*processed);
+      ++stats.captured;
+    } else {
+      // NIC-side filter/sample at line rate, then host capacity on the
+      // thinned stream.
+      const auto processed = pipeline.process(frame);
+      if (!processed) continue;
+      if (!survives_host(offered_pps * pass_fraction)) {
+        ++stats.dropped_capacity;
+        continue;
+      }
+      writer.write(*processed);
+      ++stats.captured;
+    }
+  }
+  stats.filtered_out = pipeline.stats().filtered_out;
+  stats.sampled_out = pipeline.stats().sampled_out;
+  stats.bytes_stored = writer.bytes_written();
+  result.pcap = writer.take_buffer();
+  return result;
+}
+
+}  // namespace patchwork::capture

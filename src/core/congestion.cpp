@@ -1,0 +1,35 @@
+#include "core/congestion.hpp"
+
+#include <algorithm>
+
+namespace patchwork::core {
+
+CongestionVerdict CongestionDetector::assess(
+    testbed::SiteId site, const testbed::MirrorSession& session,
+    double egress_line_rate_bps) const {
+  CongestionVerdict verdict;
+  verdict.egress_capacity_bps = egress_line_rate_bps;
+  const auto rate =
+      mflib_.port_rate({site, session.source}, rate_window_);
+  if (!rate) return verdict;  // No telemetry yet: assume healthy.
+  switch (session.directions) {
+    case testbed::MirrorDirections::kTxOnly:
+      verdict.offered_bps = rate->tx_bps;
+      break;
+    case testbed::MirrorDirections::kRxOnly:
+      verdict.offered_bps = rate->rx_bps;
+      break;
+    case testbed::MirrorDirections::kBoth:
+      verdict.offered_bps = rate->tx_bps + rate->rx_bps;
+      break;
+  }
+  if (verdict.offered_bps > egress_line_rate_bps &&
+      egress_line_rate_bps > 0.0) {
+    verdict.likely_dropping = true;
+    verdict.estimated_drop_fraction =
+        1.0 - egress_line_rate_bps / verdict.offered_bps;
+  }
+  return verdict;
+}
+
+}  // namespace patchwork::core

@@ -1,0 +1,53 @@
+// Switch-side congestion detection (requirement R3 / Section 6.2.2).
+//
+// Port mirroring funnels a port's Tx *and* Rx channels into a single
+// egress channel; when Mirrored(Tx) + Mirrored(Rx) exceeds the egress line
+// rate, "frames will simply be dropped at the switch before they are
+// transmitted". Patchwork cannot see those drops in its own capture, so it
+// "queries the switch for the rates of Mirrored(Tx) and Mirrored(Rx), to
+// infer whether frames are likely being dropped" — that inference lives
+// here, and its verdict is logged with every sample.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "telemetry/mflib.hpp"
+#include "testbed/switch.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::core {
+
+struct CongestionVerdict {
+  bool likely_dropping = false;
+  double offered_bps = 0.0;       ///< Mirrored(Tx) + Mirrored(Rx).
+  double egress_capacity_bps = 0.0;
+  /// Estimated fraction of mirrored frames lost at the switch.
+  double estimated_drop_fraction = 0.0;
+
+  /// Expected drops over a sample window at `offered_pps`.
+  std::uint64_t estimated_drops(double offered_pps,
+                                util::Nanos window) const {
+    return static_cast<std::uint64_t>(estimated_drop_fraction * offered_pps *
+                                      util::to_seconds(window));
+  }
+};
+
+class CongestionDetector {
+ public:
+  CongestionDetector(const telemetry::MfLib& mflib, util::Nanos rate_window)
+      : mflib_(mflib), rate_window_(rate_window) {}
+
+  /// Assess the mirror feeding `dest` from `source` at `site`. Uses the
+  /// telemetry rates of the mirrored port (as Patchwork does at runtime),
+  /// not ground truth from the switch model.
+  CongestionVerdict assess(testbed::SiteId site,
+                           const testbed::MirrorSession& session,
+                           double egress_line_rate_bps) const;
+
+ private:
+  const telemetry::MfLib& mflib_;
+  util::Nanos rate_window_;
+};
+
+}  // namespace patchwork::core

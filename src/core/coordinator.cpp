@@ -1,0 +1,113 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/compress.hpp"
+
+namespace patchwork::core {
+
+std::size_t ProfileRun::outcome_count(RunOutcome o) const {
+  return static_cast<std::size_t>(
+      std::count_if(reports.begin(), reports.end(),
+                    [o](const SiteRunReport& r) { return r.outcome == o; }));
+}
+
+double ProfileRun::success_fraction() const {
+  if (reports.empty()) return 0.0;
+  const std::size_t good = outcome_count(RunOutcome::kSuccess) +
+                           outcome_count(RunOutcome::kDegraded);
+  return static_cast<double>(good) / static_cast<double>(reports.size());
+}
+
+ProfileRun Coordinator::run_all_experiment() {
+  std::vector<testbed::SiteId> sites;
+  for (testbed::SiteId id : env_.federation().site_ids()) {
+    if (env_.federation().site(id).teaching_only()) continue;
+    sites.push_back(id);
+  }
+  return run_sites(sites, ProfileMode::kAllExperiment, nullptr);
+}
+
+ProfileRun Coordinator::run_on_sites(
+    const std::vector<testbed::SiteId>& sites) {
+  return run_sites(sites, ProfileMode::kAllExperiment, nullptr);
+}
+
+ProfileRun Coordinator::run_single_experiment(
+    const std::vector<testbed::GlobalPortId>& slice_ports) {
+  std::vector<testbed::SiteId> sites;
+  for (const testbed::GlobalPortId& p : slice_ports) {
+    if (std::find(sites.begin(), sites.end(), p.site) == sites.end()) {
+      sites.push_back(p.site);
+    }
+  }
+  return run_sites(sites, ProfileMode::kSingleExperiment, &slice_ports);
+}
+
+ProfileRun Coordinator::run_sites(
+    const std::vector<testbed::SiteId>& sites, ProfileMode mode,
+    const std::vector<testbed::GlobalPortId>* slice_ports) {
+  ProfileRun out;
+  out.mode = mode;
+  for (testbed::SiteId site : sites) {
+    ProfilerConfig config = config_;
+    if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
+      // Single-experiment mode can only monitor the slice's own ports.
+      config.plan.policy = PortPolicy::kFixed;
+      config.fixed_ports.clear();
+      for (const testbed::GlobalPortId& p : *slice_ports) {
+        if (p.site == site) config.fixed_ports.push_back(p.port);
+      }
+    }
+    SiteProfiler profiler(env_, site, config);
+    SiteRunReport report;
+    report.site = site;
+    report.site_name = env_.federation().site(site).name();
+
+    const SetupResult setup = profiler.setup();
+    report.instances = setup.instances_granted;
+    report.backoffs = setup.backoffs_used;
+    report.error = setup.error;
+    if (!setup.ok) {
+      report.outcome = RunOutcome::kFailed;
+      out.reports.push_back(std::move(report));
+      continue;
+    }
+    report.outcome = profiler.run();
+    std::vector<analysis::RawCapture> captures = profiler.gather();
+    report.samples = captures.size();
+    for (analysis::RawCapture& c : captures) {
+      report.pcap_bytes += c.pcap.size();
+      if (config.compress_transfers) {
+        // The download path of Fig. 7 step 4: compress at the site,
+        // transfer, decompress at the coordinator.
+        const std::vector<std::uint8_t> wire = util::compress(c.pcap);
+        report.transferred_bytes += wire.size();
+        auto restored = util::decompress(wire);
+        if (restored.has_value()) {
+          c.pcap = std::move(*restored);
+        }
+      } else {
+        report.transferred_bytes += c.pcap.size();
+      }
+    }
+    if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
+      // Keep only captures of the slice's ports (access control:
+      // single-experiment users cannot see other users' traffic).
+      std::erase_if(captures, [&](const analysis::RawCapture& c) {
+        return std::none_of(slice_ports->begin(), slice_ports->end(),
+                            [&](const testbed::GlobalPortId& p) {
+                              return p.site == site &&
+                                     p.port.value == c.port;
+                            });
+      });
+    }
+    std::move(captures.begin(), captures.end(),
+              std::back_inserter(out.captures));
+    profiler.teardown();
+    out.reports.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace patchwork::core

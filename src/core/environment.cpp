@@ -1,0 +1,27 @@
+#include "core/environment.hpp"
+
+#include <algorithm>
+
+namespace patchwork::core {
+
+void Environment::advance(util::Nanos dt) {
+  const util::Nanos target = clock_.now() + dt;
+  while (clock_.now() < target) {
+    // Step at most one minute at a time so load changes and poll
+    // boundaries are honoured even across long advances.
+    util::Nanos step = std::min<util::Nanos>(util::kMinute,
+                                             target - clock_.now());
+    if (next_poll_ > clock_.now()) {
+      step = std::min(step, next_poll_ - clock_.now());
+    }
+    traffic_.update_loads(clock_.now());
+    fed_.advance(step);
+    clock_.advance_by(step);
+    if (clock_.now() >= next_poll_) {
+      mflib_.poll_all(clock_.now());
+      next_poll_ = clock_.now() + poll_interval_;
+    }
+  }
+}
+
+}  // namespace patchwork::core

@@ -1,0 +1,51 @@
+// Shared runtime context for a Patchwork deployment on the simulated
+// testbed: the clock, the federation, telemetry, and the traffic plane.
+//
+// advance() is the single place where simulated time moves during a
+// profiling run; it keeps port rates, switch counters, and MFlib's
+// 5-minute SNMP polling consistent.
+#pragma once
+
+#include "sim/clock.hpp"
+#include "telemetry/mflib.hpp"
+#include "testbed/federation.hpp"
+#include "traffic/engine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::core {
+
+class Environment {
+ public:
+  Environment(sim::Clock& clock, testbed::Federation& fed,
+              telemetry::MfLib& mflib, traffic::TrafficEngine& traffic,
+              util::Rng& rng,
+              util::Nanos poll_interval = telemetry::kDefaultPollInterval)
+      : clock_(clock),
+        fed_(fed),
+        mflib_(mflib),
+        traffic_(traffic),
+        rng_(rng),
+        poll_interval_(poll_interval) {}
+
+  sim::Clock& clock() { return clock_; }
+  testbed::Federation& federation() { return fed_; }
+  telemetry::MfLib& mflib() { return mflib_; }
+  traffic::TrafficEngine& traffic() { return traffic_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Advance simulated time by `dt`, stepping traffic loads, switch
+  /// counters, and SNMP polls along the way.
+  void advance(util::Nanos dt);
+
+ private:
+  sim::Clock& clock_;
+  testbed::Federation& fed_;
+  telemetry::MfLib& mflib_;
+  traffic::TrafficEngine& traffic_;
+  util::Rng& rng_;
+  util::Nanos poll_interval_;
+  util::Nanos next_poll_ = 0;
+};
+
+}  // namespace patchwork::core

@@ -1,0 +1,146 @@
+#include "core/mirror_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace patchwork::core {
+
+MirrorScheduler::MirrorScheduler(testbed::ToRSwitch& tor,
+                                 std::vector<testbed::PortId> destinations,
+                                 Policy policy)
+    : tor_(tor), destinations_(std::move(destinations)), policy_(policy) {
+  assert(!destinations_.empty());
+  assert(policy_.quantum > 0);
+}
+
+MirrorRequestId MirrorScheduler::submit(MirrorRequest request) {
+  assert(request.duration > 0);
+  const MirrorRequestId id = next_id_++;
+  const util::Nanos remaining = request.duration;
+  pending_.push_back(
+      Pending{id, std::move(request), remaining, next_sequence_++});
+  return id;
+}
+
+bool MirrorScheduler::cancel(MirrorRequestId id) {
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(),
+      [id](const Pending& p) { return p.id == id; });
+  if (it != pending_.end()) {
+    pending_.erase(it);
+    return true;
+  }
+  const auto lease = std::find_if(
+      active_.begin(), active_.end(),
+      [id](const MirrorLease& l) { return l.request == id; });
+  if (lease != active_.end()) {
+    tor_.remove_mirror(lease->source);
+    active_remaining_.erase(id);
+    active_.erase(lease);
+    return true;
+  }
+  return false;
+}
+
+bool MirrorScheduler::is_pending(MirrorRequestId id) const {
+  return std::any_of(pending_.begin(), pending_.end(),
+                     [id](const Pending& p) { return p.id == id; });
+}
+
+util::Nanos MirrorScheduler::remaining(MirrorRequestId id) const {
+  for (const Pending& p : pending_) {
+    if (p.id == id) return p.remaining;
+  }
+  const auto it = active_remaining_.find(id);
+  return it == active_remaining_.end() ? 0 : it->second;
+}
+
+std::optional<MirrorLease> MirrorScheduler::lease_on(
+    testbed::PortId destination) const {
+  for (const MirrorLease& l : active_) {
+    if (l.destination == destination) return l;
+  }
+  return std::nullopt;
+}
+
+bool MirrorScheduler::source_busy(testbed::PortId source) const {
+  // Either the hardware is already mirroring it (possibly for a lease we
+  // granted) or any mirror member conflict exists.
+  return tor_.port_is_mirror_member(source);
+}
+
+void MirrorScheduler::expire_leases(util::Nanos now) {
+  std::vector<MirrorLease> keep;
+  for (MirrorLease& lease : active_) {
+    if (lease.expires > now) {
+      keep.push_back(lease);
+      continue;
+    }
+    // The quantum consumed ends at lease.expires even if tick() runs late.
+    const util::Nanos used = lease.expires - lease.started;
+    served_[lease.user] += used;
+    tor_.remove_mirror(lease.source);
+    util::Nanos& rem = active_remaining_[lease.request];
+    rem = rem > used ? rem - used : 0;
+    if (rem > 0) {
+      // Unfinished: back to the queue with the remaining time. Keeps its
+      // original id so callers can track it.
+      pending_.push_back(Pending{lease.request,
+                                 MirrorRequest{lease.user, lease.source,
+                                               lease.directions, rem},
+                                 rem, next_sequence_++});
+    }
+    active_remaining_.erase(lease.request);
+  }
+  active_ = std::move(keep);
+}
+
+void MirrorScheduler::fill_slots(util::Nanos now) {
+  for (testbed::PortId dest : destinations_) {
+    if (lease_on(dest).has_value()) continue;
+    // Pick the admissible pending request whose user has the least
+    // accumulated service time; FIFO within a user.
+    auto best = pending_.end();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (source_busy(it->request.source)) continue;
+      if (it->request.source == dest) continue;
+      if (best == pending_.end()) {
+        best = it;
+        continue;
+      }
+      const util::Nanos best_served = served_[best->request.user];
+      const util::Nanos it_served = served_[it->request.user];
+      if (it_served < best_served ||
+          (it_served == best_served && it->sequence < best->sequence)) {
+        best = it;
+      }
+    }
+    if (best == pending_.end()) continue;
+    testbed::MirrorSession session{best->request.source,
+                                   best->request.directions, dest};
+    if (!tor_.add_mirror(session)) {
+      // Hardware refused (e.g. destination became a mirror member out of
+      // band); leave the request queued.
+      continue;
+    }
+    MirrorLease lease;
+    lease.request = best->id;
+    lease.user = best->request.user;
+    lease.source = best->request.source;
+    lease.destination = dest;
+    lease.directions = best->request.directions;
+    lease.started = now;
+    lease.expires = now + std::min(policy_.quantum, best->remaining);
+    active_remaining_[best->id] = best->remaining;
+    active_.push_back(lease);
+    ++leases_granted_;
+    pending_.erase(best);
+  }
+}
+
+void MirrorScheduler::tick(util::Nanos now) {
+  expire_leases(now);
+  fill_slots(now);
+}
+
+}  // namespace patchwork::core

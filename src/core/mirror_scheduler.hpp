@@ -1,0 +1,111 @@
+// Shared mirror-port scheduling.
+//
+// Design limitation (1) in Section 6.3: "Resources cannot be shared across
+// Patchwork instances ... only a single FABRIC user at a time can mirror a
+// specific switch port. Sharing could be achieved by having an
+// intermediate layer that schedules the use of mirrored ports on behalf of
+// more than one FABRIC user." This is that intermediate layer: users
+// submit mirror requests; the scheduler multiplexes them over a fixed set
+// of mirror-destination ports, time-slicing long captures (quantum-bounded
+// leases) and arbitrating fairly between users (least-recently-served
+// first).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testbed/switch.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::core {
+
+using MirrorRequestId = std::uint64_t;
+
+struct MirrorRequest {
+  std::string user;
+  testbed::PortId source;  ///< The port the user wants mirrored.
+  testbed::MirrorDirections directions = testbed::MirrorDirections::kBoth;
+  util::Nanos duration = 0;  ///< Total mirroring time wanted.
+};
+
+struct MirrorLease {
+  MirrorRequestId request = 0;
+  std::string user;
+  testbed::PortId source;
+  testbed::PortId destination;
+  testbed::MirrorDirections directions = testbed::MirrorDirections::kBoth;
+  util::Nanos started = 0;
+  util::Nanos expires = 0;  ///< End of this quantum.
+};
+
+class MirrorScheduler {
+ public:
+  struct Policy {
+    /// Longest uninterrupted lease; longer requests are sliced into
+    /// quanta so waiting users get turns.
+    util::Nanos quantum = 10 * util::kMinute;
+  };
+
+  MirrorScheduler(testbed::ToRSwitch& tor,
+                  std::vector<testbed::PortId> destinations, Policy policy);
+  MirrorScheduler(testbed::ToRSwitch& tor,
+                  std::vector<testbed::PortId> destinations)
+      : MirrorScheduler(tor, std::move(destinations), Policy()) {}
+
+  /// Queue a request. Returns its id; the request is served when a
+  /// destination slot and its source port are free.
+  MirrorRequestId submit(MirrorRequest request);
+
+  /// Cancel a pending request or revoke an active lease.
+  bool cancel(MirrorRequestId id);
+
+  /// Advance to `now`: expire leases whose quantum ended (requeueing
+  /// unfinished requests with their remaining time) and install new
+  /// leases on free slots. Call before reading active leases.
+  void tick(util::Nanos now);
+
+  const std::vector<MirrorLease>& active() const { return active_; }
+  std::optional<MirrorLease> lease_on(testbed::PortId destination) const;
+  std::size_t pending_count() const { return pending_.size(); }
+  bool is_pending(MirrorRequestId id) const;
+
+  /// Remaining requested time for a pending/active request (0 if done or
+  /// unknown).
+  util::Nanos remaining(MirrorRequestId id) const;
+
+  /// Total mirroring time each user has received so far.
+  const std::map<std::string, util::Nanos>& service_time() const {
+    return served_;
+  }
+
+  std::uint64_t leases_granted() const { return leases_granted_; }
+
+ private:
+  struct Pending {
+    MirrorRequestId id;
+    MirrorRequest request;
+    util::Nanos remaining;
+    std::uint64_t sequence;  ///< FIFO tie-break.
+  };
+
+  void expire_leases(util::Nanos now);
+  void fill_slots(util::Nanos now);
+  bool source_busy(testbed::PortId source) const;
+
+  testbed::ToRSwitch& tor_;
+  std::vector<testbed::PortId> destinations_;
+  Policy policy_;
+  std::deque<Pending> pending_;
+  std::vector<MirrorLease> active_;
+  std::map<MirrorRequestId, util::Nanos> active_remaining_;
+  std::map<std::string, util::Nanos> served_;
+  MirrorRequestId next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t leases_granted_ = 0;
+};
+
+}  // namespace patchwork::core

@@ -1,0 +1,105 @@
+#include "core/port_selector.hpp"
+
+#include <algorithm>
+
+namespace patchwork::core {
+
+std::string_view to_string(PortPolicy p) {
+  switch (p) {
+    case PortPolicy::kBusiestBias: return "busiest-bias";
+    case PortPolicy::kFixed: return "fixed";
+    case PortPolicy::kUplinksOnly: return "uplinks-only";
+    case PortPolicy::kRoundRobinAll: return "round-robin-all";
+    case PortPolicy::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string_view to_string(ProfileMode m) {
+  return m == ProfileMode::kAllExperiment ? "all-experiment"
+                                          : "single-experiment";
+}
+
+bool PortSelector::sampled_recently(testbed::PortId port,
+                                    std::uint32_t lookback) const {
+  const std::uint32_t floor =
+      cycle_ >= lookback ? cycle_ - lookback : 0;
+  for (const auto& [p, c] : history_) {
+    if (p == port && c >= floor) return true;
+  }
+  return false;
+}
+
+void PortSelector::record(testbed::PortId port) {
+  history_.emplace_back(port, cycle_);
+}
+
+std::optional<testbed::PortId> PortSelector::busiest_bias(
+    const std::vector<telemetry::PortRate>& rates) {
+  // Non-idle candidates, already sorted busiest-first by MfLib.
+  std::vector<const telemetry::PortRate*> non_idle;
+  for (const telemetry::PortRate& r : rates) {
+    if (r.total() >= plan_->idle_threshold_bps) non_idle.push_back(&r);
+  }
+  if (non_idle.empty()) {
+    // Nothing active: fall back to a uniformly random candidate so the
+    // profiler still gathers (empty) evidence rather than stalling.
+    if (rates.empty()) return std::nullopt;
+    return rates[rng_->uniform_u64(0, rates.size() - 1)].port.port;
+  }
+  const std::uint32_t n = std::max<std::uint32_t>(2, plan_->busiest_bias_n);
+  if (cycle_ % n == 0) {
+    // Busiest-port cycle: the busiest port not sampled in the last n
+    // cycles.
+    for (const telemetry::PortRate* r : non_idle) {
+      if (!sampled_recently(r->port.port, n)) return r->port.port;
+    }
+    // All busy ports were recently sampled; take the busiest anyway.
+    return non_idle.front()->port.port;
+  }
+  // Random non-idle cycle.
+  return non_idle[rng_->uniform_u64(0, non_idle.size() - 1)]->port.port;
+}
+
+std::optional<testbed::PortId> PortSelector::next(
+    const std::vector<telemetry::PortRate>& rates) {
+  std::optional<testbed::PortId> chosen;
+  switch (plan_->policy) {
+    case PortPolicy::kBusiestBias:
+      chosen = busiest_bias(rates);
+      break;
+    case PortPolicy::kFixed: {
+      if (!fixed_ports_.empty()) {
+        chosen = fixed_ports_[cycle_ % fixed_ports_.size()];
+      }
+      break;
+    }
+    case PortPolicy::kUplinksOnly: {
+      // Candidates are pre-filtered by the caller to the site's ports; we
+      // restrict to those flagged as uplinks via the fixed list.
+      std::vector<testbed::PortId> uplinks = fixed_ports_;
+      if (!uplinks.empty()) {
+        chosen = uplinks[cycle_ % uplinks.size()];
+      }
+      break;
+    }
+    case PortPolicy::kRoundRobinAll: {
+      if (!rates.empty()) {
+        // Deterministic sweep over every port, idle ones included.
+        std::vector<testbed::PortId> all;
+        for (const auto& r : rates) all.push_back(r.port.port);
+        std::sort(all.begin(), all.end());
+        chosen = all[cycle_ % all.size()];
+      }
+      break;
+    }
+    case PortPolicy::kCustom:
+      if (custom_) chosen = custom_(rates, cycle_);
+      break;
+  }
+  if (chosen) record(*chosen);
+  ++cycle_;
+  return chosen;
+}
+
+}  // namespace patchwork::core

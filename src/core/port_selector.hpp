@@ -1,0 +1,67 @@
+// Port cycling heuristics (Section 6.2.2).
+//
+// "To sample all ports of interest, Patchwork cycles between ports...
+// By default, Patchwork uses a 'busiest ports bias, 1/n other non-idle
+// port' heuristic — that is, during every n-1 cycles it picks a random
+// non-idle port, and during the other cycles it picks the busiest port
+// that has not been sampled during the last n cycles. ... Users can also
+// add their own heuristics."
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "telemetry/mflib.hpp"
+#include "testbed/ids.hpp"
+#include "util/rng.hpp"
+
+namespace patchwork::core {
+
+/// User-supplied heuristic: given this cycle's candidate ports with their
+/// recent rates, return the chosen port (or nullopt to skip this slot).
+using CustomHeuristic = std::function<std::optional<testbed::PortId>(
+    const std::vector<telemetry::PortRate>&, std::uint32_t cycle)>;
+
+class PortSelector {
+ public:
+  PortSelector(const SamplingPlan& plan, util::Rng& rng,
+               std::vector<testbed::PortId> fixed_ports = {},
+               CustomHeuristic custom = nullptr)
+      : plan_(&plan),
+        rng_(&rng),
+        fixed_ports_(std::move(fixed_ports)),
+        custom_(std::move(custom)) {}
+
+  /// Pick the port to mirror for the next cycle. `rates` must carry every
+  /// candidate port of the site (uplinks and downlinks), with ports
+  /// already being mirrored by other instances removed by the caller.
+  std::optional<testbed::PortId> next(
+      const std::vector<telemetry::PortRate>& rates);
+
+  std::uint32_t cycles_run() const { return cycle_; }
+
+  /// Cycles since each port was last sampled (for fairness analyses).
+  const std::vector<std::pair<testbed::PortId, std::uint32_t>>&
+  sample_history() const {
+    return history_;
+  }
+
+ private:
+  std::optional<testbed::PortId> busiest_bias(
+      const std::vector<telemetry::PortRate>& rates);
+  bool sampled_recently(testbed::PortId port, std::uint32_t lookback) const;
+  void record(testbed::PortId port);
+
+  // Pointers (not references) so selectors are assignable and can live in
+  // resizable slot containers. Never null.
+  const SamplingPlan* plan_;
+  util::Rng* rng_;
+  std::vector<testbed::PortId> fixed_ports_;
+  CustomHeuristic custom_;
+  std::uint32_t cycle_ = 0;
+  std::vector<std::pair<testbed::PortId, std::uint32_t>> history_;
+};
+
+}  // namespace patchwork::core

@@ -1,0 +1,414 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace patchwork::core {
+
+std::string_view to_string(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kSuccess: return "success";
+    case RunOutcome::kDegraded: return "degraded";
+    case RunOutcome::kFailed: return "failed";
+    case RunOutcome::kIncomplete: return "incomplete";
+  }
+  return "?";
+}
+
+SiteProfiler::SiteProfiler(Environment& env, testbed::SiteId site,
+                           ProfilerConfig config, host::HostSpec host)
+    : env_(env),
+      site_(site),
+      config_(std::move(config)),
+      host_(host),
+      allocator_(env.federation().site(site), env.rng(), config_.allocator),
+      component_("profiler/" + env.federation().site(site).name()) {}
+
+std::uint32_t SiteProfiler::monitored_port_slots() const {
+  return static_cast<std::uint32_t>(slots_.size());
+}
+
+std::uint64_t SiteProfiler::storage_budget() const {
+  if (!grant_) return 0;
+  std::uint64_t total = 0;
+  for (const testbed::GrantedVm& vm : grant_->vms) {
+    total += vm.footprint.storage;
+  }
+  return total;
+}
+
+SetupResult SiteProfiler::setup() {
+  SetupResult result;
+  testbed::Site& site = env_.federation().site(site_);
+
+  // Resource discovery via the testbed's API (Section 6.2.1).
+  const std::size_t nics_available =
+      site.count_available_nics(testbed::NicKind::kDedicatedConnectX);
+  std::uint32_t want = config_.desired_instances > 0
+                           ? config_.desired_instances
+                           : static_cast<std::uint32_t>(nics_available);
+  if (want == 0) {
+    result.error = testbed::AllocError::kNoDedicatedNic;
+    log_.error(env_.clock().now(), component_,
+               "setup: no dedicated NICs available at site");
+    setup_result_ = result;
+    return result;
+  }
+
+  // Iterative back-off: shrink the request by one listening node (VM +
+  // dedicated NIC) whenever the allocation simulation says it cannot fit.
+  std::uint32_t backoffs = 0;
+  while (true) {
+    testbed::SliceRequest request;
+    request.site = site_;
+    request.vms.assign(want, testbed::VmRequest{});  // Patchwork defaults.
+
+    if (auto err = allocator_.can_satisfy(request)) {
+      if (want > 1 && backoffs < config_.max_backoffs) {
+        ++backoffs;
+        --want;
+        log_.warn(env_.clock().now(), component_,
+                  "setup: back-off to " + std::to_string(want) +
+                      " instance(s): " + std::string(to_string(*err)));
+        continue;
+      }
+      result.error = err;
+      result.backoffs_used = backoffs;
+      log_.error(env_.clock().now(), component_,
+                 "setup: allocation simulation failed: " +
+                     std::string(to_string(*err)));
+      setup_result_ = result;
+      return result;
+    }
+
+    testbed::AllocResult alloc = allocator_.allocate(request);
+    env_.advance(alloc.latency);  // Allocation takes real time.
+    if (!alloc.ok()) {
+      // Transient backend errors are not recoverable by shrinking.
+      result.error = alloc.error;
+      result.backoffs_used = backoffs;
+      log_.error(env_.clock().now(), component_,
+                 "setup: allocation failed: " +
+                     std::string(to_string(*alloc.error)));
+      setup_result_ = result;
+      return result;
+    }
+    grant_ = std::move(alloc.grant);
+    result.ok = true;
+    result.instances_granted = want;
+    result.backoffs_used = backoffs;
+    result.allocation_latency = alloc.latency;
+    break;
+  }
+
+  // Each dedicated NIC exposes two switch ports: two mirror destinations.
+  add_slots_for_grant(*grant_, /*grant_tag=*/-1);
+  log_.info(env_.clock().now(), component_,
+            "setup: granted " + std::to_string(result.instances_granted) +
+                " instance(s), " + std::to_string(slots_.size()) +
+                " mirror destination port(s), backoffs=" +
+                std::to_string(backoffs));
+  setup_result_ = result;
+  return result;
+}
+
+void SiteProfiler::add_slots_for_grant(const testbed::SliceGrant& grant,
+                                       int grant_tag) {
+  testbed::Site& site = env_.federation().site(site_);
+  for (const testbed::GrantedVm& vm : grant.vms) {
+    for (testbed::PortId dest : vm.nic_ports) {
+      std::vector<testbed::PortId> fixed = config_.fixed_ports;
+      if (config_.plan.policy == PortPolicy::kUplinksOnly) {
+        fixed = site.tor().ports_of_kind(testbed::PortKind::kUplink);
+      }
+      slots_.push_back(MirrorSlot{
+          dest, std::nullopt,
+          PortSelector(config_.plan, env_.rng(), std::move(fixed)),
+          grant_tag});
+    }
+  }
+}
+
+std::uint32_t SiteProfiler::current_instances() const {
+  return setup_result_.instances_granted +
+         static_cast<std::uint32_t>(extra_grants_.size());
+}
+
+TestbedPressure SiteProfiler::observe_pressure() const {
+  TestbedPressure pressure;
+  const testbed::Site& site = env_.federation().site(site_);
+  // Dedicated-NIC contention from the inventory Patchwork can already
+  // query. The signal is the fraction of NICs *outside this profiler's
+  // own footprint* that other slices hold — when everything we left
+  // behind is taken, other researchers are starved and a polite profiler
+  // should shed.
+  std::size_t ours_count = 0, total = 0, held_by_others = 0;
+  for (const testbed::Nic& nic : site.nics()) {
+    if (nic.kind != testbed::NicKind::kDedicatedConnectX) continue;
+    ++total;
+    if (!nic.allocated_to) continue;
+    bool ours = grant_ && *nic.allocated_to == grant_->slice;
+    for (const testbed::SliceGrant& g : extra_grants_) {
+      ours = ours || *nic.allocated_to == g.slice;
+    }
+    if (ours) {
+      ++ours_count;
+    } else {
+      ++held_by_others;
+    }
+  }
+  const std::size_t contested = total > ours_count ? total - ours_count : 0;
+  pressure.nic_contention =
+      contested == 0 ? 1.0
+                     : static_cast<double>(held_by_others) /
+                           static_cast<double>(contested);
+  // Activity from telemetry, normalized to the configured nominal load.
+  const double total_bps =
+      env_.mflib().testbed_total_tx_bps(config_.plan.rate_window);
+  pressure.activity_level =
+      config_.nominal_testbed_bps > 0
+          ? total_bps / config_.nominal_testbed_bps
+          : 1.0;
+  return pressure;
+}
+
+void SiteProfiler::rescale() {
+  const DynamicScaler scaler(config_.scaling);
+  testbed::Site& site = env_.federation().site(site_);
+  const TestbedPressure pressure = observe_pressure();
+  const std::size_t nics_free =
+      site.count_available_nics(testbed::NicKind::kDedicatedConnectX);
+  const std::uint32_t current = current_instances();
+  const std::uint32_t target =
+      scaler.target_instances(current, pressure, nics_free);
+  if (target > current) {
+    // Grow by one listening node (1 VM + 1 dedicated dual-port NIC).
+    testbed::SliceRequest request;
+    request.site = site_;
+    request.vms.push_back(testbed::VmRequest{});
+    if (allocator_.can_satisfy(request)) return;  // Opportunity vanished.
+    testbed::AllocResult alloc = allocator_.allocate(request);
+    env_.advance(alloc.latency);
+    if (!alloc.ok()) return;  // Transient failure; try again next cycle.
+    extra_grants_.push_back(std::move(*alloc.grant));
+    add_slots_for_grant(extra_grants_.back(),
+                        static_cast<int>(extra_grants_.size()) - 1);
+    ++scale_ups_;
+    log_.info(env_.clock().now(), component_,
+              "scale-up: now " + std::to_string(current_instances()) +
+                  " instance(s) (pressure " +
+                  std::to_string(pressure.combined()) + ")");
+  } else if (target < current && !extra_grants_.empty()) {
+    // Shed the most recent extra instance; the baseline never shrinks.
+    const int tag = static_cast<int>(extra_grants_.size()) - 1;
+    for (MirrorSlot& slot : slots_) {
+      if (slot.grant_tag == tag && slot.source) {
+        site.tor().remove_mirror(*slot.source);
+      }
+    }
+    std::erase_if(slots_,
+                  [tag](const MirrorSlot& s) { return s.grant_tag == tag; });
+    allocator_.release(extra_grants_.back());
+    extra_grants_.pop_back();
+    ++scale_downs_;
+    log_.info(env_.clock().now(), component_,
+              "scale-down (nice): now " +
+                  std::to_string(current_instances()) +
+                  " instance(s) (pressure " +
+                  std::to_string(pressure.combined()) + ")");
+  }
+}
+
+std::vector<telemetry::PortRate> SiteProfiler::candidate_rates() const {
+  const testbed::Site& site = env_.federation().site(site_);
+  std::vector<telemetry::PortRate> rates =
+      env_.mflib().site_rates_sorted(site_, config_.plan.rate_window);
+  // Exclude mirror members and our own NIC-facing ports.
+  std::vector<testbed::PortId> excluded;
+  for (const MirrorSlot& slot : slots_) excluded.push_back(slot.destination);
+  std::erase_if(rates, [&](const telemetry::PortRate& r) {
+    if (site.tor().port_is_mirror_member(r.port.port)) return true;
+    return std::find(excluded.begin(), excluded.end(), r.port.port) !=
+           excluded.end();
+  });
+  return rates;
+}
+
+void SiteProfiler::cycle_ports() {
+  testbed::Site& site = env_.federation().site(site_);
+  for (MirrorSlot& slot : slots_) {
+    const std::vector<telemetry::PortRate> rates = candidate_rates();
+    const auto chosen = slot.selector.next(rates);
+    if (!chosen) continue;
+    if (slot.source) {
+      if (*slot.source == *chosen) continue;
+      // Port cycling keeps the NIC/VM fixed and changes only the mirror
+      // source (Fig. 7).
+      if (!site.tor().retarget_mirror(*slot.source, *chosen)) {
+        log_.warn(env_.clock().now(), component_,
+                  "cycle: retarget to p" + std::to_string(chosen->value) +
+                      " failed");
+        continue;
+      }
+      // A congestion-mitigated session returns to both channels on its
+      // new port; mitigation re-triggers there if needed.
+      site.tor().set_mirror_directions(*chosen,
+                                       testbed::MirrorDirections::kBoth);
+    } else {
+      testbed::MirrorSession session{*chosen,
+                                     testbed::MirrorDirections::kBoth,
+                                     slot.destination};
+      if (!site.tor().add_mirror(session)) {
+        log_.warn(env_.clock().now(), component_,
+                  "cycle: add_mirror on p" + std::to_string(chosen->value) +
+                      " failed");
+        continue;
+      }
+    }
+    slot.source = chosen;
+    log_.info(env_.clock().now(), component_,
+              "cycle: mirroring p" + std::to_string(chosen->value) +
+                  " -> p" + std::to_string(slot.destination.value));
+  }
+}
+
+bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
+                               std::uint32_t run, std::uint32_t sample) {
+  if (!slot.source) return false;
+  testbed::Site& site = env_.federation().site(site_);
+  auto session = site.tor().mirror_for_source(*slot.source);
+  if (!session) return false;
+
+  // Congestion inference from telemetry (not ground truth).
+  CongestionDetector detector(env_.mflib(), config_.plan.rate_window);
+  CongestionVerdict verdict = detector.assess(
+      site_, *session,
+      site.tor().port(slot.destination).line_rate_bps());
+  if (verdict.likely_dropping) {
+    log_.warn(env_.clock().now(), component_,
+              "congestion: mirror on p" +
+                  std::to_string(slot.source->value) +
+                  " likely dropping (offered " +
+                  std::to_string(verdict.offered_bps / 1e9) + " Gbps)");
+    if (config_.congestion_mitigation &&
+        session->directions == testbed::MirrorDirections::kBoth) {
+      // Mitigation: keep the Tx channel complete rather than sampling
+      // both channels with switch-side losses.
+      site.tor().set_mirror_directions(*slot.source,
+                                       testbed::MirrorDirections::kTxOnly);
+      session = site.tor().mirror_for_source(*slot.source);
+      verdict = detector.assess(
+          site_, *session,
+          site.tor().port(slot.destination).line_rate_bps());
+      log_.info(env_.clock().now(), component_,
+                "congestion: mitigated by dropping p" +
+                    std::to_string(slot.source->value) +
+                    " mirror to Tx-only");
+    }
+  }
+
+  // Render the window the mirror would deliver, then apply the switch's
+  // egress-capacity rule: oversubscribed mirrors silently lose frames.
+  traffic::WindowTraffic window = env_.traffic().window_for_port(
+      {site_, *slot.source}, env_.clock().now(),
+      config_.plan.sample_duration, config_.plan.max_frames_per_sample,
+      session->directions);
+  const double delivery = site.tor().mirror_delivery_fraction(*session);
+  if (delivery < 1.0) {
+    std::vector<net::Frame> kept;
+    kept.reserve(window.frames.size());
+    for (net::Frame& f : window.frames) {
+      if (env_.rng().chance(delivery)) kept.push_back(std::move(f));
+    }
+    window.frames = std::move(kept);
+    window.offered_pps *= delivery;
+  }
+
+  // Capture through the configured method.
+  capture::CaptureSession capturer(config_.capture, host_, env_.rng());
+  capture::CaptureResult captured =
+      capturer.run(window.frames, window.offered_pps);
+
+  analysis::RawCapture raw;
+  raw.site = site.name();
+  raw.port = slot.source->value;
+  raw.start = env_.clock().now();
+  raw.duration = config_.plan.sample_duration;
+  raw.switch_drops_suspected =
+      verdict.estimated_drops(window.offered_pps, raw.duration);
+  raw.pcap = std::move(captured.pcap);
+  stored_bytes_ += raw.pcap.size();
+
+  std::ostringstream msg;
+  msg << "sample c" << cycle << "/r" << run << "/s" << sample << " p"
+      << slot.source->value << ": offered=" << captured.stats.offered
+      << " captured=" << captured.stats.captured
+      << " capacity_loss=" << captured.stats.dropped_capacity
+      << " flows~" << window.flow_count;
+  log_.info(env_.clock().now(), component_, msg.str());
+  raw.logs.info(env_.clock().now(), component_, msg.str());
+  captures_.push_back(std::move(raw));
+  return true;
+}
+
+RunOutcome SiteProfiler::run() {
+  if (!setup_result_.ok) return RunOutcome::kFailed;
+  const SamplingPlan& plan = config_.plan;
+  for (std::uint32_t cycle = 0; cycle < plan.cycles; ++cycle) {
+    // Re-evaluate the footprint between cycles (but not before the very
+    // first one: setup just sized the baseline).
+    if (config_.dynamic_scaling && lifetime_cycles_ > 0) rescale();
+    ++lifetime_cycles_;
+    cycle_ports();
+    for (std::uint32_t run = 0; run < plan.runs_per_cycle; ++run) {
+      // Watchdog: the paper's "Incomplete" runs — e.g. an instance that
+      // ran out of storage, or the since-fixed crash bug.
+      if (env_.rng().chance(config_.crash_probability)) {
+        crashed_ = true;
+        log_.error(env_.clock().now(), component_,
+                   "watchdog: instance terminated unexpectedly");
+        return RunOutcome::kIncomplete;
+      }
+      if (storage_budget() > 0 && stored_bytes_ > storage_budget()) {
+        crashed_ = true;
+        log_.error(env_.clock().now(), component_,
+                   "watchdog: storage budget exhausted (" +
+                       std::to_string(stored_bytes_) + " bytes)");
+        return RunOutcome::kIncomplete;
+      }
+      for (std::uint32_t s = 0; s < plan.samples_per_run; ++s) {
+        for (MirrorSlot& slot : slots_) take_sample(slot, cycle, run, s);
+        env_.advance(plan.sample_interval);
+      }
+    }
+  }
+  return setup_result_.backoffs_used > 0 ? RunOutcome::kDegraded
+                                         : RunOutcome::kSuccess;
+}
+
+std::vector<analysis::RawCapture> SiteProfiler::gather() {
+  // Instance logs travel with the captures (Section 6.2.2); attach the
+  // profiler's own log to the first capture of the bundle.
+  if (!captures_.empty()) captures_.front().logs.merge(log_);
+  return std::move(captures_);
+}
+
+void SiteProfiler::teardown() {
+  testbed::Site& site = env_.federation().site(site_);
+  for (MirrorSlot& slot : slots_) {
+    if (slot.source) site.tor().remove_mirror(*slot.source);
+    slot.source.reset();
+  }
+  for (const testbed::SliceGrant& g : extra_grants_) {
+    allocator_.release(g);
+  }
+  extra_grants_.clear();
+  if (grant_) {
+    allocator_.release(*grant_);
+    grant_.reset();
+  }
+  slots_.clear();
+  log_.info(env_.clock().now(), component_, "teardown: resources yielded");
+}
+
+}  // namespace patchwork::core

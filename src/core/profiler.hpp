@@ -1,0 +1,122 @@
+// Per-site Patchwork profiling instance group.
+//
+// One SiteProfiler owns everything Patchwork does inside a single FABRIC
+// site (Section 6.2): the setup phase with iterative back-off, the
+// sampling phase with port cycling and congestion detection, the watchdog,
+// and the gathering of pcaps + logs for the coordinator. Instances at
+// different sites are fully independent (requirement R3) — the coordinator
+// simply runs one SiteProfiler per site.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/digest.hpp"
+#include "capture/session.hpp"
+#include "core/config.hpp"
+#include "core/congestion.hpp"
+#include "core/environment.hpp"
+#include "core/port_selector.hpp"
+#include "host/host_system.hpp"
+#include "testbed/allocator.hpp"
+#include "util/logging.hpp"
+
+namespace patchwork::core {
+
+/// Outcome classification used by Fig. 10.
+enum class RunOutcome : std::uint8_t {
+  kSuccess,     ///< Full allocation, sampling completed.
+  kDegraded,    ///< Completed after scaling down via back-off.
+  kFailed,      ///< Could not allocate resources / backend error.
+  kIncomplete,  ///< Instance crashed mid-run (watchdog caught it).
+};
+
+std::string_view to_string(RunOutcome o);
+
+struct SetupResult {
+  bool ok = false;
+  std::uint32_t instances_granted = 0;
+  std::uint32_t backoffs_used = 0;
+  std::optional<testbed::AllocError> error;
+  util::Nanos allocation_latency = 0;
+};
+
+class SiteProfiler {
+ public:
+  SiteProfiler(Environment& env, testbed::SiteId site, ProfilerConfig config,
+               host::HostSpec host = {});
+
+  /// Setup phase (Section 6.2.1): discover resources, run an allocation
+  /// simulation, request the slice, backing off on scarcity.
+  SetupResult setup();
+
+  /// Sampling phase (Section 6.2.2): cycles x runs x samples, with port
+  /// cycling, congestion detection, watchdog, and instance logging.
+  RunOutcome run();
+
+  /// Gathering phase (Section 6.2.3): hand the pcaps + logs over. The
+  /// profiler keeps nothing.
+  std::vector<analysis::RawCapture> gather();
+
+  /// Yield resources back to the testbed (Fig. 7, step 5).
+  void teardown();
+
+  const util::Logger& log() const { return log_; }
+  const SetupResult& setup_result() const { return setup_result_; }
+  std::uint32_t monitored_port_slots() const;
+
+  // --- Dynamic scaling (Section 6.3 limitation 2) -------------------------
+  /// Instances currently held: the start-up baseline plus runtime extras.
+  std::uint32_t current_instances() const;
+  /// The contention signal the scaler reacts to, derived from the site's
+  /// NIC inventory and testbed-wide telemetry.
+  TestbedPressure observe_pressure() const;
+  std::uint32_t scale_ups() const { return scale_ups_; }
+  std::uint32_t scale_downs() const { return scale_downs_; }
+
+  /// Storage granted to this profiler's slice (watchdog budget).
+  std::uint64_t storage_budget() const;
+
+ private:
+  struct MirrorSlot {
+    testbed::PortId destination;        ///< Our NIC-facing port.
+    std::optional<testbed::PortId> source;  ///< Currently mirrored port.
+    PortSelector selector;
+    /// -1 for baseline slots; otherwise the index into extra_grants_ that
+    /// owns this slot (so shedding releases the right resources).
+    int grant_tag = -1;
+  };
+
+  /// Apply one scaling decision between cycles (dynamic_scaling only).
+  void rescale();
+  void add_slots_for_grant(const testbed::SliceGrant& grant, int grant_tag);
+
+  /// Candidate rates for cycling: every site port not already in a mirror
+  /// and not one of our NIC ports.
+  std::vector<telemetry::PortRate> candidate_rates() const;
+  void cycle_ports();
+  bool take_sample(MirrorSlot& slot, std::uint32_t cycle, std::uint32_t run,
+                   std::uint32_t sample);
+
+  Environment& env_;
+  testbed::SiteId site_;
+  ProfilerConfig config_;
+  host::HostSpec host_;
+  testbed::Allocator allocator_;
+  util::Logger log_;
+  std::string component_;
+
+  SetupResult setup_result_;
+  std::optional<testbed::SliceGrant> grant_;
+  std::vector<testbed::SliceGrant> extra_grants_;  ///< Runtime scale-ups.
+  std::vector<MirrorSlot> slots_;
+  std::vector<analysis::RawCapture> captures_;
+  std::uint64_t stored_bytes_ = 0;
+  std::uint32_t scale_ups_ = 0;
+  std::uint32_t scale_downs_ = 0;
+  std::uint64_t lifetime_cycles_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace patchwork::core

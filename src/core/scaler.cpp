@@ -1,0 +1,21 @@
+#include "core/scaler.hpp"
+
+namespace patchwork::core {
+
+std::uint32_t DynamicScaler::target_instances(
+    std::uint32_t current, const TestbedPressure& pressure,
+    std::size_t nics_free) const {
+  const double p = pressure.combined();
+  std::uint32_t target = current;
+  if (p >= shed_threshold()) {
+    // Contended: shed one instance per decision — gradual, so a transient
+    // spike does not collapse the profiler.
+    if (target > policy_.min_instances) --target;
+  } else if (p <= grow_threshold() && nics_free > 0) {
+    // Idle testbed and an opportunity is available: grow by one.
+    if (target < policy_.max_instances) ++target;
+  }
+  return std::clamp(target, policy_.min_instances, policy_.max_instances);
+}
+
+}  // namespace patchwork::core

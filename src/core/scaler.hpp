@@ -1,0 +1,78 @@
+// Runtime resource scaling with a "nice" factor.
+//
+// Design limitation (2) in Section 6.3 and the Section 9 future work:
+// Patchwork's resources are fixed at start-up; "adding dynamic scaling
+// could improve Patchwork's performance (e.g., by taking advantage of
+// offloading opportunities that become available at runtime) and
+// flexibility (e.g., by having a 'nice' factor for the profiler to scale
+// down its use of resources if the testbed is being highly utilized by
+// other researchers)."
+//
+// DynamicScaler is the decision policy: given the testbed pressure it
+// observes (how contended dedicated NICs are, how busy the testbed is) it
+// returns the instance count a profiler *should* be running. SiteProfiler
+// applies the decision between cycles by acquiring or yielding extra
+// listening nodes on top of its start-up baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace patchwork::core {
+
+/// What the profiler can observe about contention at runtime.
+struct TestbedPressure {
+  /// Fraction of the site's dedicated NICs held by other slices.
+  double nic_contention = 0.0;
+  /// Testbed-wide activity relative to its long-run norm (1 = normal);
+  /// derived from telemetry or the slice count.
+  double activity_level = 1.0;
+
+  /// Scalar pressure in [0, 1]: the scheduler reacts to whichever signal
+  /// is more constrained.
+  double combined() const {
+    const double activity = std::clamp((activity_level - 0.5) / 2.0, 0.0, 1.0);
+    return std::clamp(std::max(nic_contention, activity), 0.0, 1.0);
+  }
+};
+
+class DynamicScaler {
+ public:
+  struct Policy {
+    /// Politeness in [0, 1]: 0 grabs whatever is free, 1 never grows and
+    /// sheds extras at the slightest contention.
+    double nice = 0.5;
+    std::uint32_t min_instances = 1;
+    std::uint32_t max_instances = 6;
+    /// Base pressure thresholds at nice = 0 (shifted down as nice rises).
+    /// shed_above > 1 at nice = 0 means a fully greedy profiler never
+    /// sheds voluntarily.
+    double grow_below = 0.6;
+    double shed_above = 1.05;
+  };
+
+  explicit DynamicScaler(Policy policy) : policy_(policy) {}
+  DynamicScaler() : DynamicScaler(Policy()) {}
+
+  /// Effective thresholds after the nice factor: a polite profiler grows
+  /// only into a very idle testbed and sheds early.
+  double grow_threshold() const {
+    return policy_.grow_below * (1.0 - policy_.nice);
+  }
+  double shed_threshold() const {
+    return policy_.shed_above * (1.0 - 0.7 * policy_.nice);
+  }
+
+  /// Desired instance count given the current one, observed pressure, and
+  /// how many dedicated NICs are actually free to take.
+  std::uint32_t target_instances(std::uint32_t current,
+                                 const TestbedPressure& pressure,
+                                 std::size_t nics_free) const;
+
+  const Policy& policy() const { return policy_; }
+
+ private:
+  Policy policy_;
+};
+
+}  // namespace patchwork::core

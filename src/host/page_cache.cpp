@@ -1,0 +1,99 @@
+#include "host/page_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patchwork::host {
+
+std::uint64_t PageCache::background_threshold_bytes() const {
+  return static_cast<std::uint64_t>(config_.dirty_background_ratio *
+                                    static_cast<double>(config_.free_cache_bytes));
+}
+
+std::uint64_t PageCache::midpoint_threshold_bytes() const {
+  const double mid =
+      (config_.dirty_background_ratio + config_.dirty_ratio) / 2.0;
+  return static_cast<std::uint64_t>(
+      mid * static_cast<double>(config_.free_cache_bytes));
+}
+
+std::uint64_t PageCache::dirty_threshold_bytes() const {
+  return static_cast<std::uint64_t>(
+      config_.dirty_ratio * static_cast<double>(config_.free_cache_bytes));
+}
+
+double PageCache::dirty_fraction() const {
+  return static_cast<double>(dirty_bytes_) /
+         static_cast<double>(config_.free_cache_bytes);
+}
+
+WritebackRegime PageCache::regime() const {
+  if (dirty_bytes_ >= dirty_threshold_bytes()) return WritebackRegime::kBlocked;
+  if (dirty_bytes_ >= midpoint_threshold_bytes()) {
+    return WritebackRegime::kThrottled;
+  }
+  if (dirty_bytes_ >= background_threshold_bytes()) {
+    return WritebackRegime::kBackground;
+  }
+  return WritebackRegime::kFast;
+}
+
+void PageCache::flush(double seconds) {
+  if (seconds <= 0.0) return;
+  // Writeback only runs once the background threshold has been crossed; it
+  // then drains down to the background threshold and stops.
+  if (dirty_bytes_ <= background_threshold_bytes()) return;
+  const std::uint64_t flushable = static_cast<std::uint64_t>(
+      config_.storage_write_bytes_per_sec * seconds);
+  const std::uint64_t floor = background_threshold_bytes();
+  dirty_bytes_ -= std::min(dirty_bytes_ - floor, flushable);
+}
+
+void PageCache::advance(util::Nanos dt) { flush(util::to_seconds(dt)); }
+
+util::Nanos PageCache::write(std::uint64_t bytes) {
+  // Base cost: syscall entry/exit plus copying into the page cache.
+  double latency_ns =
+      static_cast<double>(config_.syscall_overhead) +
+      static_cast<double>(bytes) / config_.memcpy_bytes_per_ns;
+
+  const WritebackRegime r = regime();
+  if (r == WritebackRegime::kThrottled) {
+    // balance_dirty_pages(): the writer is paced so its ingest matches the
+    // flush rate, with pressure growing as dirty approaches dirty_ratio.
+    const double span = static_cast<double>(dirty_threshold_bytes() -
+                                            midpoint_threshold_bytes());
+    const double depth =
+        span <= 0.0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(dirty_bytes_ -
+                                                midpoint_threshold_bytes()) /
+                                span);
+    const double pacing_ns = static_cast<double>(bytes) /
+                             config_.storage_write_bytes_per_sec * 1e9;
+    latency_ns += std::min(pacing_ns * (0.5 + 1.5 * depth),
+                           static_cast<double>(config_.max_throttle_pause));
+  } else if (r == WritebackRegime::kBlocked) {
+    // Hard block: the writer waits for enough flushing to fall back under
+    // dirty_ratio before its pages are admitted.
+    const std::uint64_t excess = dirty_bytes_ - dirty_threshold_bytes() + bytes;
+    latency_ns += static_cast<double>(excess) /
+                  config_.storage_write_bytes_per_sec * 1e9;
+  }
+
+  // Jitter and rare outliers exist in every regime.
+  latency_ns *= rng_.lognormal(0.0, config_.jitter_sigma);
+  if (rng_.chance(config_.outlier_probability)) {
+    latency_ns *= config_.outlier_multiplier;
+  }
+
+  const util::Nanos latency = static_cast<util::Nanos>(latency_ns);
+  // Flushing continues while the call is in flight.
+  flush(latency_ns / 1e9);
+  dirty_bytes_ += bytes;
+  total_written_ += bytes;
+  latency_.add(latency);
+  return latency;
+}
+
+}  // namespace patchwork::host

@@ -1,0 +1,97 @@
+// Linux page-cache writeback model.
+//
+// This implements the behaviour the paper measured in Section 8.1.3 and
+// Appendix B. Writes land in the page cache as dirty pages; the kernel's
+// writeback state machine then governs the latency each sys_writev() call
+// experiences:
+//
+//   dirty/free-cache fraction        writer behaviour
+//   ------------------------------   ---------------------------------
+//   < dirty_background_ratio         fast (memcpy + syscall overhead)
+//   [background, midpoint)           async flushing; writer unaffected
+//   [midpoint, dirty_ratio)          *writer throttled* — the paper's
+//                                    finding: the kernel throttles the
+//                                    writing process at the midpoint of
+//                                    the two thresholds, before
+//                                    dirty_ratio is reached
+//   >= dirty_ratio                   writer blocked while pages flush
+//
+// Flushing drains dirty pages at the storage device's write bandwidth and
+// continues between writes (advance()).
+#pragma once
+
+#include <cstdint>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::host {
+
+struct PageCacheConfig {
+  std::uint64_t free_cache_bytes = 100ull << 30;  ///< ~100 GB of a 128 GB host.
+  double dirty_background_ratio = 0.10;  ///< vm.dirty_background_ratio.
+  double dirty_ratio = 0.20;             ///< vm.dirty_ratio.
+  double storage_write_bytes_per_sec = 1.0e9;  ///< Flush bandwidth.
+  double memcpy_bytes_per_ns = 10.0;           ///< Page-cache copy speed.
+  util::Nanos syscall_overhead = 2 * util::kMicrosecond;
+  /// Lognormal latency jitter (sigma of the underlying normal); models the
+  /// occasional slow call present even in the fast regime.
+  double jitter_sigma = 0.35;
+  /// Probability of an outlier call (stable-write interference etc.) and
+  /// its magnitude multiplier.
+  double outlier_probability = 5e-5;
+  double outlier_multiplier = 40.0;
+  /// Upper bound on a single throttle pause, mirroring the kernel's
+  /// bounded sleeps in balance_dirty_pages() — a slow device therefore
+  /// lets dirty pages keep growing past the midpoint until dirty_ratio
+  /// blocks the writer outright.
+  util::Nanos max_throttle_pause = 200 * util::kMillisecond;
+};
+
+enum class WritebackRegime : std::uint8_t {
+  kFast,        ///< Below dirty_background_ratio.
+  kBackground,  ///< Async flushing, writer unaffected.
+  kThrottled,   ///< Past the midpoint: writer paced to flush rate.
+  kBlocked,     ///< Past dirty_ratio: writer blocked on flush.
+};
+
+class PageCache {
+ public:
+  PageCache(PageCacheConfig config, util::Rng& rng)
+      : config_(config), rng_(rng) {}
+
+  /// Let `dt` of background time pass: flushes dirty pages if writeback is
+  /// active.
+  void advance(util::Nanos dt);
+
+  /// One sys_writev() of `bytes`; returns the call's latency and updates
+  /// the dirty state (including flushing that happens during the call).
+  util::Nanos write(std::uint64_t bytes);
+
+  double dirty_fraction() const;
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  WritebackRegime regime() const;
+
+  std::uint64_t background_threshold_bytes() const;
+  std::uint64_t midpoint_threshold_bytes() const;
+  std::uint64_t dirty_threshold_bytes() const;
+
+  /// Log2 histogram of every write() latency, bpftrace-style.
+  const util::Log2Histogram& latency_histogram() const { return latency_; }
+
+  std::uint64_t total_bytes_written() const { return total_written_; }
+
+  const PageCacheConfig& config() const { return config_; }
+
+ private:
+  void flush(double seconds);
+
+  PageCacheConfig config_;
+  util::Rng& rng_;
+  std::uint64_t dirty_bytes_ = 0;
+  std::uint64_t total_written_ = 0;
+  util::Log2Histogram latency_;
+};
+
+}  // namespace patchwork::host

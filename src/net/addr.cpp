@@ -1,0 +1,104 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace patchwork::net {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  MacAddress mac;
+  if (text.size() != 17) return std::nullopt;
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(i) * 3;
+    if (i < 5 && text[pos + 2] != ':') return std::nullopt;
+    unsigned value = 0;
+    const char* first = text.data() + pos;
+    auto [ptr, ec] = std::from_chars(first, first + 2, value, 16);
+    if (ec != std::errc() || ptr != first + 2 || value > 0xff) {
+      return std::nullopt;
+    }
+    mac.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value);
+  }
+  return mac;
+}
+
+MacAddress MacAddress::from_id(std::uint64_t id) {
+  MacAddress mac;
+  mac.bytes[0] = 0x02;  // Locally administered, unicast.
+  mac.bytes[1] = static_cast<std::uint8_t>(id >> 32);
+  mac.bytes[2] = static_cast<std::uint8_t>(id >> 24);
+  mac.bytes[3] = static_cast<std::uint8_t>(id >> 16);
+  mac.bytes[4] = static_cast<std::uint8_t>(id >> 8);
+  mac.bytes[5] = static_cast<std::uint8_t>(id);
+  return mac;
+}
+
+bool MacAddress::is_broadcast() const {
+  for (auto b : bytes) {
+    if (b != 0xff) return false;
+  }
+  return true;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [ptr, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc() || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    p = ptr;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+Ipv4Address Ipv4Address::from_octets(std::uint8_t a, std::uint8_t b,
+                                     std::uint8_t c, std::uint8_t d) {
+  return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                     (static_cast<std::uint32_t>(b) << 16) |
+                     (static_cast<std::uint32_t>(c) << 8) | d};
+}
+
+std::string Ipv6Address::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf),
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x:"
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5],
+                bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11],
+                bytes[12], bytes[13], bytes[14], bytes[15]);
+  return buf;
+}
+
+Ipv6Address Ipv6Address::from_words(std::array<std::uint16_t, 8> words) {
+  Ipv6Address addr;
+  for (std::size_t i = 0; i < 8; ++i) {
+    addr.bytes[2 * i] = static_cast<std::uint8_t>(words[i] >> 8);
+    addr.bytes[2 * i + 1] = static_cast<std::uint8_t>(words[i]);
+  }
+  return addr;
+}
+
+}  // namespace patchwork::net

@@ -1,0 +1,57 @@
+// Address value types: Ethernet MAC, IPv4, IPv6.
+//
+// Plain aggregate-style value types with total ordering so they can key
+// flow tables, plus parse/format for test and report readability.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace patchwork::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  auto operator<=>(const MacAddress&) const = default;
+
+  std::string to_string() const;  ///< "aa:bb:cc:dd:ee:ff"
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// Locally-administered unicast MAC derived from an integer id; used by
+  /// the traffic generator to give VMs stable addresses.
+  static MacAddress from_id(std::uint64_t id);
+
+  bool is_broadcast() const;
+  bool is_multicast() const { return (bytes[0] & 0x01) != 0; }
+};
+
+struct Ipv4Address {
+  std::uint32_t value = 0;  ///< Host-order integer, e.g. 10.0.0.1 = 0x0A000001.
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+  std::string to_string() const;  ///< "10.0.0.1"
+  static std::optional<Ipv4Address> parse(std::string_view text);
+  static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                 std::uint8_t c, std::uint8_t d);
+
+  /// True if the address falls in 10.0.0.0/8 — FABRIC slices commonly reuse
+  /// this block, which is why the paper's flow classifier must include
+  /// virtualization tags.
+  bool in_ten_slash_eight() const { return (value >> 24) == 10; }
+};
+
+struct Ipv6Address {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Ipv6Address&) const = default;
+
+  std::string to_string() const;  ///< Full (non-compressed) hex groups.
+  static Ipv6Address from_words(std::array<std::uint16_t, 8> words);
+};
+
+}  // namespace patchwork::net

@@ -1,0 +1,12 @@
+// RFC 1071 internet checksum, used by the IPv4 and ICMP encoders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace patchwork::net {
+
+/// One's-complement sum over `data`; returns the checksum field value.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace patchwork::net

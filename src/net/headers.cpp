@@ -1,0 +1,358 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.hpp"
+#include "util/byte_io.hpp"
+
+namespace patchwork::net {
+
+using util::fits;
+using util::get_be16;
+using util::get_be32;
+using util::get_u8;
+using util::put_be16;
+using util::put_be32;
+using util::put_u8;
+
+void EthernetHeader::encode(Bytes& out) const {
+  out.insert(out.end(), dst.bytes.begin(), dst.bytes.end());
+  out.insert(out.end(), src.bytes.begin(), src.bytes.end());
+  put_be16(out, ethertype);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(ByteView buf,
+                                                     std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  EthernetHeader h;
+  std::copy_n(buf.begin() + off, 6, h.dst.bytes.begin());
+  std::copy_n(buf.begin() + off + 6, 6, h.src.bytes.begin());
+  h.ethertype = get_be16(buf, off + 12);
+  return h;
+}
+
+void VlanTag::encode(Bytes& out) const {
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      ((pcp & 0x7) << 13) | (dei ? 0x1000 : 0) | (vid & 0x0fff));
+  put_be16(out, tci);
+  put_be16(out, ethertype);
+}
+
+std::optional<VlanTag> VlanTag::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  VlanTag t;
+  const std::uint16_t tci = get_be16(buf, off);
+  t.pcp = static_cast<std::uint8_t>(tci >> 13);
+  t.dei = (tci & 0x1000) != 0;
+  t.vid = tci & 0x0fff;
+  t.ethertype = get_be16(buf, off + 2);
+  return t;
+}
+
+void MplsLabel::encode(Bytes& out) const {
+  const std::uint32_t word = ((label & 0xfffff) << 12) |
+                             (static_cast<std::uint32_t>(tc & 0x7) << 9) |
+                             (bottom_of_stack ? 0x100u : 0u) | ttl;
+  put_be32(out, word);
+}
+
+std::optional<MplsLabel> MplsLabel::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  MplsLabel l;
+  const std::uint32_t word = get_be32(buf, off);
+  l.label = word >> 12;
+  l.tc = static_cast<std::uint8_t>((word >> 9) & 0x7);
+  l.bottom_of_stack = (word & 0x100) != 0;
+  l.ttl = static_cast<std::uint8_t>(word & 0xff);
+  return l;
+}
+
+void PseudoWireControlWord::encode(Bytes& out) const {
+  // First nibble 0000 distinguishes the control word from an IP payload.
+  put_be16(out, 0x0000);
+  put_be16(out, sequence);
+}
+
+std::optional<PseudoWireControlWord> PseudoWireControlWord::decode(
+    ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  if ((get_u8(buf, off) & 0xf0) != 0) return std::nullopt;
+  PseudoWireControlWord cw;
+  cw.sequence = get_be16(buf, off + 2);
+  return cw;
+}
+
+void ArpHeader::encode(Bytes& out) const {
+  put_be16(out, 1);       // Hardware type: Ethernet.
+  put_be16(out, kEtherTypeIpv4);
+  put_u8(out, 6);         // Hardware address length.
+  put_u8(out, 4);         // Protocol address length.
+  put_be16(out, opcode);
+  out.insert(out.end(), sender_mac.bytes.begin(), sender_mac.bytes.end());
+  put_be32(out, sender_ip.value);
+  out.insert(out.end(), target_mac.bytes.begin(), target_mac.bytes.end());
+  put_be32(out, target_ip.value);
+}
+
+std::optional<ArpHeader> ArpHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  if (get_be16(buf, off) != 1 || get_be16(buf, off + 2) != kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+  ArpHeader h;
+  h.opcode = get_be16(buf, off + 6);
+  std::copy_n(buf.begin() + off + 8, 6, h.sender_mac.bytes.begin());
+  h.sender_ip.value = get_be32(buf, off + 14);
+  std::copy_n(buf.begin() + off + 18, 6, h.target_mac.bytes.begin());
+  h.target_ip.value = get_be32(buf, off + 24);
+  return h;
+}
+
+void Ipv4Header::encode(Bytes& out) const {
+  const std::size_t start = out.size();
+  put_u8(out, 0x45);  // Version 4, IHL 5.
+  put_u8(out, dscp << 2);
+  put_be16(out, total_length);
+  put_be16(out, identification);
+  put_be16(out, dont_fragment ? 0x4000 : 0x0000);
+  put_u8(out, ttl);
+  put_u8(out, protocol);
+  put_be16(out, 0);  // Checksum placeholder.
+  put_be32(out, src.value);
+  put_be32(out, dst.value);
+  const std::uint16_t sum =
+      internet_checksum({out.data() + start, kSize});
+  out[start + 10] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(sum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  const std::uint8_t version_ihl = get_u8(buf, off);
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  if ((version_ihl & 0x0f) < 5) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = static_cast<std::uint8_t>(get_u8(buf, off + 1) >> 2);
+  h.total_length = get_be16(buf, off + 2);
+  h.identification = get_be16(buf, off + 4);
+  h.dont_fragment = (get_be16(buf, off + 6) & 0x4000) != 0;
+  h.ttl = get_u8(buf, off + 8);
+  h.protocol = get_u8(buf, off + 9);
+  h.checksum = get_be16(buf, off + 10);
+  h.src.value = get_be32(buf, off + 12);
+  h.dst.value = get_be32(buf, off + 16);
+  return h;
+}
+
+void Ipv6Header::encode(Bytes& out) const {
+  put_be32(out, (0x6u << 28) |
+                    (static_cast<std::uint32_t>(traffic_class) << 20) |
+                    (flow_label & 0xfffff));
+  put_be16(out, payload_length);
+  put_u8(out, next_header);
+  put_u8(out, hop_limit);
+  out.insert(out.end(), src.bytes.begin(), src.bytes.end());
+  out.insert(out.end(), dst.bytes.begin(), dst.bytes.end());
+}
+
+std::optional<Ipv6Header> Ipv6Header::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  const std::uint32_t word = get_be32(buf, off);
+  if ((word >> 28) != 6) return std::nullopt;
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>((word >> 20) & 0xff);
+  h.flow_label = word & 0xfffff;
+  h.payload_length = get_be16(buf, off + 4);
+  h.next_header = get_u8(buf, off + 6);
+  h.hop_limit = get_u8(buf, off + 7);
+  std::copy_n(buf.begin() + off + 8, 16, h.src.bytes.begin());
+  std::copy_n(buf.begin() + off + 24, 16, h.dst.bytes.begin());
+  return h;
+}
+
+void TcpHeader::encode(Bytes& out) const {
+  put_be16(out, src_port);
+  put_be16(out, dst_port);
+  put_be32(out, seq);
+  put_be32(out, ack);
+  put_u8(out, 0x50);  // Data offset 5 words.
+  put_u8(out, flags);
+  put_be16(out, window);
+  put_be16(out, checksum);
+  put_be16(out, 0);  // Urgent pointer.
+}
+
+std::optional<TcpHeader> TcpHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  TcpHeader h;
+  h.src_port = get_be16(buf, off);
+  h.dst_port = get_be16(buf, off + 2);
+  h.seq = get_be32(buf, off + 4);
+  h.ack = get_be32(buf, off + 8);
+  if ((get_u8(buf, off + 12) >> 4) < 5) return std::nullopt;
+  h.flags = get_u8(buf, off + 13);
+  h.window = get_be16(buf, off + 14);
+  h.checksum = get_be16(buf, off + 16);
+  return h;
+}
+
+void UdpHeader::encode(Bytes& out) const {
+  put_be16(out, src_port);
+  put_be16(out, dst_port);
+  put_be16(out, length);
+  put_be16(out, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  UdpHeader h;
+  h.src_port = get_be16(buf, off);
+  h.dst_port = get_be16(buf, off + 2);
+  h.length = get_be16(buf, off + 4);
+  h.checksum = get_be16(buf, off + 6);
+  return h;
+}
+
+void IcmpHeader::encode(Bytes& out) const {
+  const std::size_t start = out.size();
+  put_u8(out, type);
+  put_u8(out, code);
+  put_be16(out, 0);
+  put_be16(out, identifier);
+  put_be16(out, sequence);
+  const std::uint16_t sum = internet_checksum({out.data() + start, kSize});
+  out[start + 2] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 3] = static_cast<std::uint8_t>(sum);
+}
+
+std::optional<IcmpHeader> IcmpHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  IcmpHeader h;
+  h.type = get_u8(buf, off);
+  h.code = get_u8(buf, off + 1);
+  h.checksum = get_be16(buf, off + 2);
+  h.identifier = get_be16(buf, off + 4);
+  h.sequence = get_be16(buf, off + 6);
+  return h;
+}
+
+void DnsHeader::encode(Bytes& out) const {
+  put_be16(out, id);
+  put_be16(out, is_response ? 0x8180 : 0x0100);
+  put_be16(out, question_count);
+  put_be16(out, answer_count);
+  put_be16(out, 0);  // Authority RRs.
+  put_be16(out, 0);  // Additional RRs.
+}
+
+std::optional<DnsHeader> DnsHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  DnsHeader h;
+  h.id = get_be16(buf, off);
+  h.is_response = (get_be16(buf, off + 2) & 0x8000) != 0;
+  h.question_count = get_be16(buf, off + 4);
+  h.answer_count = get_be16(buf, off + 6);
+  return h;
+}
+
+void TlsRecordHeader::encode(Bytes& out) const {
+  put_u8(out, content_type);
+  put_be16(out, version);
+  put_be16(out, length);
+}
+
+std::optional<TlsRecordHeader> TlsRecordHeader::decode(ByteView buf,
+                                                       std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  TlsRecordHeader h;
+  h.content_type = get_u8(buf, off);
+  // Accept only the record types and versions real stacks emit, so random
+  // payload bytes do not masquerade as TLS.
+  if (h.content_type < 20 || h.content_type > 23) return std::nullopt;
+  h.version = get_be16(buf, off + 1);
+  if ((h.version >> 8) != 0x03) return std::nullopt;
+  h.length = get_be16(buf, off + 3);
+  return h;
+}
+
+void NtpHeader::encode(Bytes& out) const {
+  put_u8(out, leap_version_mode);
+  put_u8(out, stratum);
+  // Poll, precision, and the timestamp fields are zero-filled: the
+  // dissector keys on the first two bytes and the fixed size.
+  out.insert(out.end(), kSize - 2, 0);
+}
+
+std::optional<NtpHeader> NtpHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  NtpHeader h;
+  h.leap_version_mode = get_u8(buf, off);
+  const std::uint8_t version = (h.leap_version_mode >> 3) & 0x7;
+  if (version < 3 || version > 4) return std::nullopt;
+  h.stratum = get_u8(buf, off + 1);
+  return h;
+}
+
+void VxlanHeader::encode(Bytes& out) const {
+  put_u8(out, 0x08);  // I flag: VNI valid.
+  put_u8(out, 0);
+  put_be16(out, 0);
+  put_be32(out, (vni & 0xffffff) << 8);
+}
+
+std::optional<VxlanHeader> VxlanHeader::decode(ByteView buf,
+                                               std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  if (get_u8(buf, off) != 0x08) return std::nullopt;
+  VxlanHeader h;
+  h.vni = get_be32(buf, off + 4) >> 8;
+  return h;
+}
+
+void GreHeader::encode(Bytes& out) const {
+  put_be16(out, 0x0000);  // No options, version 0.
+  put_be16(out, protocol_type);
+}
+
+std::optional<GreHeader> GreHeader::decode(ByteView buf, std::size_t off) {
+  if (!fits(buf, off, kSize)) return std::nullopt;
+  // Reject option flags/versions this minimal codec does not produce.
+  if (get_be16(buf, off) != 0x0000) return std::nullopt;
+  GreHeader h;
+  h.protocol_type = get_be16(buf, off + 2);
+  return h;
+}
+
+namespace {
+constexpr std::string_view kSshBanner = "SSH-2.0-OpenSSH_9.6\r\n";
+constexpr std::string_view kHttpRequest = "GET / HTTP/1.1\r\n";
+}  // namespace
+
+void encode_ssh_banner(Bytes& out) {
+  out.insert(out.end(), kSshBanner.begin(), kSshBanner.end());
+}
+
+bool looks_like_ssh_banner(ByteView buf, std::size_t off) {
+  constexpr std::string_view prefix = "SSH-";
+  if (!fits(buf, off, prefix.size())) return false;
+  return std::memcmp(buf.data() + off, prefix.data(), prefix.size()) == 0;
+}
+
+void encode_http_request(Bytes& out) {
+  out.insert(out.end(), kHttpRequest.begin(), kHttpRequest.end());
+}
+
+bool looks_like_http(ByteView buf, std::size_t off) {
+  static constexpr std::string_view kPrefixes[] = {"GET ", "POST", "HTTP",
+                                                   "PUT ", "HEAD"};
+  for (std::string_view p : kPrefixes) {
+    if (fits(buf, off, p.size()) &&
+        std::memcmp(buf.data() + off, p.data(), p.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace patchwork::net

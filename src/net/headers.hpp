@@ -1,0 +1,208 @@
+// Wire-format header codecs.
+//
+// Each header type has an `encode` that appends network-order bytes and a
+// static `decode` that reads from a byte span at an offset, returning
+// nullopt when the remaining bytes cannot hold the header (the normal case
+// for snaplen-truncated captures, which the dissector must tolerate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/protocol.hpp"
+
+namespace patchwork::net {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<EthernetHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct VlanTag {
+  static constexpr std::size_t kSize = 4;
+  std::uint8_t pcp = 0;       ///< Priority code point (3 bits).
+  bool dei = false;           ///< Drop eligible indicator.
+  std::uint16_t vid = 0;      ///< VLAN id (12 bits).
+  std::uint16_t ethertype = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<VlanTag> decode(ByteView buf, std::size_t off);
+};
+
+struct MplsLabel {
+  static constexpr std::size_t kSize = 4;
+  std::uint32_t label = 0;    ///< 20 bits.
+  std::uint8_t tc = 0;        ///< Traffic class (3 bits).
+  bool bottom_of_stack = false;
+  std::uint8_t ttl = 64;
+
+  void encode(Bytes& out) const;
+  static std::optional<MplsLabel> decode(ByteView buf, std::size_t off);
+};
+
+/// RFC 4448 Ethernet pseudowire control word: 4 bytes, first nibble 0.
+struct PseudoWireControlWord {
+  static constexpr std::size_t kSize = 4;
+  std::uint16_t sequence = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<PseudoWireControlWord> decode(ByteView buf,
+                                                     std::size_t off);
+};
+
+struct ArpHeader {
+  static constexpr std::size_t kSize = 28;
+  std::uint16_t opcode = 1;  ///< 1 = request, 2 = reply.
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  void encode(Bytes& out) const;
+  static std::optional<ArpHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  ///< No options supported.
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  ///< Filled by the builder.
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;      ///< Filled by encode().
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  void encode(Bytes& out) const;
+  static std::optional<Ipv4Header> decode(ByteView buf, std::size_t off);
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  ///< 20 bits.
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  void encode(Bytes& out) const;
+  static std::optional<Ipv6Header> decode(ByteView buf, std::size_t off);
+};
+
+/// TCP flag bits as they appear in the wire flags byte.
+namespace tcp_flags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcp_flags
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  ///< No options supported.
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<TcpHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< Filled by the builder.
+  std::uint16_t checksum = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<UdpHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+  std::uint8_t type = 8;  ///< Echo request.
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<IcmpHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct DnsHeader {
+  static constexpr std::size_t kSize = 12;
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint16_t question_count = 1;
+  std::uint16_t answer_count = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<DnsHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct TlsRecordHeader {
+  static constexpr std::size_t kSize = 5;
+  std::uint8_t content_type = 23;  ///< 22 = handshake, 23 = application data.
+  std::uint16_t version = 0x0303;  ///< TLS 1.2 wire version.
+  std::uint16_t length = 0;
+
+  void encode(Bytes& out) const;
+  static std::optional<TlsRecordHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct NtpHeader {
+  static constexpr std::size_t kSize = 48;
+  std::uint8_t leap_version_mode = 0x23;  ///< v4 client.
+  std::uint8_t stratum = 3;
+
+  void encode(Bytes& out) const;
+  static std::optional<NtpHeader> decode(ByteView buf, std::size_t off);
+};
+
+struct VxlanHeader {
+  static constexpr std::size_t kSize = 8;
+  std::uint32_t vni = 0;  ///< 24 bits.
+
+  void encode(Bytes& out) const;
+  static std::optional<VxlanHeader> decode(ByteView buf, std::size_t off);
+};
+
+/// Basic GRE (no checksum/key/sequence options): flags + protocol type.
+struct GreHeader {
+  static constexpr std::size_t kSize = 4;
+  std::uint16_t protocol_type = 0;  ///< EtherType of the payload.
+
+  void encode(Bytes& out) const;
+  static std::optional<GreHeader> decode(ByteView buf, std::size_t off);
+};
+
+/// Appends the ASCII SSH protocol banner, which is how the dissector
+/// recognizes SSH traffic on port 22.
+void encode_ssh_banner(Bytes& out);
+bool looks_like_ssh_banner(ByteView buf, std::size_t off);
+
+/// Appends a minimal HTTP/1.1 request line.
+void encode_http_request(Bytes& out);
+bool looks_like_http(ByteView buf, std::size_t off);
+
+}  // namespace patchwork::net

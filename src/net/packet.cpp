@@ -1,0 +1,12 @@
+#include "net/packet.hpp"
+
+namespace patchwork::net {
+
+Frame Frame::truncate(std::size_t snaplen) const {
+  if (snaplen == 0 || bytes_.size() <= snaplen) return *this;
+  std::vector<std::uint8_t> cut(bytes_.begin(),
+                                bytes_.begin() + static_cast<long>(snaplen));
+  return Frame(std::move(cut), wire_length_, timestamp_);
+}
+
+}  // namespace patchwork::net

@@ -1,0 +1,51 @@
+// The frame as it exists on the wire (or in a capture buffer).
+//
+// A Frame owns its bytes and remembers both the captured length and the
+// original wire length — after snaplen truncation these differ, exactly as
+// in a pcap record. Timestamps are simulated nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace patchwork::net {
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(std::vector<std::uint8_t> bytes, util::Nanos timestamp)
+      : bytes_(std::move(bytes)),
+        wire_length_(bytes_.size()),
+        timestamp_(timestamp) {}
+
+  /// Construct a frame whose bytes were already truncated at capture time.
+  /// `wire_length` is the original on-the-wire size.
+  Frame(std::vector<std::uint8_t> bytes, std::size_t wire_length,
+        util::Nanos timestamp)
+      : bytes_(std::move(bytes)),
+        wire_length_(wire_length),
+        timestamp_(timestamp) {}
+
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::size_t captured_length() const { return bytes_.size(); }
+  std::size_t wire_length() const { return wire_length_; }
+  bool truncated() const { return bytes_.size() < wire_length_; }
+
+  util::Nanos timestamp() const { return timestamp_; }
+  void set_timestamp(util::Nanos t) { timestamp_ = t; }
+
+  /// Copy of this frame with at most `snaplen` bytes retained; wire length
+  /// is preserved. snaplen of 0 keeps everything.
+  Frame truncate(std::size_t snaplen) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t wire_length_ = 0;
+  util::Nanos timestamp_ = 0;
+};
+
+}  // namespace patchwork::net

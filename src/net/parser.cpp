@@ -1,0 +1,355 @@
+#include "net/parser.hpp"
+
+#include "util/byte_io.hpp"
+
+namespace patchwork::net {
+
+using util::fits;
+using util::get_u8;
+
+std::size_t ParsedFrame::header_depth() const {
+  std::size_t depth = 0;
+  for (const LayerInfo& l : layers) {
+    switch (l.protocol) {
+      case Protocol::kPayload:
+      case Protocol::kIperf:
+      case Protocol::kTruncated:
+      case Protocol::kMalformed:
+        break;
+      default:
+        ++depth;
+    }
+  }
+  return depth;
+}
+
+bool ParsedFrame::has(Protocol p) const { return count(p) > 0; }
+
+std::size_t ParsedFrame::count(Protocol p) const {
+  std::size_t n = 0;
+  for (const LayerInfo& l : layers) {
+    if (l.protocol == p) ++n;
+  }
+  return n;
+}
+
+std::string ParsedFrame::stack_string() const {
+  std::string out;
+  for (const LayerInfo& l : layers) {
+    if (!out.empty()) out += '/';
+    out += to_string(l.protocol);
+  }
+  return out;
+}
+
+namespace {
+
+/// Dissection state threaded through the layer walkers.
+class Dissector {
+ public:
+  Dissector(ByteView buf, std::size_t wire_length)
+      : buf_(buf), wire_length_(wire_length) {}
+
+  ParsedFrame take(util::Nanos timestamp) {
+    ParsedFrame out = std::move(result_);
+    out.wire_length = wire_length_;
+    out.captured_length = buf_.size();
+    out.timestamp = timestamp;
+    return out;
+  }
+
+  void run() { ethernet(0); }
+
+ private:
+  /// True if the capture ends before a header of `need` bytes at `off`
+  /// could complete but the original frame did extend that far — i.e. the
+  /// snaplen, not the sender, cut it short.
+  bool truncated_at(std::size_t off, std::size_t need) const {
+    return !fits(buf_, off, need) && off + need <= wire_length_;
+  }
+
+  void add(Protocol p, std::size_t off, std::size_t len) {
+    result_.layers.push_back(LayerInfo{p, off, len});
+  }
+
+  void mark_tail(std::size_t off, std::size_t need) {
+    if (truncated_at(off, need)) {
+      add(Protocol::kTruncated, off, buf_.size() - off);
+    } else if (off < buf_.size()) {
+      add(Protocol::kMalformed, off, buf_.size() - off);
+    }
+  }
+
+  void payload_tail(std::size_t off, Protocol label = Protocol::kPayload) {
+    const std::size_t have = buf_.size() > off ? buf_.size() - off : 0;
+    const std::size_t wire = wire_length_ > off ? wire_length_ - off : 0;
+    if (wire == 0) return;  // Nothing followed on the wire (e.g. bare ACK).
+    add(label, off, have);
+  }
+
+  void ethernet(std::size_t off) {
+    auto eth = EthernetHeader::decode(buf_, off);
+    if (!eth) {
+      mark_tail(off, EthernetHeader::kSize);
+      return;
+    }
+    add(Protocol::kEthernet, off, EthernetHeader::kSize);
+    by_ethertype(eth->ethertype, off + EthernetHeader::kSize);
+  }
+
+  void by_ethertype(std::uint16_t ethertype, std::size_t off) {
+    switch (ethertype) {
+      case kEtherTypeVlan: vlan(off); break;
+      case kEtherTypeMplsUnicast: mpls(off); break;
+      case kEtherTypeIpv4: ipv4(off); break;
+      case kEtherTypeIpv6: ipv6(off); break;
+      case kEtherTypeArp: arp(off); break;
+      default: payload_tail(off); break;
+    }
+  }
+
+  void vlan(std::size_t off) {
+    auto tag = VlanTag::decode(buf_, off);
+    if (!tag) {
+      mark_tail(off, VlanTag::kSize);
+      return;
+    }
+    add(Protocol::kVlan, off, VlanTag::kSize);
+    result_.vlan_ids.push_back(tag->vid);
+    by_ethertype(tag->ethertype, off + VlanTag::kSize);
+  }
+
+  void mpls(std::size_t off) {
+    auto label = MplsLabel::decode(buf_, off);
+    if (!label) {
+      mark_tail(off, MplsLabel::kSize);
+      return;
+    }
+    add(Protocol::kMpls, off, MplsLabel::kSize);
+    result_.mpls_labels.push_back(label->label);
+    const std::size_t next = off + MplsLabel::kSize;
+    if (!label->bottom_of_stack) {
+      mpls(next);
+      return;
+    }
+    // Below the MPLS stack there is no type field. Use the standard first-
+    // nibble heuristic: 4 = IPv4, 6 = IPv6, 0 = pseudowire control word.
+    if (!fits(buf_, next, 1)) {
+      mark_tail(next, 1);
+      return;
+    }
+    const std::uint8_t nibble = get_u8(buf_, next) >> 4;
+    if (nibble == 4) {
+      ipv4(next);
+    } else if (nibble == 6) {
+      ipv6(next);
+    } else if (nibble == 0) {
+      pseudowire(next);
+    } else {
+      add(Protocol::kMalformed, next, buf_.size() - next);
+    }
+  }
+
+  void pseudowire(std::size_t off) {
+    auto cw = PseudoWireControlWord::decode(buf_, off);
+    if (!cw) {
+      mark_tail(off, PseudoWireControlWord::kSize);
+      return;
+    }
+    add(Protocol::kPseudoWire, off, PseudoWireControlWord::kSize);
+    ethernet(off + PseudoWireControlWord::kSize);
+  }
+
+  void arp(std::size_t off) {
+    auto h = ArpHeader::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, ArpHeader::kSize);
+      return;
+    }
+    add(Protocol::kArp, off, ArpHeader::kSize);
+  }
+
+  void ipv4(std::size_t off) {
+    auto h = Ipv4Header::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, Ipv4Header::kSize);
+      return;
+    }
+    add(Protocol::kIpv4, off, Ipv4Header::kSize);
+    result_.ipv4 = h;
+    by_ip_proto(h->protocol, off + Ipv4Header::kSize);
+  }
+
+  void ipv6(std::size_t off) {
+    auto h = Ipv6Header::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, Ipv6Header::kSize);
+      return;
+    }
+    add(Protocol::kIpv6, off, Ipv6Header::kSize);
+    result_.ipv6 = h;
+    by_ip_proto(h->next_header, off + Ipv6Header::kSize);
+  }
+
+  void by_ip_proto(std::uint8_t proto, std::size_t off) {
+    switch (proto) {
+      case kIpProtoTcp: tcp(off); break;
+      case kIpProtoUdp: udp(off); break;
+      case kIpProtoIcmp: icmp(off, Protocol::kIcmp); break;
+      case kIpProtoIcmpv6: icmp(off, Protocol::kIcmpv6); break;
+      case kIpProtoGre: gre(off); break;
+      default: payload_tail(off); break;
+    }
+  }
+
+  void gre(std::size_t off) {
+    auto h = GreHeader::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, GreHeader::kSize);
+      return;
+    }
+    add(Protocol::kGre, off, GreHeader::kSize);
+    const std::size_t next = off + GreHeader::kSize;
+    if (h->protocol_type == kEtherTypeTransparentEthernet) {
+      ethernet(next);
+    } else {
+      by_ethertype(h->protocol_type, next);
+    }
+  }
+
+  void tcp(std::size_t off) {
+    auto h = TcpHeader::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, TcpHeader::kSize);
+      return;
+    }
+    add(Protocol::kTcp, off, TcpHeader::kSize);
+    result_.tcp = h;
+    app_layer(off + TcpHeader::kSize, h->src_port, h->dst_port,
+              /*over_tcp=*/true);
+  }
+
+  void udp(std::size_t off) {
+    auto h = UdpHeader::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, UdpHeader::kSize);
+      return;
+    }
+    add(Protocol::kUdp, off, UdpHeader::kSize);
+    result_.udp = h;
+    app_layer(off + UdpHeader::kSize, h->src_port, h->dst_port,
+              /*over_tcp=*/false);
+  }
+
+  void icmp(std::size_t off, Protocol which) {
+    auto h = IcmpHeader::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, IcmpHeader::kSize);
+      return;
+    }
+    add(which, off, IcmpHeader::kSize);
+    payload_tail(off + IcmpHeader::kSize);
+  }
+
+  /// Port-based application classification, mirroring the paper's note that
+  /// tshark uses layer-4 ports to classify the payload that follows.
+  void app_layer(std::size_t off, std::uint16_t src_port,
+                 std::uint16_t dst_port, bool over_tcp) {
+    const std::size_t wire_rest = wire_length_ > off ? wire_length_ - off : 0;
+    if (wire_rest == 0) return;  // e.g. a payload-free TCP ACK.
+    auto is_port = [&](std::uint16_t p) {
+      return src_port == p || dst_port == p;
+    };
+    if (over_tcp) {
+      if (is_port(kPortTls)) {
+        if (auto tls = TlsRecordHeader::decode(buf_, off)) {
+          add(Protocol::kTls, off, TlsRecordHeader::kSize);
+          payload_tail(off + TlsRecordHeader::kSize);
+          return;
+        }
+        if (truncated_at(off, TlsRecordHeader::kSize)) {
+          mark_tail(off, TlsRecordHeader::kSize);
+          return;
+        }
+      }
+      if (is_port(kPortSsh) && looks_like_ssh_banner(buf_, off)) {
+        add(Protocol::kSsh, off, buf_.size() - off);
+        return;
+      }
+      if (is_port(kPortHttp) && looks_like_http(buf_, off)) {
+        add(Protocol::kHttp, off, buf_.size() - off);
+        return;
+      }
+      if (is_port(kPortDns)) {
+        dns(off);
+        return;
+      }
+      if (is_port(kPortIperf)) {
+        payload_tail(off, Protocol::kIperf);
+        return;
+      }
+      payload_tail(off);
+      return;
+    }
+    // UDP.
+    if (is_port(kPortDns)) {
+      dns(off);
+      return;
+    }
+    if (is_port(kPortNtp)) {
+      if (auto h = NtpHeader::decode(buf_, off)) {
+        add(Protocol::kNtp, off, NtpHeader::kSize);
+        return;
+      }
+      if (truncated_at(off, NtpHeader::kSize)) {
+        mark_tail(off, NtpHeader::kSize);
+        return;
+      }
+    }
+    if (is_port(kPortVxlan)) {
+      if (auto h = VxlanHeader::decode(buf_, off)) {
+        add(Protocol::kVxlan, off, VxlanHeader::kSize);
+        result_.vxlan_vni = h->vni;
+        ethernet(off + VxlanHeader::kSize);
+        return;
+      }
+      if (truncated_at(off, VxlanHeader::kSize)) {
+        mark_tail(off, VxlanHeader::kSize);
+        return;
+      }
+    }
+    if (is_port(kPortIperf)) {
+      payload_tail(off, Protocol::kIperf);
+      return;
+    }
+    payload_tail(off);
+  }
+
+  void dns(std::size_t off) {
+    auto h = DnsHeader::decode(buf_, off);
+    if (!h) {
+      mark_tail(off, DnsHeader::kSize);
+      return;
+    }
+    add(Protocol::kDns, off, DnsHeader::kSize);
+  }
+
+  ByteView buf_;
+  std::size_t wire_length_;
+  ParsedFrame result_;
+};
+
+}  // namespace
+
+ParsedFrame parse_bytes(ByteView bytes, std::size_t wire_length,
+                        util::Nanos timestamp) {
+  Dissector d(bytes, wire_length);
+  d.run();
+  return d.take(timestamp);
+}
+
+ParsedFrame parse_frame(const Frame& frame) {
+  return parse_bytes(frame.bytes(), frame.wire_length(), frame.timestamp());
+}
+
+}  // namespace patchwork::net

@@ -1,0 +1,27 @@
+#include "net/protocol.hpp"
+
+#include <array>
+
+namespace patchwork::net {
+
+namespace {
+constexpr std::array<std::string_view, kProtocolCount> kNames = {
+    "eth",  "vlan", "mpls", "pw",    "arp",  "ipv4",    "ipv6",
+    "tcp",  "udp",  "icmp", "icmpv6", "dns", "tls",     "ssh",
+    "http", "ntp",  "vxlan", "gre",  "iperf", "data",   "truncated",
+    "malformed",
+};
+}  // namespace
+
+std::string_view to_string(Protocol p) {
+  return kNames[static_cast<std::size_t>(p)];
+}
+
+std::optional<Protocol> protocol_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<Protocol>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace patchwork::net

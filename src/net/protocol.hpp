@@ -1,0 +1,75 @@
+// Protocol identifiers shared by the packet builder, the dissector, and the
+// analysis pipeline's abstract header stacks ("acap", Section 6.2.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace patchwork::net {
+
+/// Every protocol the dissector can identify. The set covers all protocols
+/// the paper names in its encapsulation examples and header-occurrence
+/// figure: "Ethernet / VLAN / MPLS / MPLS / PseudoWire / Ethernet / IPv4 /
+/// TCP / TLS" and "Ethernet / VLAN / MPLS / PseudoWire / Ethernet / IPv6 /
+/// SSH".
+enum class Protocol : std::uint8_t {
+  kEthernet,
+  kVlan,         // IEEE 802.1Q
+  kMpls,
+  kPseudoWire,   // PW Ethernet control word (RFC 4448)
+  kArp,
+  kIpv4,
+  kIpv6,
+  kTcp,
+  kUdp,
+  kIcmp,
+  kIcmpv6,
+  kDns,
+  kTls,
+  kSsh,
+  kHttp,
+  kNtp,
+  kVxlan,
+  kGre,
+  kIperf,        // Payload pattern used by iperf-style bulk streams.
+  kPayload,      // Unclassified application payload.
+  kTruncated,    // Snaplen cut the frame before this layer completed.
+  kMalformed,    // Bytes inconsistent with any known header at this point.
+};
+
+inline constexpr std::size_t kProtocolCount =
+    static_cast<std::size_t>(Protocol::kMalformed) + 1;
+
+std::string_view to_string(Protocol p);
+std::optional<Protocol> protocol_from_string(std::string_view name);
+
+// EtherType values (also used after VLAN tags).
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
+inline constexpr std::uint16_t kEtherTypeMplsUnicast = 0x8847;
+
+// IP protocol numbers.
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoGre = 47;
+inline constexpr std::uint8_t kIpProtoIcmpv6 = 58;
+
+// GRE protocol-type for transparent Ethernet bridging (RFC 1701 family).
+inline constexpr std::uint16_t kEtherTypeTransparentEthernet = 0x6558;
+
+// Well-known ports the dissector uses to classify payloads, mirroring the
+// paper's note that "layer-4 ports are often used to classify the payload
+// that follows".
+inline constexpr std::uint16_t kPortSsh = 22;
+inline constexpr std::uint16_t kPortDns = 53;
+inline constexpr std::uint16_t kPortHttp = 80;
+inline constexpr std::uint16_t kPortNtp = 123;
+inline constexpr std::uint16_t kPortTls = 443;
+inline constexpr std::uint16_t kPortVxlan = 4789;
+inline constexpr std::uint16_t kPortIperf = 5201;
+
+}  // namespace patchwork::net

@@ -1,0 +1,93 @@
+#include "pcap/pcap.hpp"
+
+#include "util/byte_io.hpp"
+
+namespace patchwork::pcap {
+
+using util::get_le16;
+using util::get_le32;
+using util::put_le16;
+using util::put_le32;
+
+PcapWriter::PcapWriter(std::uint32_t snaplen, TimestampResolution res)
+    : snaplen_(snaplen), resolution_(res) {
+  put_le32(buffer_, res == TimestampResolution::kMicro ? kMagicMicro
+                                                       : kMagicNano);
+  put_le16(buffer_, 2);  // Version major.
+  put_le16(buffer_, 4);  // Version minor.
+  put_le32(buffer_, 0);  // thiszone.
+  put_le32(buffer_, 0);  // sigfigs.
+  put_le32(buffer_, snaplen_);
+  put_le32(buffer_, kLinkTypeEthernet);
+}
+
+void PcapWriter::write(const net::Frame& frame) {
+  const net::Frame cut = frame.truncate(snaplen_);
+  const util::Nanos ts = cut.timestamp();
+  const std::uint32_t sec = static_cast<std::uint32_t>(ts / util::kSecond);
+  const std::uint32_t frac =
+      resolution_ == TimestampResolution::kMicro
+          ? static_cast<std::uint32_t>((ts % util::kSecond) /
+                                       util::kMicrosecond)
+          : static_cast<std::uint32_t>(ts % util::kSecond);
+  put_le32(buffer_, sec);
+  put_le32(buffer_, frac);
+  put_le32(buffer_, static_cast<std::uint32_t>(cut.captured_length()));
+  put_le32(buffer_, static_cast<std::uint32_t>(cut.wire_length()));
+  buffer_.insert(buffer_.end(), cut.bytes().begin(), cut.bytes().end());
+  ++frames_;
+}
+
+std::vector<std::uint8_t> PcapWriter::take_buffer() {
+  std::vector<std::uint8_t> out = std::move(buffer_);
+  buffer_.clear();
+  frames_ = 0;
+  return out;
+}
+
+std::optional<PcapReader> PcapReader::open(std::vector<std::uint8_t> bytes) {
+  if (bytes.size() < kGlobalHeaderSize) return std::nullopt;
+  const std::uint32_t magic = get_le32(bytes, 0);
+  PcapFileInfo info;
+  if (magic == kMagicMicro) {
+    info.resolution = TimestampResolution::kMicro;
+  } else if (magic == kMagicNano) {
+    info.resolution = TimestampResolution::kNano;
+  } else {
+    return std::nullopt;
+  }
+  if (get_le16(bytes, 4) != 2) return std::nullopt;  // Version major.
+  info.snaplen = get_le32(bytes, 16);
+  info.link_type = get_le32(bytes, 20);
+  return PcapReader(std::move(bytes), info);
+}
+
+std::optional<net::Frame> PcapReader::next() {
+  if (offset_ + kRecordHeaderSize > bytes_.size()) {
+    if (offset_ != bytes_.size()) ++bad_records_;
+    return std::nullopt;
+  }
+  const std::uint32_t sec = get_le32(bytes_, offset_);
+  const std::uint32_t frac = get_le32(bytes_, offset_ + 4);
+  const std::uint32_t incl = get_le32(bytes_, offset_ + 8);
+  const std::uint32_t orig = get_le32(bytes_, offset_ + 12);
+  offset_ += kRecordHeaderSize;
+  if (offset_ + incl > bytes_.size() || incl > orig) {
+    ++bad_records_;
+    offset_ = bytes_.size();
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> data(bytes_.begin() + static_cast<long>(offset_),
+                                 bytes_.begin() +
+                                     static_cast<long>(offset_ + incl));
+  offset_ += incl;
+  const util::Nanos ts =
+      static_cast<util::Nanos>(sec) * util::kSecond +
+      (info_.resolution == TimestampResolution::kMicro
+           ? static_cast<util::Nanos>(frac) * util::kMicrosecond
+           : static_cast<util::Nanos>(frac));
+  ++frames_;
+  return net::Frame(std::move(data), orig, ts);
+}
+
+}  // namespace patchwork::pcap

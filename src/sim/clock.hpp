@@ -1,0 +1,30 @@
+// Simulated time.
+//
+// Nothing in the repository reads wall-clock time; every component that
+// needs "now" holds a reference to a sim::Clock advanced by the event loop
+// (or directly by phase drivers). Time is integer nanoseconds from
+// experiment start.
+#pragma once
+
+#include <cassert>
+
+#include "util/units.hpp"
+
+namespace patchwork::sim {
+
+class Clock {
+ public:
+  util::Nanos now() const { return now_; }
+
+  /// Monotonic advance; asserts against time travel.
+  void advance_to(util::Nanos t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+  void advance_by(util::Nanos delta) { now_ += delta; }
+
+ private:
+  util::Nanos now_ = 0;
+};
+
+}  // namespace patchwork::sim

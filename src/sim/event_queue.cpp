@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace patchwork::sim {
+
+void EventQueue::schedule_at(util::Nanos when, Action action) {
+  assert(when >= clock_.now());
+  events_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+void EventQueue::schedule_every(util::Nanos period, util::Nanos until,
+                                Action action) {
+  assert(period > 0);
+  for (util::Nanos t = clock_.now() + period; t < until; t += period) {
+    events_.push(Event{t, next_sequence_++, action});
+  }
+}
+
+std::size_t EventQueue::run_until(util::Nanos horizon) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().when <= horizon) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the action by re-pushing is wasteful, so pop into a local.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    clock_.advance_to(ev.when);
+    ev.action();
+    ++executed;
+  }
+  // Time passes up to the horizon even if later events remain queued.
+  if (clock_.now() < horizon) {
+    clock_.advance_to(horizon);
+  }
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    clock_.advance_to(ev.when);
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace patchwork::sim

@@ -1,0 +1,66 @@
+// Discrete-event simulation core.
+//
+// A minimal but complete engine: schedule closures at absolute or relative
+// simulated times, run until quiescence or a horizon. Ties are broken by
+// insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  explicit EventQueue(Clock& clock) : clock_(clock) {}
+
+  /// Schedule `action` at absolute simulated time `when` (>= now).
+  void schedule_at(util::Nanos when, Action action);
+
+  /// Schedule `action` `delay` nanoseconds from now.
+  void schedule_in(util::Nanos delay, Action action) {
+    schedule_at(clock_.now() + delay, std::move(action));
+  }
+
+  /// Schedule a repeating action every `period` ns, starting at now+period,
+  /// until `until` (exclusive). The action receives no arguments; it can
+  /// read the clock.
+  void schedule_every(util::Nanos period, util::Nanos until, Action action);
+
+  /// Run events in time order until the queue empties or the next event is
+  /// past `horizon`. Returns the number of events executed.
+  std::size_t run_until(util::Nanos horizon);
+
+  /// Run until the queue is empty.
+  std::size_t run_all();
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+  Clock& clock() { return clock_; }
+
+ private:
+  struct Event {
+    util::Nanos when;
+    std::uint64_t sequence;  ///< FIFO among same-time events.
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Clock& clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace patchwork::sim

@@ -1,0 +1,73 @@
+#include "telemetry/mflib.hpp"
+
+#include <algorithm>
+
+namespace patchwork::telemetry {
+
+std::string port_series_name(testbed::GlobalPortId port,
+                             testbed::Direction dir) {
+  return to_string(port) +
+         (dir == testbed::Direction::kTx ? "/tx_bytes" : "/rx_bytes");
+}
+
+void MfLib::poll_all(util::Nanos now) {
+  for (testbed::SiteId sid : fed_.site_ids()) {
+    const testbed::Site& site = fed_.site(sid);
+    for (std::uint32_t p = 0; p < site.tor().port_count(); ++p) {
+      const testbed::GlobalPortId gp{sid, testbed::PortId{p}};
+      const testbed::PortCounters& c =
+          site.tor().port(testbed::PortId{p}).counters();
+      db_.append(port_series_name(gp, testbed::Direction::kTx), now,
+                 static_cast<double>(c.tx_bytes));
+      db_.append(port_series_name(gp, testbed::Direction::kRx), now,
+                 static_cast<double>(c.rx_bytes));
+    }
+  }
+  ++polls_;
+}
+
+std::optional<PortRate> MfLib::port_rate(testbed::GlobalPortId port,
+                                         util::Nanos window) const {
+  const auto tx =
+      db_.windowed_rate(port_series_name(port, testbed::Direction::kTx),
+                        window);
+  const auto rx =
+      db_.windowed_rate(port_series_name(port, testbed::Direction::kRx),
+                        window);
+  if (!tx || !rx) return std::nullopt;
+  PortRate out;
+  out.port = port;
+  out.tx_bps = *tx * 8.0;  // Counters are bytes; rates are bits/s.
+  out.rx_bps = *rx * 8.0;
+  return out;
+}
+
+std::vector<PortRate> MfLib::site_rates_sorted(testbed::SiteId site,
+                                               util::Nanos window) const {
+  std::vector<PortRate> out;
+  const testbed::Site& s = fed_.site(site);
+  for (std::uint32_t p = 0; p < s.tor().port_count(); ++p) {
+    if (auto r = port_rate({site, testbed::PortId{p}}, window)) {
+      out.push_back(*r);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const PortRate& a, const PortRate& b) {
+    return a.total() > b.total();
+  });
+  return out;
+}
+
+double MfLib::testbed_total_tx_bps(util::Nanos window) const {
+  double total = 0.0;
+  for (testbed::SiteId sid : fed_.site_ids()) {
+    const testbed::Site& s = fed_.site(sid);
+    for (std::uint32_t p = 0; p < s.tor().port_count(); ++p) {
+      if (auto r = port_rate({sid, testbed::PortId{p}}, window)) {
+        total += r->tx_bps;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace patchwork::telemetry

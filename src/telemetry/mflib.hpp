@@ -1,0 +1,65 @@
+// MFlib-style telemetry front-end.
+//
+// Models FABRIC's Measurement Framework path: an SNMP poller reads every
+// switch port's counters on a fixed cadence (the paper's study uses
+// "5-minute samples of Tx and Rx rates for all switch ports at every
+// FABRIC rack"), stores them in a time-series DB, and exposes the queries
+// Patchwork needs at runtime: windowed port rates (for the busiest-port
+// cycling heuristic and congestion inference) and aggregate activity (for
+// the Fig. 6 style utilization study).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+#include "testbed/federation.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::telemetry {
+
+inline constexpr util::Nanos kDefaultPollInterval = 5 * util::kMinute;
+
+std::string port_series_name(testbed::GlobalPortId port,
+                             testbed::Direction dir);
+
+struct PortRate {
+  testbed::GlobalPortId port;
+  double tx_bps = 0.0;
+  double rx_bps = 0.0;
+
+  double total() const { return tx_bps + rx_bps; }
+};
+
+class MfLib {
+ public:
+  explicit MfLib(const testbed::Federation& fed) : fed_(fed) {}
+
+  /// SNMP sweep: record every port's Tx/Rx byte counters at time `now`.
+  void poll_all(util::Nanos now);
+
+  std::uint64_t polls_completed() const { return polls_; }
+
+  /// Windowed Tx/Rx rate of one port (bps), derived from counters.
+  std::optional<PortRate> port_rate(testbed::GlobalPortId port,
+                                    util::Nanos window) const;
+
+  /// All ports of a site with a defined rate over the window, sorted by
+  /// total rate descending — the input to the "busiest port" heuristic.
+  std::vector<PortRate> site_rates_sorted(testbed::SiteId site,
+                                          util::Nanos window) const;
+
+  /// Sum of Tx rates across every switch port in the federation — the
+  /// "data-transfer activity in FABRIC's network" of Fig. 6.
+  double testbed_total_tx_bps(util::Nanos window) const;
+
+  const TimeSeriesDb& db() const { return db_; }
+
+ private:
+  const testbed::Federation& fed_;
+  TimeSeriesDb db_;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace patchwork::telemetry

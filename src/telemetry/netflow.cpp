@@ -1,0 +1,157 @@
+#include "telemetry/netflow.hpp"
+
+#include <algorithm>
+
+#include "util/byte_io.hpp"
+
+namespace patchwork::telemetry {
+
+bool NetflowCache::observe(const net::ParsedFrame& frame, util::Nanos now) {
+  if (!frame.ipv4) {
+    ++ignored_;
+    return false;
+  }
+  Key key;
+  key.src = frame.ipv4->src.value;
+  key.dst = frame.ipv4->dst.value;
+  key.proto = frame.ipv4->protocol;
+  if (frame.tcp) {
+    key.sport = frame.tcp->src_port;
+    key.dport = frame.tcp->dst_port;
+  } else if (frame.udp) {
+    key.sport = frame.udp->src_port;
+    key.dport = frame.udp->dst_port;
+  }
+  Entry& entry = flows_[key];
+  if (entry.record.packets == 0) {
+    entry.record.src_addr = key.src;
+    entry.record.dst_addr = key.dst;
+    entry.record.src_port = key.sport;
+    entry.record.dst_port = key.dport;
+    entry.record.protocol = key.proto;
+    entry.first = now;
+  }
+  entry.last = now;
+  entry.record.packets += 1;
+  entry.record.octets += static_cast<std::uint32_t>(frame.wire_length);
+  if (frame.tcp) entry.record.tcp_flags |= frame.tcp->flags;
+  entry.record.first_ms =
+      static_cast<std::uint32_t>(entry.first / util::kMillisecond);
+  entry.record.last_ms =
+      static_cast<std::uint32_t>(entry.last / util::kMillisecond);
+  return true;
+}
+
+void NetflowCache::sweep(util::Nanos now) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    const Entry& e = it->second;
+    const bool idle = now >= e.last && now - e.last >= config_.idle_timeout;
+    const bool active_too_long =
+        now >= e.first && now - e.first >= config_.active_timeout;
+    if (idle || active_too_long) {
+      expired_.push_back(e.record);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetflowCache::flush(util::Nanos) {
+  for (const auto& [key, entry] : flows_) {
+    expired_.push_back(entry.record);
+  }
+  flows_.clear();
+}
+
+std::vector<NetflowRecord> NetflowCache::drain() {
+  std::vector<NetflowRecord> out = std::move(expired_);
+  expired_.clear();
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> netflow_export(
+    std::vector<NetflowRecord> records, util::Nanos sys_uptime,
+    std::uint32_t& flow_sequence) {
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  std::size_t pos = 0;
+  while (pos < records.size()) {
+    const std::size_t n =
+        std::min(kNetflowMaxRecordsPerPacket, records.size() - pos);
+    std::vector<std::uint8_t> out;
+    out.reserve(kNetflowHeaderSize + n * kNetflowRecordSize);
+    util::put_be16(out, 5);  // Version.
+    util::put_be16(out, static_cast<std::uint16_t>(n));
+    util::put_be32(out, static_cast<std::uint32_t>(sys_uptime /
+                                                   util::kMillisecond));
+    util::put_be32(out, static_cast<std::uint32_t>(
+                            sys_uptime / util::kSecond));  // unix_secs.
+    util::put_be32(out, static_cast<std::uint32_t>(
+                            sys_uptime % util::kSecond));  // unix_nsecs.
+    util::put_be32(out, flow_sequence);
+    util::put_be16(out, 0);  // engine type/id.
+    util::put_be16(out, 0);  // sampling interval.
+    for (std::size_t i = 0; i < n; ++i) {
+      const NetflowRecord& r = records[pos + i];
+      util::put_be32(out, r.src_addr);
+      util::put_be32(out, r.dst_addr);
+      util::put_be32(out, 0);  // nexthop.
+      util::put_be16(out, 0);  // input ifindex.
+      util::put_be16(out, 0);  // output ifindex.
+      util::put_be32(out, r.packets);
+      util::put_be32(out, r.octets);
+      util::put_be32(out, r.first_ms);
+      util::put_be32(out, r.last_ms);
+      util::put_be16(out, r.src_port);
+      util::put_be16(out, r.dst_port);
+      util::put_u8(out, 0);  // pad1.
+      util::put_u8(out, r.tcp_flags);
+      util::put_u8(out, r.protocol);
+      util::put_u8(out, 0);  // tos.
+      util::put_be16(out, 0);  // src_as.
+      util::put_be16(out, 0);  // dst_as.
+      util::put_u8(out, 0);  // src_mask.
+      util::put_u8(out, 0);  // dst_mask.
+      util::put_be16(out, 0);  // pad2.
+    }
+    flow_sequence += static_cast<std::uint32_t>(n);
+    datagrams.push_back(std::move(out));
+    pos += n;
+  }
+  return datagrams;
+}
+
+std::optional<NetflowPacket> netflow_collect(
+    std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kNetflowHeaderSize) return std::nullopt;
+  if (util::get_be16(datagram, 0) != 5) return std::nullopt;
+  const std::uint16_t count = util::get_be16(datagram, 2);
+  if (count == 0 || count > kNetflowMaxRecordsPerPacket) return std::nullopt;
+  if (datagram.size() !=
+      kNetflowHeaderSize + static_cast<std::size_t>(count) *
+                               kNetflowRecordSize) {
+    return std::nullopt;
+  }
+  NetflowPacket packet;
+  packet.sys_uptime_ms = util::get_be32(datagram, 4);
+  packet.flow_sequence = util::get_be32(datagram, 16);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::size_t off =
+        kNetflowHeaderSize + static_cast<std::size_t>(i) * kNetflowRecordSize;
+    NetflowRecord r;
+    r.src_addr = util::get_be32(datagram, off);
+    r.dst_addr = util::get_be32(datagram, off + 4);
+    r.packets = util::get_be32(datagram, off + 16);
+    r.octets = util::get_be32(datagram, off + 20);
+    r.first_ms = util::get_be32(datagram, off + 24);
+    r.last_ms = util::get_be32(datagram, off + 28);
+    r.src_port = util::get_be16(datagram, off + 32);
+    r.dst_port = util::get_be16(datagram, off + 34);
+    r.tcp_flags = util::get_u8(datagram, off + 37);
+    r.protocol = util::get_u8(datagram, off + 38);
+    packet.records.push_back(r);
+  }
+  return packet;
+}
+
+}  // namespace patchwork::telemetry

@@ -1,0 +1,62 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace patchwork::telemetry {
+
+void TimeSeriesDb::append(const std::string& series, util::Nanos time,
+                          double value) {
+  std::vector<Sample>& v = series_[series];
+  assert(v.empty() || v.back().time <= time);
+  v.push_back(Sample{time, value});
+}
+
+std::vector<Sample> TimeSeriesDb::range(const std::string& series,
+                                        util::Nanos from,
+                                        util::Nanos to) const {
+  std::vector<Sample> out;
+  const auto it = series_.find(series);
+  if (it == series_.end()) return out;
+  for (const Sample& s : it->second) {
+    if (s.time >= from && s.time < to) out.push_back(s);
+  }
+  return out;
+}
+
+std::optional<Sample> TimeSeriesDb::latest(const std::string& series) const {
+  const auto it = series_.find(series);
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<double> TimeSeriesDb::windowed_rate(const std::string& series,
+                                                  util::Nanos window) const {
+  const auto it = series_.find(series);
+  if (it == series_.end() || it->second.size() < 2) return std::nullopt;
+  const Sample& last = it->second.back();
+  const util::Nanos from = last.time >= window ? last.time - window : 0;
+  // First sample at or after `from`.
+  const auto lo = std::lower_bound(
+      it->second.begin(), it->second.end(), from,
+      [](const Sample& s, util::Nanos t) { return s.time < t; });
+  if (lo == it->second.end() || lo->time >= last.time) return std::nullopt;
+  const double dv = last.value - lo->value;
+  const double dt = util::to_seconds(last.time - lo->time);
+  if (dt <= 0.0) return std::nullopt;
+  return dv / dt;
+}
+
+std::size_t TimeSeriesDb::sample_count(const std::string& series) const {
+  const auto it = series_.find(series);
+  return it == series_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> TimeSeriesDb::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, _] : series_) out.push_back(name);
+  return out;
+}
+
+}  // namespace patchwork::telemetry

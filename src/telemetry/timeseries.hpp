@@ -1,0 +1,48 @@
+// Time-series storage for polled telemetry.
+//
+// FABRIC stores SNMP-polled switch readings in a Prometheus database
+// queried through MFlib (Section 3). This in-memory store provides the same
+// access pattern: append-only (series key -> samples), range queries, and
+// windowed rate derivation from monotonically-increasing counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace patchwork::telemetry {
+
+struct Sample {
+  util::Nanos time = 0;
+  double value = 0.0;
+};
+
+class TimeSeriesDb {
+ public:
+  void append(const std::string& series, util::Nanos time, double value);
+
+  /// Samples in [from, to), in time order.
+  std::vector<Sample> range(const std::string& series, util::Nanos from,
+                            util::Nanos to) const;
+
+  std::optional<Sample> latest(const std::string& series) const;
+
+  /// Average derivative (per second) of a counter series over the window
+  /// ending at the latest sample and extending back `window` ns. Returns
+  /// nullopt with fewer than two samples in the window.
+  std::optional<double> windowed_rate(const std::string& series,
+                                      util::Nanos window) const;
+
+  std::size_t series_count() const { return series_.size(); }
+  std::size_t sample_count(const std::string& series) const;
+  std::vector<std::string> series_names() const;
+
+ private:
+  std::map<std::string, std::vector<Sample>> series_;
+};
+
+}  // namespace patchwork::telemetry

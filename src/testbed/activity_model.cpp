@@ -1,0 +1,73 @@
+#include "testbed/activity_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace patchwork::testbed {
+
+namespace {
+
+/// Raw (un-normalized) shape of testbed activity across the year's weeks.
+/// Two deadline ramps (spring → early April, fall → November) and a sharp
+/// spike the week before SC, then a December tail-off.
+double raw_shape(std::size_t week) {
+  const double w = static_cast<double>(week);
+  // Baseline with gentle summer sag.
+  double v = 0.55 + 0.10 * std::sin((w - 30.0) / 52.0 * 2.0 * M_PI);
+  // Spring ramp peaking at week 13 (early April).
+  v += 0.85 * std::exp(-0.5 * std::pow((w - 13.0) / 3.5, 2.0));
+  // Fall ramp peaking at week 43.
+  v += 0.65 * std::exp(-0.5 * std::pow((w - 43.0) / 4.0, 2.0));
+  // SC'24 spike at the peak week.
+  v += 2.6 * std::exp(-0.5 * std::pow((w - 46.0) / 1.1, 2.0));
+  return v;
+}
+
+}  // namespace
+
+ActivityModel::ActivityModel() {
+  weekly_.resize(kWeeksPerYear);
+  double sum = 0.0;
+  for (std::size_t w = 0; w < kWeeksPerYear; ++w) {
+    weekly_[w] = raw_shape(w);
+    sum += weekly_[w];
+  }
+  const double mean = sum / static_cast<double>(kWeeksPerYear);
+  for (double& v : weekly_) v /= mean;  // Normalize to mean 1.
+}
+
+double ActivityModel::week_multiplier(std::size_t week) const {
+  assert(week < kWeeksPerYear);
+  return weekly_[week];
+}
+
+double ActivityModel::at_year_fraction(double year_fraction) const {
+  assert(year_fraction >= 0.0 && year_fraction < 1.0);
+  const double pos = year_fraction * kWeeksPerYear - 0.5;
+  if (pos <= 0.0) return weekly_.front();
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= kWeeksPerYear) return weekly_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return weekly_[lo] * (1.0 - frac) + weekly_[lo + 1] * frac;
+}
+
+double ActivityModel::peak_multiplier() const {
+  double best = 0.0;
+  for (double v : weekly_) best = std::max(best, v);
+  return best;
+}
+
+double ActivityModel::mean_multiplier() const {
+  double sum = 0.0;
+  for (double v : weekly_) sum += v;
+  return sum / static_cast<double>(weekly_.size());
+}
+
+double ActivityModel::stddev_multiplier() const {
+  const double mean = mean_multiplier();
+  double ss = 0.0;
+  for (double v : weekly_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(weekly_.size()));
+}
+
+}  // namespace patchwork::testbed

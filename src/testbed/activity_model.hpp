@@ -1,0 +1,41 @@
+// Testbed-wide activity over a year.
+//
+// Section 5 found that "network activity appears to be correlated with key
+// deadlines", with ramp-up periods towards April and November and a peak
+// the week before Supercomputing'24 (an average of 3.968 Tbps crossed
+// FABRIC's network that week). This model provides the 52-week multiplier
+// curve used both by the slice arrival process (Fig. 5) and the traffic
+// engine's aggregate load (Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace patchwork::testbed {
+
+class ActivityModel {
+ public:
+  /// Week of the SC conference run-up, where activity peaks.
+  static constexpr std::size_t kPeakWeek = 46;
+  static constexpr std::size_t kWeeksPerYear = 52;
+
+  ActivityModel();
+
+  /// Activity multiplier for a week in [0, 52); mean over the year is 1.
+  double week_multiplier(std::size_t week) const;
+
+  /// Multiplier at a fractional time within the year, linear interpolation
+  /// between week midpoints. `year_fraction` in [0, 1).
+  double at_year_fraction(double year_fraction) const;
+
+  double peak_multiplier() const;
+  double mean_multiplier() const;  ///< == 1 by construction.
+  double stddev_multiplier() const;
+
+  const std::vector<double>& weekly() const { return weekly_; }
+
+ private:
+  std::vector<double> weekly_;
+};
+
+}  // namespace patchwork::testbed

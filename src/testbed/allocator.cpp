@@ -1,0 +1,203 @@
+#include "testbed/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patchwork::testbed {
+
+std::string_view to_string(AllocError e) {
+  switch (e) {
+    case AllocError::kNoDedicatedNic: return "no-dedicated-nic";
+    case AllocError::kNoFpga: return "no-fpga";
+    case AllocError::kNoCpu: return "no-cpu";
+    case AllocError::kNoMemory: return "no-memory";
+    case AllocError::kNoStorage: return "no-storage";
+    case AllocError::kBackendError: return "backend-error";
+  }
+  return "?";
+}
+
+util::Nanos Allocator::allocation_latency(std::size_t sliver_count) const {
+  const double extra =
+      static_cast<double>(tuning_.per_sliver_latency) *
+      std::pow(static_cast<double>(sliver_count), tuning_.size_exponent);
+  return tuning_.base_latency + static_cast<util::Nanos>(extra);
+}
+
+namespace {
+
+/// Plan one VM placement against mutable free-resource snapshots.
+/// `ded_free` / `fpga_free` are per-NIC availability snapshots.
+struct PlanState {
+  std::vector<std::uint32_t> cores_free;
+  std::vector<std::uint64_t> ram_free;
+  std::vector<std::uint64_t> storage_free;
+  std::vector<bool> nic_free;
+};
+
+PlanState snapshot(const Site& site) {
+  PlanState st;
+  for (const WorkerNode& w : site.workers()) {
+    st.cores_free.push_back(w.cores_free);
+    st.ram_free.push_back(w.ram_free);
+    st.storage_free.push_back(w.storage_free);
+  }
+  st.nic_free.resize(site.nics().size());
+  for (const Nic& n : site.nics()) {
+    st.nic_free[n.id.value] =
+        n.available() && n.kind != NicKind::kSharedConnectX;
+  }
+  return st;
+}
+
+struct VmPlan {
+  std::uint32_t worker = 0;
+  std::vector<std::uint32_t> nics;
+};
+
+/// Try to place `vm` in `st`; commits to the snapshot on success.
+std::optional<AllocError> plan_vm(const Site& site, const VmRequest& vm,
+                                  PlanState& st, VmPlan& out) {
+  // Gather candidate NICs first: a dedicated NIC pins the VM to that NIC's
+  // worker, so NIC choice drives worker choice.
+  std::vector<std::uint32_t> chosen_nics;
+  std::optional<std::uint32_t> pinned_worker;
+
+  auto choose_nic = [&](NicKind kind) -> bool {
+    for (const Nic& n : site.nics()) {
+      if (n.kind != kind || !st.nic_free[n.id.value]) continue;
+      if (pinned_worker && n.worker.value != *pinned_worker) continue;
+      const std::uint32_t w = n.worker.value;
+      if (st.cores_free[w] < vm.cores || st.ram_free[w] < vm.ram ||
+          st.storage_free[w] < vm.storage) {
+        continue;
+      }
+      chosen_nics.push_back(n.id.value);
+      st.nic_free[n.id.value] = false;
+      pinned_worker = w;
+      return true;
+    }
+    return false;
+  };
+
+  for (std::uint32_t i = 0; i < vm.dedicated_nics; ++i) {
+    if (!choose_nic(NicKind::kDedicatedConnectX)) {
+      return AllocError::kNoDedicatedNic;
+    }
+  }
+  if (vm.wants_fpga && !choose_nic(NicKind::kAlveoFpga)) {
+    return AllocError::kNoFpga;
+  }
+
+  std::uint32_t worker = 0;
+  if (pinned_worker) {
+    worker = *pinned_worker;
+  } else {
+    // No NIC constraint: first-fit across workers.
+    bool placed = false;
+    for (std::uint32_t w = 0; w < st.cores_free.size(); ++w) {
+      if (st.cores_free[w] >= vm.cores && st.ram_free[w] >= vm.ram &&
+          st.storage_free[w] >= vm.storage) {
+        worker = w;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Report the scarcest dimension for a useful error.
+      for (std::uint32_t w = 0; w < st.cores_free.size(); ++w) {
+        if (st.cores_free[w] < vm.cores) continue;
+        if (st.ram_free[w] < vm.ram) return AllocError::kNoMemory;
+        return AllocError::kNoStorage;
+      }
+      return AllocError::kNoCpu;
+    }
+  }
+  st.cores_free[worker] -= vm.cores;
+  st.ram_free[worker] -= vm.ram;
+  st.storage_free[worker] -= vm.storage;
+  out.worker = worker;
+  out.nics = std::move(chosen_nics);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<AllocError> Allocator::can_satisfy(
+    const SliceRequest& request) const {
+  PlanState st = snapshot(site_);
+  for (const VmRequest& vm : request.vms) {
+    VmPlan plan;
+    if (auto err = plan_vm(site_, vm, st, plan)) return err;
+  }
+  return std::nullopt;
+}
+
+AllocResult Allocator::allocate(const SliceRequest& request) {
+  AllocResult result;
+  std::size_t slivers = request.vms.size();
+  for (const VmRequest& vm : request.vms) {
+    slivers += vm.dedicated_nics + (vm.wants_fpga ? 1 : 0);
+  }
+  result.latency = allocation_latency(slivers);
+
+  if (rng_.chance(tuning_.backend_failure_rate)) {
+    result.error = AllocError::kBackendError;
+    return result;
+  }
+
+  PlanState st = snapshot(site_);
+  std::vector<VmPlan> plans;
+  for (const VmRequest& vm : request.vms) {
+    VmPlan plan;
+    if (auto err = plan_vm(site_, vm, st, plan)) {
+      result.error = err;
+      return result;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Commit.
+  SliceGrant grant;
+  grant.slice = SliceId{next_slice_++};
+  grant.site = site_.id();
+  grant.allocation_latency = result.latency;
+  for (std::size_t i = 0; i < request.vms.size(); ++i) {
+    const VmRequest& vm = request.vms[i];
+    const VmPlan& plan = plans[i];
+    WorkerNode& w = site_.mutable_worker(WorkerId{plan.worker});
+    w.cores_free -= vm.cores;
+    w.ram_free -= vm.ram;
+    w.storage_free -= vm.storage;
+    GrantedVm gvm;
+    gvm.vm = VmId{next_vm_++};
+    gvm.worker = WorkerId{plan.worker};
+    gvm.footprint = vm;
+    for (std::uint32_t nic_index : plan.nics) {
+      Nic& nic = site_.mutable_nic(NicId{nic_index});
+      nic.allocated_to = grant.slice;
+      gvm.nics.push_back(nic.id);
+      for (PortId p : nic.switch_ports) gvm.nic_ports.push_back(p);
+    }
+    grant.vms.push_back(std::move(gvm));
+  }
+  result.grant = std::move(grant);
+  return result;
+}
+
+void Allocator::release(const SliceGrant& grant) {
+  for (const GrantedVm& gvm : grant.vms) {
+    for (NicId nic_id : gvm.nics) {
+      site_.mutable_nic(nic_id).allocated_to.reset();
+    }
+  }
+  for (const GrantedVm& gvm : grant.vms) {
+    WorkerNode& w = site_.mutable_worker(gvm.worker);
+    w.cores_free = std::min(w.cores_total, w.cores_free + gvm.footprint.cores);
+    w.ram_free = std::min(w.ram_total, w.ram_free + gvm.footprint.ram);
+    w.storage_free =
+        std::min(w.storage_total, w.storage_free + gvm.footprint.storage);
+  }
+}
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,114 @@
+// The testbed's slice allocator.
+//
+// Patchwork interacts with FABRIC exclusively through resource requests
+// (Section 6.1: "Patchwork's access and use of resources is completely
+// encapsulated by FABRIC's management interfaces"). This allocator models
+// the behaviours the paper reports:
+//   * scarce dedicated NICs (the back-off driver, Section 6.2.1),
+//   * transient back-end failures (Fig. 10's "Failed" outcomes),
+//   * allocation latency that grows with slice size (Section 8.3:
+//     "FABRIC's slice allocator often struggled when handling large
+//     slices" — why Patchwork prefers smaller slices),
+//   * dry-run "allocation simulations" (Section 8.3) via can_satisfy().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testbed/ids.hpp"
+#include "testbed/site.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::testbed {
+
+/// One VM plus the NICs it needs. The Patchwork default listening node is
+/// {2 cores, 8 GB RAM, 100 GB storage, 1 dedicated dual-port NIC}
+/// (Section 6.2.1).
+struct VmRequest {
+  std::uint32_t cores = 2;
+  std::uint64_t ram = 8ull << 30;
+  std::uint64_t storage = 100ull << 30;
+  std::uint32_t dedicated_nics = 1;
+  bool wants_fpga = false;
+};
+
+struct SliceRequest {
+  SiteId site;
+  std::vector<VmRequest> vms;
+};
+
+enum class AllocError : std::uint8_t {
+  kNoDedicatedNic,
+  kNoFpga,
+  kNoCpu,
+  kNoMemory,
+  kNoStorage,
+  kBackendError,  ///< Transient testbed-side failure.
+};
+
+std::string_view to_string(AllocError e);
+
+struct GrantedVm {
+  VmId vm;
+  WorkerId worker;
+  VmRequest footprint;  ///< What was charged; used on release.
+  std::vector<NicId> nics;
+  /// Switch ports reachable through the granted NICs — the ports a
+  /// Patchwork instance can receive mirrored traffic on.
+  std::vector<PortId> nic_ports;
+};
+
+struct SliceGrant {
+  SliceId slice;
+  SiteId site;
+  std::vector<GrantedVm> vms;
+  util::Nanos allocation_latency = 0;
+};
+
+struct AllocResult {
+  std::optional<SliceGrant> grant;
+  std::optional<AllocError> error;
+  util::Nanos latency = 0;  ///< Time the allocator spent (success or not).
+
+  bool ok() const { return grant.has_value(); }
+};
+
+class Allocator {
+ public:
+  struct Tuning {
+    /// Probability any given request hits a transient back-end failure.
+    double backend_failure_rate = 0.02;
+    /// Base allocation latency plus a superlinear per-sliver term.
+    util::Nanos base_latency = 5 * util::kSecond;
+    util::Nanos per_sliver_latency = 3 * util::kSecond;
+    double size_exponent = 1.6;  ///< Latency ~ base + per*slivers^exp.
+  };
+
+  Allocator(Site& site, util::Rng& rng, Tuning tuning)
+      : site_(site), rng_(rng), tuning_(tuning) {}
+  Allocator(Site& site, util::Rng& rng) : Allocator(site, rng, Tuning()) {}
+
+  /// Dry-run feasibility check — no resources change state, no backend
+  /// failures modelled. Patchwork runs this before every real request.
+  std::optional<AllocError> can_satisfy(const SliceRequest& request) const;
+
+  /// Attempt the allocation. On success, resources are committed.
+  AllocResult allocate(const SliceRequest& request);
+
+  /// Return a slice's resources to the site.
+  void release(const SliceGrant& grant);
+
+  util::Nanos allocation_latency(std::size_t sliver_count) const;
+
+ private:
+  Site& site_;
+  util::Rng& rng_;
+  Tuning tuning_;
+  std::uint32_t next_slice_ = 0;
+  std::uint32_t next_vm_ = 0;
+};
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,152 @@
+#include "testbed/federation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace patchwork::testbed {
+
+SiteId Federation::add_site(Site site) {
+  const SiteId id{static_cast<std::uint32_t>(sites_.size())};
+  assert(site.id() == id && "sites must be added in id order");
+  sites_.push_back(std::make_unique<Site>(std::move(site)));
+  return id;
+}
+
+std::vector<SiteId> Federation::site_ids() const {
+  std::vector<SiteId> out;
+  out.reserve(sites_.size());
+  for (std::uint32_t i = 0; i < sites_.size(); ++i) out.push_back(SiteId{i});
+  return out;
+}
+
+void Federation::advance(util::Nanos dt) {
+  for (auto& s : sites_) s->tor().advance(dt);
+}
+
+std::vector<SitePortInventory> port_inventory(const Federation& fed) {
+  std::vector<SitePortInventory> out;
+  for (SiteId id : fed.site_ids()) {
+    const Site& s = fed.site(id);
+    out.push_back(SitePortInventory{
+        id, s.name(), s.tor().count_of_kind(PortKind::kUplink),
+        s.tor().count_of_kind(PortKind::kDownlink)});
+  }
+  return out;
+}
+
+Federation make_fabric_like_federation(util::Rng& rng,
+                                       const FederationSpec& spec) {
+  Federation fed;
+  assert(spec.sites >= 2);
+  // Uplink count per site: drawn once, reused when wiring links below.
+  std::vector<std::size_t> uplinks(spec.sites);
+  for (std::size_t i = 0; i < spec.sites; ++i) {
+    uplinks[i] = rng.uniform_u64(spec.min_uplinks, spec.max_uplinks);
+  }
+
+  for (std::size_t i = 0; i < spec.sites; ++i) {
+    const bool teaching =
+        spec.include_teaching_site && i == spec.sites - 1;
+    const std::size_t downlinks =
+        rng.uniform_u64(spec.min_downlinks, spec.max_downlinks);
+
+    std::vector<SwitchPort> ports;
+    ports.reserve(uplinks[i] + downlinks);
+    for (std::size_t u = 0; u < uplinks[i]; ++u) {
+      ports.emplace_back(PortKind::kUplink, spec.port_rate_bps);
+    }
+    for (std::size_t d = 0; d < downlinks; ++d) {
+      ports.emplace_back(PortKind::kDownlink, spec.port_rate_bps);
+    }
+    Site site(SiteId{static_cast<std::uint32_t>(i)},
+              "S" + std::to_string(i), ToRSwitch(std::move(ports)));
+    site.set_teaching_only(teaching);
+
+    const std::size_t workers =
+        rng.uniform_u64(spec.workers_per_site_min, spec.workers_per_site_max);
+    for (std::size_t w = 0; w < workers; ++w) {
+      WorkerNode node;
+      node.cores_total = node.cores_free = spec.worker_cores;
+      node.ram_total = node.ram_free = spec.worker_ram;
+      node.storage_total = node.storage_free = spec.worker_storage;
+      site.add_worker(node);
+    }
+
+    // Downlink ports are consumed by NICs in order: first the shared NIC,
+    // then dedicated dual-port NICs, then FPGA NICs; the rest stay wired
+    // but idle (experiments' shared-NIC VMs ride the first ports).
+    std::uint32_t next_port = static_cast<std::uint32_t>(uplinks[i]);
+    auto take_port = [&]() -> std::optional<PortId> {
+      if (next_port >= site.tor().port_count()) return std::nullopt;
+      return PortId{next_port++};
+    };
+
+    // One shared ConnectX NIC per worker (many-user).
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      if (auto p = take_port()) {
+        Nic nic;
+        nic.kind = NicKind::kSharedConnectX;
+        nic.worker = WorkerId{w};
+        nic.switch_ports = {*p};
+        site.add_nic(nic);
+      }
+    }
+    // Dedicated dual-port NICs — the scarce resource (none at the
+    // teaching site, matching EDUKY).
+    const std::size_t dedicated =
+        teaching ? 0
+                 : rng.uniform_u64(spec.min_dedicated_nics,
+                                   spec.max_dedicated_nics);
+    for (std::size_t n = 0; n < dedicated; ++n) {
+      auto p1 = take_port();
+      auto p2 = take_port();
+      if (!p1 || !p2) break;
+      Nic nic;
+      nic.kind = NicKind::kDedicatedConnectX;
+      nic.worker = WorkerId{static_cast<std::uint32_t>(n % workers)};
+      nic.switch_ports = {*p1, *p2};
+      site.add_nic(nic);
+    }
+    // FPGA NIC on a fraction of sites.
+    if (!teaching && rng.chance(spec.fpga_site_fraction)) {
+      if (auto p = take_port()) {
+        Nic nic;
+        nic.kind = NicKind::kAlveoFpga;
+        nic.worker = WorkerId{0};
+        nic.switch_ports = {*p};
+        site.add_nic(nic);
+      }
+    }
+    fed.add_site(std::move(site));
+  }
+
+  // Wire inter-site links: a ring for connectivity, then random extra
+  // links while uplink ports remain.
+  std::vector<std::uint32_t> next_uplink(spec.sites, 0);
+  auto link_sites = [&](std::size_t a, std::size_t b) {
+    if (a == b) return false;
+    if (next_uplink[a] >= uplinks[a] || next_uplink[b] >= uplinks[b]) {
+      return false;
+    }
+    InterSiteLink link;
+    link.a = GlobalPortId{SiteId{static_cast<std::uint32_t>(a)},
+                          PortId{next_uplink[a]++}};
+    link.b = GlobalPortId{SiteId{static_cast<std::uint32_t>(b)},
+                          PortId{next_uplink[b]++}};
+    link.capacity_bps = spec.port_rate_bps;
+    fed.add_link(link);
+    return true;
+  };
+  for (std::size_t i = 0; i < spec.sites; ++i) {
+    link_sites(i, (i + 1) % spec.sites);
+  }
+  // Extra random links until most uplink ports are used.
+  for (std::size_t tries = 0; tries < spec.sites * 4; ++tries) {
+    const std::size_t a = rng.uniform_u64(0, spec.sites - 1);
+    const std::size_t b = rng.uniform_u64(0, spec.sites - 1);
+    link_sites(a, b);
+  }
+  return fed;
+}
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,84 @@
+// The federation: the set of sites plus inter-site links, and the
+// "information model" view of it (the paper's Section 5 uses FABRIC's
+// information model to count uplinks/downlinks per site — Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testbed/ids.hpp"
+#include "testbed/site.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::testbed {
+
+/// An inter-site link connects one site's uplink port to another's.
+struct InterSiteLink {
+  GlobalPortId a;
+  GlobalPortId b;
+  double capacity_bps = 0.0;
+};
+
+class Federation {
+ public:
+  Federation() = default;
+
+  SiteId add_site(Site site);
+  void add_link(InterSiteLink link) { links_.push_back(link); }
+
+  std::size_t site_count() const { return sites_.size(); }
+  Site& site(SiteId id) { return *sites_.at(id.value); }
+  const Site& site(SiteId id) const { return *sites_.at(id.value); }
+  std::vector<SiteId> site_ids() const;
+
+  const std::vector<InterSiteLink>& links() const { return links_; }
+
+  /// Advance every site's switch counters by `dt`.
+  void advance(util::Nanos dt);
+
+ private:
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<InterSiteLink> links_;
+};
+
+/// The information-model row for one site (Fig. 2's data).
+struct SitePortInventory {
+  SiteId site;
+  std::string name;
+  std::size_t uplinks = 0;
+  std::size_t downlinks = 0;
+};
+
+std::vector<SitePortInventory> port_inventory(const Federation& fed);
+
+/// Parameters for synthesizing a FABRIC-like federation. Defaults follow
+/// the paper: ~30 production sites (Fig. 15 pseudonymizes them S0–S29),
+/// 100G ports, 2–6 dedicated NICs per site, a minority of sites with
+/// FPGA NICs, and one teaching-only site without dedicated NICs (EDUKY).
+struct FederationSpec {
+  std::size_t sites = 30;
+  std::size_t min_uplinks = 1;
+  std::size_t max_uplinks = 4;
+  std::size_t min_downlinks = 12;
+  std::size_t max_downlinks = 40;
+  double port_rate_bps = 100e9;
+  std::size_t min_dedicated_nics = 2;
+  std::size_t max_dedicated_nics = 6;
+  double fpga_site_fraction = 0.4;
+  std::size_t workers_per_site_min = 3;
+  std::size_t workers_per_site_max = 8;
+  std::uint32_t worker_cores = 64;
+  std::uint64_t worker_ram = 512ull << 30;
+  std::uint64_t worker_storage = 4ull << 40;
+  bool include_teaching_site = true;
+};
+
+/// Build a synthetic federation with FABRIC-like shape. Deterministic for a
+/// given RNG state.
+Federation make_fabric_like_federation(util::Rng& rng,
+                                       const FederationSpec& spec = {});
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,48 @@
+// Strong identifier types for testbed entities.
+//
+// Sites, ports, NICs, VMs, and slices are all indexed by small integers in
+// the model; wrapping them prevents the classic "passed a port index where
+// a site index was expected" bug without any runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace patchwork::testbed {
+
+template <typename Tag>
+struct Id {
+  std::uint32_t value = 0;
+  auto operator<=>(const Id&) const = default;
+};
+
+struct SiteTag {};
+struct PortTag {};
+struct WorkerTag {};
+struct NicTag {};
+struct VmTag {};
+struct SliceTag {};
+
+using SiteId = Id<SiteTag>;
+using PortId = Id<PortTag>;      ///< Port index within one site's switch.
+using WorkerId = Id<WorkerTag>;
+using NicId = Id<NicTag>;
+using VmId = Id<VmTag>;
+using SliceId = Id<SliceTag>;
+
+/// Fully-qualified switch port: (site, port index). What the coordinator
+/// passes around when selecting mirror targets across the federation.
+struct GlobalPortId {
+  SiteId site;
+  PortId port;
+  auto operator<=>(const GlobalPortId&) const = default;
+};
+
+inline std::string to_string(GlobalPortId id) {
+  return "site" + std::to_string(id.site.value) + "/p" +
+         std::to_string(id.port.value);
+}
+
+}  // namespace patchwork::testbed

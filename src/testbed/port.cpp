@@ -1,0 +1,25 @@
+#include "testbed/port.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patchwork::testbed {
+
+void SwitchPort::advance(util::Nanos dt) {
+  const double secs = util::to_seconds(dt);
+  const double tx_bytes = std::min(tx_rate_bps_, line_rate_bps_) / 8.0 * secs;
+  const double rx_bytes = std::min(rx_rate_bps_, line_rate_bps_) / 8.0 * secs;
+  counters_.tx_bytes += static_cast<std::uint64_t>(tx_bytes);
+  counters_.rx_bytes += static_cast<std::uint64_t>(rx_bytes);
+  if (mean_frame_size_ > 0.0) {
+    counters_.tx_frames += static_cast<std::uint64_t>(tx_bytes / mean_frame_size_);
+    counters_.rx_frames += static_cast<std::uint64_t>(rx_bytes / mean_frame_size_);
+  }
+}
+
+double SwitchPort::utilization() const {
+  if (line_rate_bps_ <= 0.0) return 0.0;
+  return std::min(1.0, std::max(tx_rate_bps_, rx_rate_bps_) / line_rate_bps_);
+}
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,74 @@
+// Switch port model.
+//
+// Every FABRIC link consists of two unidirectional channels (Tx and Rx,
+// Section 3), so a port carries independent rates and counters per
+// direction. Rates are piecewise-constant offered loads set by the traffic
+// engine; counters integrate them over time and are what SNMP polling
+// reads.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace patchwork::testbed {
+
+enum class PortKind : std::uint8_t {
+  kDownlink,  ///< Connects to a server NIC in the same rack.
+  kUplink,    ///< Connects to another FABRIC site's switch.
+  kUnused,
+};
+
+enum class Direction : std::uint8_t { kTx, kRx };
+
+/// Which directions of a mirrored port to clone (Section 3: "choosing
+/// whether to mirror either or both of Rx and Tx").
+enum class MirrorDirections : std::uint8_t { kTxOnly, kRxOnly, kBoth };
+
+struct PortCounters {
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_frames = 0;
+  std::uint64_t rx_frames = 0;
+  std::uint64_t mirror_drops = 0;  ///< Frames lost at an oversubscribed mirror egress.
+};
+
+class SwitchPort {
+ public:
+  SwitchPort() = default;
+  SwitchPort(PortKind kind, double line_rate_bps)
+      : kind_(kind), line_rate_bps_(line_rate_bps) {}
+
+  PortKind kind() const { return kind_; }
+  double line_rate_bps() const { return line_rate_bps_; }
+
+  double tx_rate_bps() const { return tx_rate_bps_; }
+  double rx_rate_bps() const { return rx_rate_bps_; }
+  void set_rates(double tx_bps, double rx_bps) {
+    tx_rate_bps_ = tx_bps;
+    rx_rate_bps_ = rx_bps;
+  }
+
+  /// Mean frame size used to convert byte rates into frame counters.
+  double mean_frame_size() const { return mean_frame_size_; }
+  void set_mean_frame_size(double bytes) { mean_frame_size_ = bytes; }
+
+  const PortCounters& counters() const { return counters_; }
+  PortCounters& mutable_counters() { return counters_; }
+
+  /// Integrate the current offered rates over `dt` into the counters.
+  void advance(util::Nanos dt);
+
+  /// Utilization of the busier direction, in [0, 1].
+  double utilization() const;
+
+ private:
+  PortKind kind_ = PortKind::kUnused;
+  double line_rate_bps_ = 0.0;
+  double tx_rate_bps_ = 0.0;
+  double rx_rate_bps_ = 0.0;
+  double mean_frame_size_ = 1000.0;
+  PortCounters counters_;
+};
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,52 @@
+#include "testbed/site.hpp"
+
+namespace patchwork::testbed {
+
+std::string_view to_string(NicKind kind) {
+  switch (kind) {
+    case NicKind::kSharedConnectX: return "shared-connectx";
+    case NicKind::kDedicatedConnectX: return "dedicated-connectx";
+    case NicKind::kAlveoFpga: return "alveo-fpga";
+  }
+  return "?";
+}
+
+WorkerId Site::add_worker(WorkerNode worker) {
+  worker.id = WorkerId{static_cast<std::uint32_t>(workers_.size())};
+  workers_.push_back(std::move(worker));
+  return workers_.back().id;
+}
+
+NicId Site::add_nic(Nic nic) {
+  nic.id = NicId{static_cast<std::uint32_t>(nics_.size())};
+  workers_.at(nic.worker.value).nics.push_back(nic.id);
+  nics_.push_back(std::move(nic));
+  return nics_.back().id;
+}
+
+std::vector<NicId> Site::available_nics(NicKind kind) const {
+  std::vector<NicId> out;
+  for (const Nic& n : nics_) {
+    if (n.kind == kind && n.available()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::size_t Site::count_available_nics(NicKind kind) const {
+  return available_nics(kind).size();
+}
+
+bool Site::has_fpga() const {
+  for (const Nic& n : nics_) {
+    if (n.kind == NicKind::kAlveoFpga) return true;
+  }
+  return false;
+}
+
+std::uint64_t Site::total_free_storage() const {
+  std::uint64_t total = 0;
+  for (const WorkerNode& w : workers_) total += w.storage_free;
+  return total;
+}
+
+}  // namespace patchwork::testbed

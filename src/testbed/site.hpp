@@ -1,0 +1,60 @@
+// One FABRIC site: a rack with a ToR switch, worker machines, and NICs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testbed/ids.hpp"
+#include "testbed/resources.hpp"
+#include "testbed/switch.hpp"
+
+namespace patchwork::testbed {
+
+class Site {
+ public:
+  Site(SiteId id, std::string name, ToRSwitch tor)
+      : id_(id), name_(std::move(name)), switch_(std::move(tor)) {}
+
+  SiteId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  ToRSwitch& tor() { return switch_; }
+  const ToRSwitch& tor() const { return switch_; }
+
+  // --- Inventory ----------------------------------------------------------
+  WorkerId add_worker(WorkerNode worker);
+  NicId add_nic(Nic nic);
+
+  const std::vector<WorkerNode>& workers() const { return workers_; }
+  WorkerNode& mutable_worker(WorkerId id) { return workers_.at(id.value); }
+  const Nic& nic(NicId id) const { return nics_.at(id.value); }
+  Nic& mutable_nic(NicId id) { return nics_.at(id.value); }
+  const std::vector<Nic>& nics() const { return nics_; }
+
+  /// Free (unallocated) NICs of a kind — what the Patchwork setup phase
+  /// discovers "by querying FABRIC's APIs" (Section 6.2.1).
+  std::vector<NicId> available_nics(NicKind kind) const;
+  std::size_t count_available_nics(NicKind kind) const;
+  bool has_fpga() const;
+
+  /// Total free storage across workers.
+  std::uint64_t total_free_storage() const;
+
+  /// True for restricted sites like EDUKY, which "is restricted for
+  /// teaching use and lacks dedicated NICs" (Section 8.1.1) — excluded
+  /// from all-experiment profiling.
+  bool teaching_only() const { return teaching_only_; }
+  void set_teaching_only(bool v) { teaching_only_ = v; }
+
+ private:
+  SiteId id_;
+  std::string name_;
+  ToRSwitch switch_;
+  std::vector<WorkerNode> workers_;
+  std::vector<Nic> nics_;
+  bool teaching_only_ = false;
+};
+
+}  // namespace patchwork::testbed

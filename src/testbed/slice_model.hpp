@@ -1,0 +1,80 @@
+// Statistical model of researcher slice activity.
+//
+// Calibrated to the paper's Section 5 study:
+//   * Fig. 3 — 66.5% of slices use a single site; the rest spread over few.
+//   * Fig. 4 — 75% of slices last <= 24 hours, with a heavy tail.
+//   * Fig. 5 — on average 85 slices are simultaneously active
+//     (stddev 52, max observed 272), driven by deadline seasonality.
+//
+// The generator is a non-homogeneous Poisson arrival process whose rate
+// follows the ActivityModel, with i.i.d. durations and site spreads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testbed/activity_model.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::testbed {
+
+struct SliceRecord {
+  util::Nanos start = 0;
+  util::Nanos duration = 0;
+  std::uint32_t site_count = 1;
+  std::vector<std::uint32_t> sites;  ///< Site indices used by the slice.
+
+  util::Nanos end() const { return start + duration; }
+  bool active_at(util::Nanos t) const { return t >= start && t < end(); }
+};
+
+class SliceActivityModel {
+ public:
+  struct Params {
+    double single_site_fraction = 0.665;  // Fig. 3.
+    /// Conditional weights for multi-site slices using 2..9 sites.
+    std::vector<double> multi_site_weights = {5, 3, 2, 1.2, 0.7, 0.4, 0.2, 0.1};
+    /// Duration mixture: `short_fraction` of slices are sub-day.
+    double short_fraction = 0.75;  // Fig. 4: 75% last <= 24h.
+    double short_mean_hours = 7.0;
+    double tail_lo_days = 1.0;
+    double tail_hi_days = 90.0;
+    double tail_alpha = 1.05;
+    /// Mean simultaneously-active slices over the year (Fig. 5).
+    double target_mean_active = 85.0;
+    std::size_t total_sites = 30;
+  };
+
+  SliceActivityModel(util::Rng& rng, const ActivityModel& activity,
+                     Params params);
+  SliceActivityModel(util::Rng& rng, const ActivityModel& activity)
+      : SliceActivityModel(rng, activity, Params()) {}
+
+  /// Generate all slices whose lifetime intersects [0, horizon).
+  std::vector<SliceRecord> generate(util::Nanos horizon);
+
+  /// Number of records in `slices` active at time `t`.
+  static std::size_t active_count(const std::vector<SliceRecord>& slices,
+                                  util::Nanos t);
+
+  /// Expected duration (ns) implied by the parameters.
+  util::Nanos expected_duration() const;
+
+  /// Base arrival rate (slices per ns) so the steady-state mean active
+  /// count hits target_mean_active.
+  double base_arrival_rate() const;
+
+  const Params& params() const { return params_; }
+
+  /// Draw one duration / one site spread (exposed for tests and benches).
+  util::Nanos draw_duration();
+  std::uint32_t draw_site_count();
+
+ private:
+  util::Rng& rng_;
+  const ActivityModel& activity_;
+  Params params_;
+};
+
+}  // namespace patchwork::testbed

@@ -1,0 +1,85 @@
+// Flow specification and frame synthesis.
+//
+// A FlowSpec pins down everything needed to render a flow's frames on the
+// wire: the underlay encapsulation (VLAN / MPLS stack / pseudowire + inner
+// Ethernet), addressing, the application archetype, and sizing. The
+// generator then renders a sample window's worth of interleaved frames —
+// both directions, since a mirrored port clones Tx and Rx (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/frame_builder.hpp"
+#include "net/packet.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::traffic {
+
+struct FlowSpec {
+  FlowApp app = FlowApp::kIperfTcp;
+
+  // Underlay encapsulation (outermost first).
+  std::optional<std::uint16_t> vlan_id;
+  std::vector<std::uint32_t> mpls_labels;
+  bool pseudowire = false;  ///< Implies an inner Ethernet after the labels.
+
+  bool ipv6 = false;
+  net::MacAddress src_mac;
+  net::MacAddress dst_mac;
+  net::Ipv4Address src_ip;
+  net::Ipv4Address dst_ip;
+  net::Ipv6Address src_ip6;
+  net::Ipv6Address dst_ip6;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  std::size_t data_frame_size = 1986;  ///< Wire bytes for full data frames.
+  std::uint64_t total_bytes = 0;       ///< Intended flow volume.
+  /// True for a high-rate stream of short messages (small-message sites):
+  /// bulk byte share despite sub-MTU frames.
+  bool message_stream = false;
+};
+
+/// Draw a flow consistent with a site's profile.
+FlowSpec draw_flow(util::Rng& rng, const SiteWorkloadProfile& profile);
+
+/// Render a single data frame of `flow` at `t` (direction src -> dst).
+net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
+                           std::uint32_t seq = 0);
+
+/// Render a reverse-direction pure-ACK frame (TCP flows only); these are
+/// the minimum-size "Ethernet / VLAN / MPLS / IPv4 / TCP" frames the paper
+/// observes filling the 65-127 B bucket.
+net::Frame make_ack_frame(const FlowSpec& flow, util::Nanos t,
+                          std::uint32_t ack = 0);
+
+/// True when the app rides TCP (and therefore produces an ACK stream).
+bool app_is_tcp(FlowApp app);
+
+/// One rendered sample window from a mirrored port.
+struct WindowTraffic {
+  std::vector<net::Frame> frames;  ///< Time-ordered.
+  double offered_pps = 0.0;        ///< True rate these frames represent.
+  double offered_bps = 0.0;
+  std::size_t flow_count = 0;      ///< Distinct flows contributing.
+};
+
+struct WindowParams {
+  util::Nanos duration = 20 * util::kSecond;  ///< Paper's sample length.
+  double target_bps = 0.0;      ///< Aggregate rate crossing the port.
+  std::size_t max_frames = 20000;  ///< Rendering cap (scaled sampling).
+};
+
+/// Synthesize the traffic a mirrored port would deliver during one sample
+/// window at a site with `profile`. Frames are a representative rendering:
+/// when the true frame count exceeds `max_frames`, a uniform thinning is
+/// applied but `offered_pps` reports the true rate.
+WindowTraffic generate_window(util::Rng& rng,
+                              const SiteWorkloadProfile& profile,
+                              const WindowParams& params);
+
+}  // namespace patchwork::traffic

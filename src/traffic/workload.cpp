@@ -1,0 +1,115 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace patchwork::traffic {
+
+std::string_view to_string(FlowApp app) {
+  switch (app) {
+    case FlowApp::kIperfTcp: return "iperf-tcp";
+    case FlowApp::kIperfUdp: return "iperf-udp";
+    case FlowApp::kTls: return "tls";
+    case FlowApp::kSsh: return "ssh";
+    case FlowApp::kHttp: return "http";
+    case FlowApp::kDns: return "dns";
+    case FlowApp::kNtp: return "ntp";
+    case FlowApp::kIcmp: return "icmp";
+    case FlowApp::kArp: return "arp";
+    case FlowApp::kVxlan: return "vxlan";
+    case FlowApp::kGre: return "gre";
+  }
+  return "?";
+}
+
+std::size_t SiteWorkloadProfile::active_apps() const {
+  return static_cast<std::size_t>(
+      std::count_if(app_weights.begin(), app_weights.end(),
+                    [](double w) { return w > 0.0; }));
+}
+
+std::vector<SiteWorkloadProfile> make_site_profiles(util::Rng& rng,
+                                                    std::size_t site_count) {
+  std::vector<SiteWorkloadProfile> out;
+  out.reserve(site_count);
+  for (std::size_t i = 0; i < site_count; ++i) {
+    SiteWorkloadProfile p;
+    p.site_index = static_cast<std::uint32_t>(i);
+
+    // Site archetype: ~40% are throughput-experiment sites (iperf-
+    // dominated, very few protocols), the rest are mixed-application
+    // sites with varying diversity.
+    const bool throughput_site = rng.chance(0.4);
+    std::fill(p.app_weights.begin(), p.app_weights.end(), 0.0);
+    auto set = [&](FlowApp a, double w) {
+      p.app_weights[static_cast<std::size_t>(a)] = w;
+    };
+    if (throughput_site) {
+      set(FlowApp::kIperfTcp, 20.0);
+      if (rng.chance(0.5)) set(FlowApp::kIperfUdp, 4.0);
+      set(FlowApp::kSsh, 0.3);   // Management sessions.
+      set(FlowApp::kArp, 0.2);
+      if (rng.chance(0.3)) set(FlowApp::kIcmp, 0.2);
+    } else {
+      set(FlowApp::kIperfTcp, rng.uniform(2.0, 10.0));
+      set(FlowApp::kTls, rng.uniform(1.0, 8.0));
+      set(FlowApp::kSsh, rng.uniform(0.2, 2.0));
+      if (rng.chance(0.7)) set(FlowApp::kHttp, rng.uniform(0.3, 4.0));
+      if (rng.chance(0.8)) set(FlowApp::kDns, rng.uniform(0.2, 1.5));
+      if (rng.chance(0.5)) set(FlowApp::kNtp, rng.uniform(0.05, 0.4));
+      if (rng.chance(0.6)) set(FlowApp::kIcmp, rng.uniform(0.1, 0.6));
+      set(FlowApp::kArp, rng.uniform(0.1, 0.5));
+      if (rng.chance(0.35)) set(FlowApp::kVxlan, rng.uniform(0.5, 3.0));
+      if (rng.chance(0.25)) set(FlowApp::kGre, rng.uniform(0.5, 2.5));
+      if (rng.chance(0.4)) set(FlowApp::kIperfUdp, rng.uniform(0.5, 3.0));
+    }
+
+    // Encapsulation depth varies mildly per site; most traffic is tagged.
+    p.encapsulation.vlan_probability = rng.uniform(0.85, 0.99);
+    p.encapsulation.mpls_probability = rng.uniform(0.7, 0.95);
+    p.encapsulation.second_mpls_probability = rng.uniform(0.2, 0.6);
+    p.encapsulation.pseudowire_probability = rng.uniform(0.55, 0.9);
+
+    // IPv6 share: tiny almost everywhere (finding B6), with a couple of
+    // sites experimenting more heavily.
+    p.ipv6_fraction = rng.chance(0.12) ? rng.uniform(0.05, 0.12)
+                                       : rng.uniform(0.0, 0.02);
+
+    // Frame sizing: most sites are jumbo-heavy (finding B5); a few favour
+    // standard 1514 B MTUs or small-packet workloads.
+    // Deterministic mix of sizing archetypes so every federation has the
+    // paper's variety: mostly jumbo-heavy sites, a band of moderate ones,
+    // and a few small-frame sites (the S11/S12 of Fig. 15) of which some
+    // run message-based experiments.
+    const double size_archetype = rng.uniform();
+    const bool forced_small = i % 11 == 5;  // ~3 of 30 sites.
+    if (!forced_small && size_archetype < 0.68) {
+      p.jumbo_fraction = rng.uniform(0.92, 0.995);  // e.g. the paper's S3, S7.
+      p.mtu_frame_size = 1536 + 2 * rng.uniform_u64(0, 250);  // 1536-2036 B.
+    } else if (!forced_small) {
+      p.jumbo_fraction = rng.uniform(0.82, 0.95);
+      p.mtu_frame_size = 1600 + 2 * rng.uniform_u64(0, 200);
+    } else {
+      p.jumbo_fraction = rng.uniform(0.05, 0.4);  // e.g. S11, S12.
+      p.mtu_frame_size = 1590 + 2 * rng.uniform_u64(0, 100);
+      // Most of the small-frame sites run message-based experiments whose
+      // "bulk" traffic is short frames; they also tend to move fewer
+      // bytes than throughput experiments.
+      if (rng.chance(0.67)) {
+        p.small_message_site = true;
+        p.utilization_scale *= 0.35;
+      }
+    }
+
+    // Flow-count scale per sample: lognormal body under ~3000 with a tail
+    // beyond 20000 (Fig. 13).
+    p.flow_count_mu = rng.uniform(4.0, 7.2);
+    p.flow_count_sigma = rng.uniform(0.7, 1.4);
+
+    p.utilization_scale = rng.uniform(0.5, 1.5);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace patchwork::traffic

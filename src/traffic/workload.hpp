@@ -1,0 +1,98 @@
+// Per-site workload profiles.
+//
+// Section 8.2's central observation is that "FABRIC sites have diverse
+// traffic characteristics, suggesting diverse yet persistent workloads"
+// (finding B1): some sites run simple throughput experiments (few
+// protocols, jumbo-heavy), others host experiments with many
+// application-layer headers (finding B2). A SiteWorkloadProfile captures
+// one site's persistent mix; make_site_profiles() draws a federation's
+// worth of diverse profiles calibrated to the paper's aggregates:
+//   * frame sizes — 74.7% in 1519-2047 B, 14.15% in 65-127 B (Fig. 15),
+//   * IPv6 <= ~2% of frames (finding B6),
+//   * most traffic VLAN/MPLS-tagged with deep underlay stacks (Fig. 12),
+//   * heavy-tailed flow sizes (most < 100 B, elephants ~100 GB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace patchwork::traffic {
+
+/// Application archetypes a flow can carry. Each maps to a distinct header
+/// stack in the generator.
+enum class FlowApp : std::uint8_t {
+  kIperfTcp,   ///< Bulk TCP throughput test (jumbo-heavy, plus ACK stream).
+  kIperfUdp,   ///< Bulk UDP throughput test.
+  kTls,        ///< TCP/443 application traffic.
+  kSsh,        ///< TCP/22 interactive.
+  kHttp,       ///< TCP/80.
+  kDns,        ///< UDP/53 request/response pairs.
+  kNtp,        ///< UDP/123.
+  kIcmp,       ///< Ping.
+  kArp,        ///< Address resolution chatter.
+  kVxlan,      ///< Overlay experiment: UDP/4789 carrying inner Ethernet.
+  kGre,        ///< Overlay experiment: GRE tunnel carrying inner Ethernet.
+};
+inline constexpr std::size_t kFlowAppCount =
+    static_cast<std::size_t>(FlowApp::kGre) + 1;
+
+std::string_view to_string(FlowApp app);
+
+/// How the site's underlay encapsulates tenant traffic. FABRIC tags
+/// slices' frames with VLAN and MPLS labels, often terminating in a
+/// pseudowire that carries the tenant's own Ethernet (Section 8.2's
+/// example stacks).
+struct EncapsulationProfile {
+  double vlan_probability = 0.95;
+  double mpls_probability = 0.85;      ///< Given VLAN.
+  double second_mpls_probability = 0.4;  ///< Given MPLS.
+  double pseudowire_probability = 0.75;  ///< Given MPLS: PW + inner Ethernet.
+};
+
+struct SiteWorkloadProfile {
+  std::uint32_t site_index = 0;
+
+  /// Relative weight of each FlowApp in new flows at this site.
+  std::vector<double> app_weights = std::vector<double>(kFlowAppCount, 1.0);
+
+  EncapsulationProfile encapsulation;
+
+  /// Fraction of IP flows that are IPv6.
+  double ipv6_fraction = 0.019;
+
+  /// Data-frame payload sizing: bulk flows use MTU-filling frames of
+  /// `mtu_frame_size` wire bytes (jumbo when > 1518).
+  std::size_t mtu_frame_size = 1986;
+  /// Fraction of bulk data frames that use the jumbo MTU (vs 1514).
+  double jumbo_fraction = 0.85;
+  /// Small-message experiment site (e.g. RPC/latency benchmarks): bulk
+  /// flows move short 128-511 B messages instead of MTU segments. These
+  /// sites populate the paper's 128-255 B bucket.
+  bool small_message_site = false;
+
+  /// Lognormal parameters for the number of concurrent flows contributing
+  /// to a 20 s sample at a busy port (Fig. 13).
+  double flow_count_mu = 6.2;
+  double flow_count_sigma = 1.1;
+
+  /// Heavy-tail parameters for total flow size in bytes.
+  double flow_size_alpha = 0.55;
+  double flow_size_min = 64.0;
+  double flow_size_max = 1e11;  ///< ~100 GB elephants.
+
+  /// Per-port persistent utilization draw (see engine.cpp): the busier the
+  /// site, the higher its scale.
+  double utilization_scale = 1.0;
+
+  /// Number of distinct apps this site's experiments actually use —
+  /// diversity differs per site (finding B2).
+  std::size_t active_apps() const;
+};
+
+/// Draw per-site profiles for `site_count` sites. Deterministic in `rng`.
+std::vector<SiteWorkloadProfile> make_site_profiles(util::Rng& rng,
+                                                    std::size_t site_count);
+
+}  // namespace patchwork::traffic

@@ -1,0 +1,82 @@
+// Endian-explicit primitive serialization used by the header codecs and the
+// pcap reader/writer. Network byte order is big-endian; the pcap format is
+// little-endian, so both directions are provided.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace patchwork::util {
+
+// --- Big-endian (network order) appenders -------------------------------
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+inline void put_be16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+inline void put_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+inline void put_be64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_be32(out, static_cast<std::uint32_t>(v >> 32));
+  put_be32(out, static_cast<std::uint32_t>(v));
+}
+
+// --- Big-endian readers (bounds are the caller's responsibility; use
+// `fits` to check) --------------------------------------------------------
+inline bool fits(std::span<const std::uint8_t> buf, std::size_t off,
+                 std::size_t len) {
+  return off <= buf.size() && len <= buf.size() - off;
+}
+inline std::uint8_t get_u8(std::span<const std::uint8_t> buf,
+                           std::size_t off) {
+  return buf[off];
+}
+inline std::uint16_t get_be16(std::span<const std::uint8_t> buf,
+                              std::size_t off) {
+  return static_cast<std::uint16_t>((buf[off] << 8) | buf[off + 1]);
+}
+inline std::uint32_t get_be32(std::span<const std::uint8_t> buf,
+                              std::size_t off) {
+  return (static_cast<std::uint32_t>(buf[off]) << 24) |
+         (static_cast<std::uint32_t>(buf[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[off + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[off + 3]);
+}
+inline std::uint64_t get_be64(std::span<const std::uint8_t> buf,
+                              std::size_t off) {
+  return (static_cast<std::uint64_t>(get_be32(buf, off)) << 32) |
+         get_be32(buf, off + 4);
+}
+
+// --- Little-endian (pcap file format) ------------------------------------
+inline void put_le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+inline std::uint16_t get_le16(std::span<const std::uint8_t> buf,
+                              std::size_t off) {
+  return static_cast<std::uint16_t>(buf[off] | (buf[off + 1] << 8));
+}
+inline std::uint32_t get_le32(std::span<const std::uint8_t> buf,
+                              std::size_t off) {
+  return static_cast<std::uint32_t>(buf[off]) |
+         (static_cast<std::uint32_t>(buf[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(buf[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(buf[off + 3]) << 24);
+}
+
+}  // namespace patchwork::util

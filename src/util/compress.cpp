@@ -1,0 +1,127 @@
+#include "util/compress.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/byte_io.hpp"
+
+namespace patchwork::util {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'P', 'W', 'Z', '1'};
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 255;
+constexpr std::size_t kMaxLiteralRun = 255;
+constexpr std::size_t kHashSlots = 1 << 15;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // Fold into kHashSlots bits.
+}
+
+void flush_literals(std::vector<std::uint8_t>& out,
+                    std::span<const std::uint8_t> data, std::size_t start,
+                    std::size_t end) {
+  while (start < end) {
+    const std::size_t run = std::min(kMaxLiteralRun, end - start);
+    out.push_back(0x00);
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.insert(out.end(), data.begin() + static_cast<long>(start),
+               data.begin() + static_cast<long>(start + run));
+    start += run;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_le32(out, static_cast<std::uint32_t>(data.size()));
+
+  // Hash table of the most recent position for each 4-byte prefix.
+  std::vector<std::uint32_t> table(kHashSlots, 0xffffffffu);
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  while (pos + kMinMatch <= data.size()) {
+    const std::uint32_t slot = hash4(data.data() + pos) % kHashSlots;
+    const std::uint32_t candidate = table[slot];
+    table[slot] = static_cast<std::uint32_t>(pos);
+
+    std::size_t match_len = 0;
+    if (candidate != 0xffffffffu && candidate < pos &&
+        pos - candidate <= kWindow) {
+      const std::size_t limit = std::min(kMaxMatch, data.size() - pos);
+      while (match_len < limit &&
+             data[candidate + match_len] == data[pos + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      flush_literals(out, data, literal_start, pos);
+      const std::size_t dist = pos - candidate;
+      out.push_back(0x01);
+      out.push_back(static_cast<std::uint8_t>(dist & 0xff));
+      out.push_back(static_cast<std::uint8_t>(dist >> 8));
+      out.push_back(static_cast<std::uint8_t>(match_len));
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(out, data, literal_start, data.size());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> decompress(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  if (std::memcmp(data.data(), kMagic.data(), kMagic.size()) != 0) {
+    return std::nullopt;
+  }
+  const std::uint32_t original = get_le32(data, 4);
+  std::vector<std::uint8_t> out;
+  out.reserve(original);
+  std::size_t pos = 8;
+  while (pos < data.size()) {
+    const std::uint8_t token = data[pos++];
+    if (token == 0x00) {
+      if (pos >= data.size()) return std::nullopt;
+      const std::size_t run = data[pos++];
+      if (run == 0 || pos + run > data.size()) return std::nullopt;
+      out.insert(out.end(), data.begin() + static_cast<long>(pos),
+                 data.begin() + static_cast<long>(pos + run));
+      pos += run;
+    } else if (token == 0x01) {
+      if (pos + 3 > data.size()) return std::nullopt;
+      const std::size_t dist = data[pos] | (data[pos + 1] << 8);
+      const std::size_t len = data[pos + 2];
+      pos += 3;
+      if (dist == 0 || dist > out.size() || len < kMinMatch) {
+        return std::nullopt;
+      }
+      // Byte-by-byte so overlapping matches replicate correctly.
+      const std::size_t start = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(out[start + i]);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (out.size() != original) return std::nullopt;
+  return out;
+}
+
+double compression_ratio(std::span<const std::uint8_t> original,
+                         std::span<const std::uint8_t> compressed) {
+  if (original.empty()) return 1.0;
+  return static_cast<double>(compressed.size()) /
+         static_cast<double>(original.size());
+}
+
+}  // namespace patchwork::util

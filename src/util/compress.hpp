@@ -1,0 +1,34 @@
+// LZ-style compression for the gathering phase.
+//
+// Section 6.2.3: "the captured traffic (as pcap files) and logs are
+// compressed and downloaded to the coordinator." Truncated-header pcaps
+// are highly repetitive (encapsulation bytes repeat frame after frame), so
+// even a simple LZ77 with a 64 KiB window gets strong ratios. The format
+// is self-contained: a token stream of literals and (distance, length)
+// back-references.
+//
+// Format: magic "PWZ1", u32 original size, then tokens:
+//   0x00 len  <len literal bytes>           (len in [1, 255])
+//   0x01 dist_lo dist_hi len                (match: dist in [1, 65535],
+//                                            len in [4, 255])
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace patchwork::util {
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data);
+
+/// Returns nullopt on malformed input (bad magic, truncated stream, or a
+/// back-reference outside the produced output).
+std::optional<std::vector<std::uint8_t>> decompress(
+    std::span<const std::uint8_t> data);
+
+/// Compressed size / original size (1.0 when original is empty).
+double compression_ratio(std::span<const std::uint8_t> original,
+                         std::span<const std::uint8_t> compressed);
+
+}  // namespace patchwork::util

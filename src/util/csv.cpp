@@ -1,0 +1,81 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace patchwork::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+void write_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out << ',';
+    out << csv_escape(cells[i]);
+  }
+  out << '\n';
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size()) {
+  assert(columns_ > 0);
+  write_row(out_, columns);
+}
+
+CsvWriter& CsvWriter::begin_row() {
+  assert(current_.empty());
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::string_view value) {
+  current_.emplace_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  current_.push_back(format_double(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::uint64_t value) {
+  current_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  current_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  assert(current_.size() == columns_);
+  write_row(out_, current_);
+  current_.clear();
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> values) {
+  begin_row();
+  for (auto v : values) add(v);
+  end_row();
+}
+
+}  // namespace patchwork::util

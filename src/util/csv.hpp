@@ -1,0 +1,47 @@
+// CSV emission for the Process step of the analysis pipeline (Section 6.2.4
+// of the paper: "the Process step produces CSV files that describe different
+// aspects of the profile").
+//
+// CsvWriter targets any std::ostream so tests can write to a stringstream
+// and benches to stdout or files.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchwork::util {
+
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Begin a new row; values are appended with add().
+  CsvWriter& begin_row();
+  CsvWriter& add(std::string_view value);
+  CsvWriter& add(double value);
+  CsvWriter& add(std::uint64_t value);
+  CsvWriter& add(std::int64_t value);
+  /// Flush the current row; asserts the column count matches the header.
+  void end_row();
+
+  /// Convenience: a full row of string cells in one call.
+  void row(std::initializer_list<std::string_view> values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::vector<std::string> current_;
+  std::size_t rows_ = 0;
+};
+
+/// Quote a CSV field if it contains a comma, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+}  // namespace patchwork::util

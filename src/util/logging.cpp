@@ -1,0 +1,66 @@
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace patchwork::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void Logger::log(Nanos time, LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (level < min_level_) return;
+  records_.push_back(LogRecord{time, level, std::string(component),
+                               std::string(message)});
+}
+
+std::vector<LogRecord> Logger::at_least(LogLevel level) const {
+  std::vector<LogRecord> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               [level](const LogRecord& r) { return r.level >= level; });
+  return out;
+}
+
+std::vector<LogRecord> Logger::for_component(
+    std::string_view component) const {
+  std::vector<LogRecord> out;
+  std::copy_if(
+      records_.begin(), records_.end(), std::back_inserter(out),
+      [component](const LogRecord& r) { return r.component == component; });
+  return out;
+}
+
+std::size_t Logger::count_containing(std::string_view needle) const {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(), [needle](const LogRecord& r) {
+        return r.message.find(needle) != std::string::npos;
+      }));
+}
+
+void Logger::merge(const Logger& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.time < b.time;
+                   });
+}
+
+std::string Logger::render() const {
+  std::ostringstream os;
+  for (const LogRecord& r : records_) {
+    os << "t=" << to_seconds(r.time) << "s " << to_string(r.level) << " ["
+       << r.component << "] " << r.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace patchwork::util

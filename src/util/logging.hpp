@@ -1,0 +1,77 @@
+// Structured instance logging.
+//
+// Section 6.2.2: "Patchwork creates logs at every instance to capture a
+// variety of network- and host-related statistics that can help users
+// notice problems", and the logs travel with the capture to the coordinator
+// for offline inspection. Logger therefore records into an in-memory buffer
+// (retrievable, filterable) rather than only writing to a stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace patchwork::util {
+
+enum class LogLevel : std::uint8_t { kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(LogLevel level);
+
+struct LogRecord {
+  Nanos time = 0;           ///< Simulated time of the event.
+  LogLevel level = LogLevel::kInfo;
+  std::string component;    ///< e.g. "profiler/SITE3", "dpdk-writer".
+  std::string message;
+};
+
+/// In-memory, append-only log. Cheap to move around with a capture bundle.
+class Logger {
+ public:
+  Logger() = default;
+  explicit Logger(LogLevel min_level) : min_level_(min_level) {}
+
+  void log(Nanos time, LogLevel level, std::string_view component,
+           std::string_view message);
+
+  void debug(Nanos t, std::string_view c, std::string_view m) {
+    log(t, LogLevel::kDebug, c, m);
+  }
+  void info(Nanos t, std::string_view c, std::string_view m) {
+    log(t, LogLevel::kInfo, c, m);
+  }
+  void warn(Nanos t, std::string_view c, std::string_view m) {
+    log(t, LogLevel::kWarn, c, m);
+  }
+  void error(Nanos t, std::string_view c, std::string_view m) {
+    log(t, LogLevel::kError, c, m);
+  }
+
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  /// Records at or above `level`.
+  std::vector<LogRecord> at_least(LogLevel level) const;
+
+  /// Records whose component matches exactly.
+  std::vector<LogRecord> for_component(std::string_view component) const;
+
+  /// Number of records containing `needle` in their message.
+  std::size_t count_containing(std::string_view needle) const;
+
+  /// Merge another logger's records (used when gathering instance logs at
+  /// the coordinator). Records keep their original timestamps.
+  void merge(const Logger& other);
+
+  /// Render all records as "t=<sec>s LEVEL [component] message" lines.
+  std::string render() const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  LogLevel min_level_ = LogLevel::kDebug;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace patchwork::util

@@ -1,0 +1,80 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace patchwork::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::pareto(double lo, double hi, double alpha) {
+  assert(lo > 0.0 && hi > lo && alpha > 0.0);
+  // Inverse-CDF sampling of a bounded Pareto.
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(1.0 / x, 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<std::uint64_t> d(mean);
+  return d(engine_);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (x < weights[i]) return i;
+    x -= weights[i];
+  }
+  return weights.size() - 1;  // Floating-point edge: land on the last bucket.
+}
+
+}  // namespace patchwork::util

@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the repository draws from a util::Rng that
+// is seeded explicitly, so experiments and tests are reproducible
+// run-to-run. Rng also provides the small set of distributions the traffic
+// and testbed models need (heavy tails included), and `fork()` for handing
+// independent streams to sub-components without sharing state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace patchwork::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent generator; the child stream does not perturb the
+  /// parent beyond the single draw used to seed it.
+  Rng fork() { return Rng(engine_()); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Normal distribution (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Log-normal distribution parameterized by the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential distribution with the given mean (not rate).
+  double exponential(double mean);
+
+  /// Bounded Pareto: heavy-tailed draw in [lo, hi] with shape alpha.
+  /// Used for flow sizes and slice durations, both of which the paper
+  /// reports as heavy-tailed.
+  double pareto(double lo, double hi, double alpha);
+
+  /// Poisson distribution with the given mean.
+  std::uint64_t poisson(double mean);
+
+  /// Index drawn from a discrete distribution given by `weights`
+  /// (unnormalized, non-negative, at least one positive entry).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace patchwork::util

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace patchwork::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double ecdf_at(std::span<const double> sorted_values, double x) {
+  if (sorted_values.empty()) return 0.0;
+  const auto it =
+      std::upper_bound(sorted_values.begin(), sorted_values.end(), x);
+  return static_cast<double>(it - sorted_values.begin()) /
+         static_cast<double>(sorted_values.size());
+}
+
+std::vector<std::pair<double, double>> ecdf(std::vector<double> values) {
+  std::vector<std::pair<double, double>> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+}  // namespace patchwork::util

@@ -1,0 +1,43 @@
+// Small statistics helpers shared by the infrastructure study, the analysis
+// pipeline, and the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace patchwork::util {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Population variance.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set, `p` in [0,100], linear interpolation.
+/// Copies and sorts; fine for analysis-sized data.
+double percentile(std::span<const double> values, double p);
+
+/// Empirical CDF evaluated at `x`: fraction of samples <= x.
+double ecdf_at(std::span<const double> sorted_values, double x);
+
+/// (x, F(x)) pairs of the empirical CDF at each distinct sample value.
+std::vector<std::pair<double, double>> ecdf(std::vector<double> values);
+
+}  // namespace patchwork::util

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace patchwork::util {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << " | ";
+      out << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out << "-+-";
+    out << std::string(widths[i], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace patchwork::util

@@ -1,0 +1,36 @@
+// Console table rendering for the benchmark harnesses, which must print the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace patchwork::util {
+
+/// Fixed-column text table with aligned output, e.g.
+///
+///   Frame Size (B) | Rate (Gbps) | Cores | Loss (%)
+///   ---------------+-------------+-------+---------
+///   1514           | 100         | 5     | 0.67
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header separator to `out`.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by benches.
+std::string fmt_double(double v, int precision);
+std::string fmt_percent(double fraction, int precision);  ///< 0.147 -> "14.7%"
+
+}  // namespace patchwork::util

@@ -1,0 +1,112 @@
+#include "analysis/acap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/frame_builder.hpp"
+
+namespace patchwork::analysis {
+namespace {
+
+using net::FrameBuilder;
+using net::Ipv4Address;
+using net::MacAddress;
+
+net::ParsedFrame parsed_tcp(Ipv4Address src, Ipv4Address dst,
+                            std::uint16_t sport, std::uint16_t dport,
+                            std::uint16_t vlan = 0) {
+  FrameBuilder b;
+  b.ethernet(MacAddress::from_id(1), MacAddress::from_id(2));
+  if (vlan) b.vlan(vlan);
+  b.ipv4(src, dst).tcp(sport, dport).payload(10);
+  return net::parse_frame(b.build());
+}
+
+TEST(FlowKey, BidirectionalFramesShareOneKey) {
+  const auto a = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto b = Ipv4Address::from_octets(10, 0, 0, 2);
+  const FlowKey forward = flow_key_of(parsed_tcp(a, b, 50000, 443));
+  const FlowKey reverse = flow_key_of(parsed_tcp(b, a, 443, 50000));
+  EXPECT_EQ(forward, reverse);
+  EXPECT_EQ(FlowKeyHash{}(forward), FlowKeyHash{}(reverse));
+}
+
+TEST(FlowKey, VirtualizationTagsSeparateIdenticalAddresses) {
+  // Section 6.2.4: "even if the same 10/8 addresses are used in different
+  // slices, they are treated as different flows."
+  const auto a = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto b = Ipv4Address::from_octets(10, 0, 0, 2);
+  const FlowKey slice1 = flow_key_of(parsed_tcp(a, b, 1000, 2000, 100));
+  const FlowKey slice2 = flow_key_of(parsed_tcp(a, b, 1000, 2000, 200));
+  EXPECT_NE(slice1, slice2);
+}
+
+TEST(FlowKey, PortsDistinguishFlows) {
+  const auto a = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto b = Ipv4Address::from_octets(10, 0, 0, 2);
+  EXPECT_NE(flow_key_of(parsed_tcp(a, b, 1000, 443)),
+            flow_key_of(parsed_tcp(a, b, 1001, 443)));
+}
+
+TEST(FlowKey, MplsLabelsIncluded) {
+  FrameBuilder b1, b2;
+  const auto a = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto b = Ipv4Address::from_octets(10, 0, 0, 2);
+  b1.ethernet(MacAddress::from_id(1), MacAddress::from_id(2))
+      .mpls(16001)
+      .ipv4(a, b)
+      .udp(1, 2);
+  b2.ethernet(MacAddress::from_id(1), MacAddress::from_id(2))
+      .mpls(16002)
+      .ipv4(a, b)
+      .udp(1, 2);
+  EXPECT_NE(flow_key_of(net::parse_frame(b1.build())),
+            flow_key_of(net::parse_frame(b2.build())));
+}
+
+TEST(FlowKey, OrderingIsStrictWeak) {
+  const auto a = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto b = Ipv4Address::from_octets(10, 0, 0, 2);
+  const FlowKey k1 = flow_key_of(parsed_tcp(a, b, 1, 2));
+  const FlowKey k2 = flow_key_of(parsed_tcp(a, b, 3, 4));
+  EXPECT_NE(k1 < k2, k2 < k1);
+  EXPECT_FALSE(k1 < k1);
+}
+
+TEST(FlowKey, ToStringMentionsTags) {
+  const auto a = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto b = Ipv4Address::from_octets(10, 0, 0, 2);
+  const FlowKey k = flow_key_of(parsed_tcp(a, b, 1, 2, 77));
+  EXPECT_NE(k.to_string().find("77"), std::string::npos);
+}
+
+TEST(AbstractFrame, CapturesStackAndMetadata) {
+  FrameBuilder b;
+  b.ethernet(MacAddress::from_id(1), MacAddress::from_id(2))
+      .vlan(5)
+      .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+            Ipv4Address::from_octets(10, 0, 0, 2))
+      .tcp(1, 2, net::tcp_flags::kRst)
+      .pad_to(999);
+  const net::Frame frame = b.build(123456);
+  const AcapRecord rec = abstract_frame(net::parse_frame(frame));
+  EXPECT_EQ(rec.wire_length, 999u);
+  EXPECT_EQ(rec.timestamp, 123456u);
+  EXPECT_EQ(rec.tcp_flags, net::tcp_flags::kRst);
+  EXPECT_TRUE(rec.has(net::Protocol::kVlan));
+  EXPECT_EQ(rec.header_depth(), 4u);
+}
+
+TEST(AbstractFrame, NonTcpHasZeroFlags) {
+  FrameBuilder b;
+  b.ethernet(MacAddress::from_id(1), MacAddress::from_id(2))
+      .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+            Ipv4Address::from_octets(10, 0, 0, 2))
+      .udp(1, 2)
+      .payload(5);
+  const AcapRecord rec = abstract_frame(net::parse_frame(b.build()));
+  EXPECT_EQ(rec.tcp_flags, 0);
+  EXPECT_EQ(rec.flow.l4_proto, net::kIpProtoUdp);
+}
+
+}  // namespace
+}  // namespace patchwork::analysis

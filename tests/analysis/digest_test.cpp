@@ -1,0 +1,80 @@
+#include "analysis/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.hpp"
+
+namespace patchwork::analysis {
+namespace {
+
+using testing::make_capture;
+using testing::tcp_frame;
+
+TEST(Digest, ProducesOneRecordPerFrame) {
+  const auto capture = make_capture(
+      "S1", 4, {tcp_frame(1, 2, 100, 200), tcp_frame(3, 4, 300, 400)});
+  DigestStats stats;
+  const AcapFile file = digest(capture, &stats);
+  EXPECT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(stats.frames, 2u);
+  EXPECT_EQ(file.site, "S1");
+  EXPECT_EQ(file.port, 4u);
+}
+
+TEST(Digest, PreservesSampleMetadata) {
+  auto capture = make_capture("S2", 7, {tcp_frame(1, 2, 1, 2)},
+                              5 * util::kMinute);
+  capture.switch_drops_suspected = 42;
+  const AcapFile file = digest(capture);
+  EXPECT_EQ(file.start, 5 * util::kMinute);
+  EXPECT_EQ(file.duration, 20 * util::kSecond);
+  EXPECT_EQ(file.switch_drops_suspected, 42u);
+}
+
+TEST(Digest, RecordsKeepWireLengthDespiteTruncation) {
+  const auto capture =
+      make_capture("S1", 0, {tcp_frame(1, 2, 1, 2, 1514)}, 0, /*snaplen=*/64);
+  const AcapFile file = digest(capture);
+  ASSERT_EQ(file.records.size(), 1u);
+  EXPECT_EQ(file.records[0].wire_length, 1514u);
+  EXPECT_EQ(file.records[0].captured_length, 64u);
+}
+
+TEST(Digest, CountsTruncatedFrames) {
+  // A 64 B snaplen slices into the TCP header of this stack (14 + 4 + 4 +
+  // 20 = 42 bytes before TCP; TCP needs 20 more and payload follows).
+  const auto capture =
+      make_capture("S1", 0, {tcp_frame(1, 2, 1, 2, 1514)}, 0, /*snaplen=*/50);
+  DigestStats stats;
+  digest(capture, &stats);
+  EXPECT_EQ(stats.truncated_frames, 1u);
+}
+
+TEST(Digest, InvalidPcapCountsBadRecords) {
+  RawCapture bogus;
+  bogus.site = "S1";
+  bogus.pcap = {1, 2, 3, 4};
+  DigestStats stats;
+  const AcapFile file = digest(bogus, &stats);
+  EXPECT_TRUE(file.records.empty());
+  EXPECT_EQ(stats.bad_records, 1u);
+}
+
+TEST(Digest, DigestAllAggregates) {
+  std::vector<RawCapture> captures;
+  captures.push_back(make_capture("S1", 0, {tcp_frame(1, 2, 1, 2)}));
+  captures.push_back(make_capture("S2", 1, {tcp_frame(3, 4, 5, 6),
+                                            tcp_frame(5, 6, 7, 8)}));
+  DigestStats stats;
+  const auto files = digest_all(captures, &stats);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(stats.frames, 3u);
+}
+
+TEST(Digest, StatsPointerIsOptional) {
+  const auto capture = make_capture("S1", 0, {tcp_frame(1, 2, 1, 2)});
+  EXPECT_EQ(digest(capture).records.size(), 1u);  // No crash without stats.
+}
+
+}  // namespace
+}  // namespace patchwork::analysis

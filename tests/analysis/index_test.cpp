@@ -1,0 +1,72 @@
+#include "analysis/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/digest.hpp"
+#include "testing/fixtures.hpp"
+
+namespace patchwork::analysis {
+namespace {
+
+using patchwork::testing::make_capture;
+using patchwork::testing::tcp_frame;
+
+std::vector<AcapFile> sample_files() {
+  std::vector<RawCapture> captures;
+  captures.push_back(
+      make_capture("S1", 0, {tcp_frame(1, 2, 100, 443)}, 0));
+  captures.push_back(
+      make_capture("S1", 1, {tcp_frame(1, 2, 100, 53)}, 10 * util::kMinute));
+  captures.push_back(
+      make_capture("S2", 0, {tcp_frame(3, 4, 100, 22)}, 5 * util::kMinute));
+  return digest_all(captures);
+}
+
+TEST(ProfileIndex, BySiteIsTimeOrdered) {
+  const auto files = sample_files();
+  ProfileIndex index(files);
+  const auto s1 = index.by_site("S1");
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_LT(files[s1[0]].start, files[s1[1]].start);
+  EXPECT_EQ(index.by_site("S2").size(), 1u);
+  EXPECT_TRUE(index.by_site("S9").empty());
+}
+
+TEST(ProfileIndex, ByTimeIntersectsIntervals) {
+  const auto files = sample_files();
+  ProfileIndex index(files);
+  // Only the t=0 sample overlaps [0, 20s).
+  EXPECT_EQ(index.by_time(0, 20 * util::kSecond).size(), 1u);
+  // All three overlap the full range.
+  EXPECT_EQ(index.by_time(0, util::kHour).size(), 3u);
+  EXPECT_TRUE(index.by_time(2 * util::kHour, 3 * util::kHour).empty());
+}
+
+TEST(ProfileIndex, ByProtocolUsesDissectedStacks) {
+  const auto files = sample_files();
+  ProfileIndex index(files);
+  // Every sample carries TCP.
+  EXPECT_EQ(index.by_protocol(net::Protocol::kTcp).size(), 3u);
+  // Nothing carries ICMP.
+  EXPECT_TRUE(index.by_protocol(net::Protocol::kIcmp).empty());
+}
+
+TEST(ProfileIndex, CombinedQuery) {
+  const auto files = sample_files();
+  ProfileIndex index(files);
+  const auto hits = index.query("S1", 0, util::kHour, net::Protocol::kTcp);
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(
+      index.query("S1", 0, util::kHour, net::Protocol::kIcmp).empty());
+}
+
+TEST(ProfileIndex, SitesEnumerated) {
+  const auto files = sample_files();
+  ProfileIndex index(files);
+  const auto sites = index.sites();
+  EXPECT_EQ(sites.size(), 2u);
+  EXPECT_EQ(index.file_count(), 3u);
+}
+
+}  // namespace
+}  // namespace patchwork::analysis

@@ -1,0 +1,95 @@
+#include "capture/fpga_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/frame_builder.hpp"
+
+namespace patchwork::capture {
+namespace {
+
+using net::FrameBuilder;
+using net::Ipv4Address;
+using net::MacAddress;
+
+net::Frame tcp_frame(std::uint16_t dport, std::size_t size = 1514) {
+  return FrameBuilder()
+      .ethernet(MacAddress::from_id(1), MacAddress::from_id(2))
+      .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+            Ipv4Address::from_octets(10, 0, 0, 2))
+      .tcp(50000, dport)
+      .payload(8)
+      .pad_to(size)
+      .build();
+}
+
+TEST(FpgaPipeline, TruncatesToSnaplen) {
+  CaptureConfig config;
+  config.snaplen = 200;
+  FpgaPipeline pipeline(config);
+  const auto out = pipeline.process(tcp_frame(443));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->captured_length(), 200u);
+  EXPECT_EQ(out->wire_length(), 1514u);
+}
+
+TEST(FpgaPipeline, FilterDropsNonMatching) {
+  CaptureConfig config;
+  config.filter = std::get<Filter>(Filter::compile("port 443"));
+  FpgaPipeline pipeline(config);
+  EXPECT_TRUE(pipeline.process(tcp_frame(443)).has_value());
+  EXPECT_FALSE(pipeline.process(tcp_frame(22)).has_value());
+  EXPECT_EQ(pipeline.stats().seen, 2u);
+  EXPECT_EQ(pipeline.stats().filtered_out, 1u);
+  EXPECT_EQ(pipeline.stats().emitted, 1u);
+}
+
+TEST(FpgaPipeline, OneInNSampling) {
+  CaptureConfig config;
+  config.sample_1_in_n = 4;
+  FpgaPipeline pipeline(config);
+  int kept = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (pipeline.process(tcp_frame(443)).has_value()) ++kept;
+  }
+  EXPECT_EQ(kept, 25);
+  EXPECT_EQ(pipeline.stats().sampled_out, 75u);
+}
+
+TEST(FpgaPipeline, SamplingCountsOnlyFilteredInFrames) {
+  CaptureConfig config;
+  config.filter = std::get<Filter>(Filter::compile("port 443"));
+  config.sample_1_in_n = 2;
+  FpgaPipeline pipeline(config);
+  int kept = 0;
+  for (int i = 0; i < 40; ++i) {
+    // Alternate matching and non-matching frames.
+    if (pipeline.process(tcp_frame(i % 2 ? 443 : 22)).has_value()) ++kept;
+  }
+  // 20 matched the filter; every 2nd kept.
+  EXPECT_EQ(kept, 10);
+}
+
+TEST(FpgaPipeline, AnonymizationAppliedOnCard) {
+  CaptureConfig config;
+  config.anonymize = true;
+  config.snaplen = 200;
+  FpgaPipeline pipeline(config);
+  const net::Frame in = tcp_frame(443);
+  const auto out = pipeline.process(in);
+  ASSERT_TRUE(out.has_value());
+  const auto before = net::parse_frame(in);
+  const auto after = net::parse_frame(*out);
+  ASSERT_TRUE(before.ipv4 && after.ipv4);
+  EXPECT_NE(after.ipv4->src, before.ipv4->src);
+}
+
+TEST(FpgaPipeline, StatsResettable) {
+  CaptureConfig config;
+  FpgaPipeline pipeline(config);
+  pipeline.process(tcp_frame(443));
+  pipeline.reset_stats();
+  EXPECT_EQ(pipeline.stats().seen, 0u);
+}
+
+}  // namespace
+}  // namespace patchwork::capture

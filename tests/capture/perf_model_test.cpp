@@ -1,0 +1,194 @@
+#include "capture/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcap/pcap.hpp"
+
+namespace patchwork::capture {
+namespace {
+
+host::HostSpec table_host() {
+  // The Appendix B host: 16 cores, 128 GB RAM, ~100 GB free cache.
+  host::HostSpec spec;
+  spec.page_cache.dirty_background_ratio = 0.60;
+  spec.page_cache.dirty_ratio = 0.80;
+  return spec;
+}
+
+TEST(TcpdumpModel, LosslessBelowCeiling) {
+  host::HostSpec spec;
+  TcpdumpRunParams p;
+  p.offered_bps = 5e9;
+  p.frame_size = 1500;
+  const TcpdumpRunStats stats = simulate_tcpdump(spec, p);
+  EXPECT_EQ(stats.dropped_frames, 0u);
+  EXPECT_GT(stats.captured_frames, 0u);
+}
+
+TEST(TcpdumpModel, LossyAboveCeiling) {
+  host::HostSpec spec;
+  TcpdumpRunParams p;
+  p.offered_bps = 20e9;
+  p.frame_size = 1500;
+  const TcpdumpRunStats stats = simulate_tcpdump(spec, p);
+  EXPECT_GT(stats.loss_fraction(), 0.3);
+}
+
+TEST(TcpdumpModel, CeilingNear8point5Gbps) {
+  // Section 8.1.2: "tcpdump was able to capture packets without packet
+  // loss until about 8.5 Gbps of throughput for 1500B frames."
+  host::HostSpec spec;
+  const double ceiling = tcpdump_lossless_ceiling_bps(spec, 1500, 64);
+  EXPECT_GT(ceiling, 7.5e9);
+  EXPECT_LT(ceiling, 9.5e9);
+}
+
+TEST(TcpdumpModel, BufferAbsorbsShortBursts) {
+  // Over a very short run, the 32 MB buffer absorbs an over-rate stream.
+  host::HostSpec spec;
+  TcpdumpRunParams p;
+  p.offered_bps = 12e9;
+  p.frame_size = 1500;
+  p.duration = 10 * util::kMillisecond;
+  EXPECT_EQ(simulate_tcpdump(spec, p).dropped_frames, 0u);
+  // Sustained, the same stream loses frames.
+  p.duration = 10 * util::kSecond;
+  EXPECT_GT(simulate_tcpdump(spec, p).dropped_frames, 0u);
+}
+
+struct TableRow {
+  std::size_t frame_size;
+  double rate_gbps;
+  std::uint32_t cores;
+  std::uint32_t truncation;
+};
+
+class TruncationTables : public ::testing::TestWithParam<TableRow> {};
+
+TEST_P(TruncationTables, LossStaysUnderOnePercent) {
+  const TableRow row = GetParam();
+  util::Rng rng(42);
+  DpdkRunParams p;
+  p.offered_bps = row.rate_gbps * 1e9;
+  p.frame_size = row.frame_size;
+  p.truncation = row.truncation;
+  p.cores = row.cores;
+  p.duration = 2 * util::kSecond;
+  host::HostSpec spec = table_host();
+  const DpdkRunStats stats = simulate_dpdk_writer(spec, p, rng);
+  EXPECT_LT(stats.loss_fraction(), 0.01)
+      << row.frame_size << "B @" << row.rate_gbps << "G x" << row.cores
+      << " trunc " << row.truncation;
+  EXPECT_GT(stats.captured_frames, 0u);
+}
+
+// Every row of Table 1 (200 B truncation) and Table 2 (64 B truncation).
+INSTANTIATE_TEST_SUITE_P(
+    PaperTables, TruncationTables,
+    ::testing::Values(TableRow{1514, 100, 5, 200}, TableRow{1024, 100, 10, 200},
+                      TableRow{512, 60, 15, 200}, TableRow{128, 15, 15, 200},
+                      TableRow{1514, 100, 3, 64}, TableRow{1024, 100, 5, 64},
+                      TableRow{512, 100, 15, 64}, TableRow{128, 28, 15, 64}));
+
+TEST(DpdkModel, FewerCoresThanTableLoses) {
+  // The tables list the cores *needed*; below that, loss blows past 1%.
+  util::Rng rng(42);
+  DpdkRunParams p;
+  p.offered_bps = 100e9;
+  p.frame_size = 1514;
+  p.truncation = 200;
+  p.cores = 3;  // Table 1 says 5.
+  p.duration = util::kSecond;
+  host::HostSpec spec = table_host();
+  EXPECT_GT(simulate_dpdk_writer(spec, p, rng).loss_fraction(), 0.05);
+}
+
+TEST(DpdkModel, SixtyFourByteTruncationNeedsFewerCores) {
+  // Section 8.1.4's headline: "performance improves for 64 bytes
+  // truncation, requiring fewer cores to achieve the same throughput".
+  util::Rng rng1(42), rng2(42);
+  DpdkRunParams p;
+  p.offered_bps = 100e9;
+  p.frame_size = 1514;
+  p.cores = 3;
+  p.duration = util::kSecond;
+  host::HostSpec spec = table_host();
+  p.truncation = 64;
+  const double loss64 = simulate_dpdk_writer(spec, p, rng1).loss_fraction();
+  p.truncation = 200;
+  const double loss200 = simulate_dpdk_writer(spec, p, rng2).loss_fraction();
+  EXPECT_LT(loss64, 0.01);
+  EXPECT_GT(loss200, loss64);
+}
+
+TEST(DpdkModel, WritevBatchesOf128Frames) {
+  util::Rng rng(1);
+  DpdkRunParams p;
+  p.offered_bps = 10e9;
+  p.frame_size = 1514;
+  p.truncation = 200;
+  p.cores = 5;
+  p.duration = util::kSecond;
+  const DpdkRunStats stats = simulate_dpdk_writer(table_host(), p, rng);
+  // One writev per 128 captured frames (plus or minus the tail).
+  EXPECT_NEAR(static_cast<double>(stats.writev_calls),
+              static_cast<double>(stats.captured_frames) / 128.0,
+              static_cast<double>(stats.writev_calls) * 0.1 + 2);
+  EXPECT_EQ(stats.bytes_stored,
+            stats.writev_calls * 128 * (200 + pcap::kRecordHeaderSize));
+}
+
+TEST(DpdkModel, TightThresholdsHitTheLatencyWall) {
+  // Fig. 14: with 10:20 thresholds the summed high-bucket latency explodes
+  // once usage passes the midpoint; with 20:50 it stays low at the same
+  // usage.
+  host::HostSpec tight;
+  tight.page_cache.dirty_background_ratio = 0.10;
+  tight.page_cache.dirty_ratio = 0.20;
+  tight.page_cache.free_cache_bytes = 4ull << 30;  // Small for test speed.
+  // Appendix B's host: flushing is far slower than the truncated ingest,
+  // so dirty pages track cumulative usage.
+  tight.page_cache.storage_write_bytes_per_sec = 150e6;
+  host::HostSpec loose = tight;
+  loose.page_cache.dirty_background_ratio = 0.20;
+  loose.page_cache.dirty_ratio = 0.50;
+
+  DpdkRunParams p;
+  p.offered_bps = 100e9;
+  p.frame_size = 1514;
+  p.truncation = 200;
+  p.cores = 8;
+  p.track_usage_curve = true;
+  // Write ~25% of the free cache.
+  p.duration = util::from_seconds(
+      0.25 * static_cast<double>(tight.page_cache.free_cache_bytes) /
+      (100e9 / 8.0 / 1514.0 * 216.0));
+
+  util::Rng rng1(7), rng2(7);
+  const DpdkRunStats tight_stats = simulate_dpdk_writer(tight, p, rng1);
+  const DpdkRunStats loose_stats = simulate_dpdk_writer(loose, p, rng2);
+
+  auto at_21pct = [](const DpdkRunStats& s) {
+    double val = 0.0;
+    for (const UsagePoint& pt : s.usage_curve) {
+      if (pt.usage_fraction <= 0.21) val = pt.summed_high_latency_ms;
+    }
+    return val;
+  };
+  const double tight_ms = at_21pct(tight_stats);
+  const double loose_ms = at_21pct(loose_stats);
+  // "two orders of magnitude lower" in the paper; require >= 10x here.
+  EXPECT_GT(tight_ms, 10.0 * std::max(loose_ms, 0.001));
+}
+
+TEST(DpdkModel, ZeroOfferedRateIsEmptyRun) {
+  util::Rng rng(1);
+  DpdkRunParams p;
+  p.offered_bps = 0.0;
+  const DpdkRunStats stats = simulate_dpdk_writer(table_host(), p, rng);
+  EXPECT_EQ(stats.offered_frames, 0u);
+  EXPECT_EQ(stats.writev_calls, 0u);
+}
+
+}  // namespace
+}  // namespace patchwork::capture

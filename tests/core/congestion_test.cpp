@@ -1,0 +1,76 @@
+#include "core/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env_fixture.hpp"
+
+namespace patchwork::core {
+namespace {
+
+using patchwork::testing::World;
+
+struct CongestionTest : ::testing::Test {
+  CongestionTest() {
+    // Pin a port's rates, then warm telemetry so MfLib can see them.
+    auto& tor = world.fed.site(testbed::SiteId{0}).tor();
+    tor.mutable_port(testbed::PortId{0}).set_rates(60e9, 50e9);
+    for (util::Nanos t = 0; t < 20 * util::kMinute; t += 5 * util::kMinute) {
+      world.fed.advance(5 * util::kMinute);
+      world.mflib.poll_all(t + 5 * util::kMinute);
+    }
+  }
+  World world{3};
+};
+
+TEST_F(CongestionTest, DetectsOversubscribedMirror) {
+  // 60 + 50 = 110 Gbps mirrored into a 100 Gbps egress: dropping.
+  CongestionDetector detector(world.mflib, 15 * util::kMinute);
+  testbed::MirrorSession session{testbed::PortId{0},
+                                 testbed::MirrorDirections::kBoth,
+                                 testbed::PortId{5}};
+  const CongestionVerdict verdict =
+      detector.assess(testbed::SiteId{0}, session, 100e9);
+  EXPECT_TRUE(verdict.likely_dropping);
+  EXPECT_NEAR(verdict.offered_bps, 110e9, 5e9);
+  EXPECT_NEAR(verdict.estimated_drop_fraction, 1.0 - 100.0 / 110.0, 0.02);
+}
+
+TEST_F(CongestionTest, SingleDirectionMirrorFitsFine) {
+  CongestionDetector detector(world.mflib, 15 * util::kMinute);
+  testbed::MirrorSession tx_only{testbed::PortId{0},
+                                 testbed::MirrorDirections::kTxOnly,
+                                 testbed::PortId{5}};
+  const CongestionVerdict verdict =
+      detector.assess(testbed::SiteId{0}, tx_only, 100e9);
+  EXPECT_FALSE(verdict.likely_dropping);
+  EXPECT_NEAR(verdict.offered_bps, 60e9, 3e9);
+  EXPECT_DOUBLE_EQ(verdict.estimated_drop_fraction, 0.0);
+}
+
+TEST_F(CongestionTest, EstimatedDropsScaleWithWindow) {
+  CongestionDetector detector(world.mflib, 15 * util::kMinute);
+  testbed::MirrorSession session{testbed::PortId{0},
+                                 testbed::MirrorDirections::kBoth,
+                                 testbed::PortId{5}};
+  const CongestionVerdict verdict =
+      detector.assess(testbed::SiteId{0}, session, 100e9);
+  const std::uint64_t d20 = verdict.estimated_drops(1e6, 20 * util::kSecond);
+  const std::uint64_t d40 = verdict.estimated_drops(1e6, 40 * util::kSecond);
+  EXPECT_NEAR(static_cast<double>(d40), 2.0 * static_cast<double>(d20),
+              static_cast<double>(d20) * 0.01 + 1);
+  EXPECT_GT(d20, 0u);
+}
+
+TEST(CongestionColdStart, NoTelemetryMeansNoVerdict) {
+  World world{4};
+  CongestionDetector detector(world.mflib, 15 * util::kMinute);
+  testbed::MirrorSession session{testbed::PortId{0},
+                                 testbed::MirrorDirections::kBoth,
+                                 testbed::PortId{5}};
+  const CongestionVerdict verdict =
+      detector.assess(testbed::SiteId{0}, session, 100e9);
+  EXPECT_FALSE(verdict.likely_dropping);  // Assume healthy without data.
+}
+
+}  // namespace
+}  // namespace patchwork::core

@@ -1,0 +1,57 @@
+#include "core/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.hpp"
+#include "testing/env_fixture.hpp"
+
+namespace patchwork::core {
+namespace {
+
+using patchwork::testing::World;
+
+TEST(Environment, AdvanceMovesClock) {
+  World world;
+  world.env.advance(90 * util::kSecond);
+  EXPECT_EQ(world.clock.now(), 90 * util::kSecond);
+}
+
+TEST(Environment, AdvancePollsEveryFiveMinutes) {
+  World world;
+  world.env.advance(26 * util::kMinute);
+  // Polls at t=0 boundary handling: first poll at 0? next_poll_ starts 0 ->
+  // poll happens on first step. Expect ~1 + 26/5 polls.
+  EXPECT_GE(world.mflib.polls_completed(), 5u);
+  EXPECT_LE(world.mflib.polls_completed(), 7u);
+}
+
+TEST(Environment, AdvanceAccumulatesCounters) {
+  World world;
+  world.env.advance(10 * util::kMinute);
+  // Some port must have moved bytes (loads are non-zero somewhere).
+  std::uint64_t total = 0;
+  for (testbed::SiteId sid : world.fed.site_ids()) {
+    const auto& tor = world.fed.site(sid).tor();
+    for (std::uint32_t p = 0; p < tor.port_count(); ++p) {
+      total += tor.port(testbed::PortId{p}).counters().tx_bytes;
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Environment, TelemetryRatesAvailableAfterWarmup) {
+  World world;
+  world.warm_up_telemetry();
+  const auto rates = world.mflib.site_rates_sorted(testbed::SiteId{0},
+                                                   15 * util::kMinute);
+  EXPECT_FALSE(rates.empty());
+}
+
+TEST(Environment, SmallAdvancesAreExact) {
+  World world;
+  for (int i = 0; i < 10; ++i) world.env.advance(util::kSecond);
+  EXPECT_EQ(world.clock.now(), 10 * util::kSecond);
+}
+
+}  // namespace
+}  // namespace patchwork::core

@@ -1,0 +1,171 @@
+#include "core/mirror_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::core {
+namespace {
+
+testbed::ToRSwitch make_switch(std::size_t ports = 12) {
+  std::vector<testbed::SwitchPort> v;
+  for (std::size_t i = 0; i < 2; ++i) {
+    v.emplace_back(testbed::PortKind::kUplink, 100e9);
+  }
+  for (std::size_t i = 2; i < ports; ++i) {
+    v.emplace_back(testbed::PortKind::kDownlink, 100e9);
+  }
+  return testbed::ToRSwitch(std::move(v));
+}
+
+MirrorScheduler::Policy quantum(util::Nanos q) {
+  MirrorScheduler::Policy p;
+  p.quantum = q;
+  return p;
+}
+
+TEST(MirrorScheduler, GrantsImmediatelyWhenFree) {
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}, testbed::PortId{11}});
+  const auto id = sched.submit(
+      {"alice", testbed::PortId{3}, testbed::MirrorDirections::kBoth,
+       5 * util::kMinute});
+  sched.tick(0);
+  ASSERT_EQ(sched.active().size(), 1u);
+  EXPECT_EQ(sched.active()[0].request, id);
+  EXPECT_EQ(sched.active()[0].user, "alice");
+  // The hardware mirror is actually installed.
+  EXPECT_TRUE(tor.mirror_for_source(testbed::PortId{3}).has_value());
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(MirrorScheduler, TwoUsersShareOneSourcePortOverTime) {
+  // The headline feature: "only a single FABRIC user at a time can mirror
+  // a specific switch port" — the scheduler serializes them.
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}, testbed::PortId{11}},
+                        quantum(10 * util::kMinute));
+  const auto alice = sched.submit(
+      {"alice", testbed::PortId{3}, testbed::MirrorDirections::kBoth,
+       10 * util::kMinute});
+  const auto bob = sched.submit(
+      {"bob", testbed::PortId{3}, testbed::MirrorDirections::kBoth,
+       10 * util::kMinute});
+  sched.tick(0);
+  // Only one can hold port 3, even with a second destination free.
+  ASSERT_EQ(sched.active().size(), 1u);
+  EXPECT_EQ(sched.active()[0].request, alice);
+  EXPECT_TRUE(sched.is_pending(bob));
+  // After alice's lease ends, bob gets the port.
+  sched.tick(10 * util::kMinute);
+  ASSERT_EQ(sched.active().size(), 1u);
+  EXPECT_EQ(sched.active()[0].request, bob);
+}
+
+TEST(MirrorScheduler, QuantumSlicesLongRequests) {
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}},
+                        quantum(10 * util::kMinute));
+  const auto id = sched.submit(
+      {"alice", testbed::PortId{3}, testbed::MirrorDirections::kBoth,
+       25 * util::kMinute});
+  sched.tick(0);
+  EXPECT_EQ(sched.remaining(id), 25 * util::kMinute);
+  sched.tick(10 * util::kMinute);  // First quantum done, requeued+regranted.
+  EXPECT_EQ(sched.remaining(id), 15 * util::kMinute);
+  sched.tick(20 * util::kMinute);
+  EXPECT_EQ(sched.remaining(id), 5 * util::kMinute);
+  ASSERT_EQ(sched.active().size(), 1u);
+  // Final slice is shorter than the quantum.
+  EXPECT_EQ(sched.active()[0].expires, 25 * util::kMinute);
+  sched.tick(25 * util::kMinute);
+  EXPECT_TRUE(sched.active().empty());
+  EXPECT_EQ(sched.remaining(id), 0u);
+  EXPECT_EQ(sched.leases_granted(), 3u);
+}
+
+TEST(MirrorScheduler, FairnessLeastServedUserFirst) {
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}},
+                        quantum(10 * util::kMinute));
+  // Alice asks for a long capture of port 3; bob later wants port 4.
+  sched.submit({"alice", testbed::PortId{3},
+                testbed::MirrorDirections::kBoth, util::kHour});
+  sched.tick(0);
+  sched.submit({"bob", testbed::PortId{4}, testbed::MirrorDirections::kBoth,
+                10 * util::kMinute});
+  // When alice's quantum expires, bob (zero service so far) wins the slot
+  // even though alice requeued first... (she has 10 min of service).
+  sched.tick(10 * util::kMinute);
+  ASSERT_EQ(sched.active().size(), 1u);
+  EXPECT_EQ(sched.active()[0].user, "bob");
+  // Alice resumes afterwards.
+  sched.tick(20 * util::kMinute);
+  ASSERT_EQ(sched.active().size(), 1u);
+  EXPECT_EQ(sched.active()[0].user, "alice");
+  EXPECT_EQ(sched.service_time().at("alice"), 10 * util::kMinute);
+  EXPECT_EQ(sched.service_time().at("bob"), 10 * util::kMinute);
+}
+
+TEST(MirrorScheduler, MultipleDestinationsServeConcurrently) {
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}, testbed::PortId{11}});
+  sched.submit({"alice", testbed::PortId{3},
+                testbed::MirrorDirections::kBoth, util::kMinute});
+  sched.submit({"bob", testbed::PortId{4}, testbed::MirrorDirections::kBoth,
+                util::kMinute});
+  sched.tick(0);
+  EXPECT_EQ(sched.active().size(), 2u);
+  EXPECT_TRUE(sched.lease_on(testbed::PortId{10}).has_value());
+  EXPECT_TRUE(sched.lease_on(testbed::PortId{11}).has_value());
+}
+
+TEST(MirrorScheduler, CancelPendingAndActive) {
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}});
+  const auto a = sched.submit({"alice", testbed::PortId{3},
+                               testbed::MirrorDirections::kBoth,
+                               util::kHour});
+  const auto b = sched.submit({"bob", testbed::PortId{4},
+                               testbed::MirrorDirections::kBoth,
+                               util::kHour});
+  sched.tick(0);
+  EXPECT_TRUE(sched.cancel(b));  // Pending.
+  EXPECT_EQ(sched.pending_count(), 0u);
+  EXPECT_TRUE(sched.cancel(a));  // Active: hardware mirror torn down.
+  EXPECT_TRUE(sched.active().empty());
+  EXPECT_FALSE(tor.mirror_for_source(testbed::PortId{3}).has_value());
+  EXPECT_FALSE(sched.cancel(a));  // Gone.
+}
+
+TEST(MirrorScheduler, RespectsExternallyBusyPorts) {
+  testbed::ToRSwitch tor = make_switch();
+  // Someone else (outside the scheduler) already mirrors port 3.
+  ASSERT_TRUE(tor.add_mirror({testbed::PortId{3},
+                              testbed::MirrorDirections::kBoth,
+                              testbed::PortId{5}}));
+  MirrorScheduler sched(tor, {testbed::PortId{10}});
+  sched.submit({"alice", testbed::PortId{3},
+                testbed::MirrorDirections::kBoth, util::kMinute});
+  sched.tick(0);
+  EXPECT_TRUE(sched.active().empty());
+  EXPECT_EQ(sched.pending_count(), 1u);
+  // Once the external mirror goes away, the request proceeds.
+  tor.remove_mirror(testbed::PortId{3});
+  sched.tick(util::kSecond);
+  EXPECT_EQ(sched.active().size(), 1u);
+}
+
+TEST(MirrorScheduler, ServiceTimeAccumulates) {
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}},
+                        quantum(5 * util::kMinute));
+  sched.submit({"alice", testbed::PortId{3},
+                testbed::MirrorDirections::kBoth, 15 * util::kMinute});
+  sched.tick(0);
+  sched.tick(5 * util::kMinute);
+  sched.tick(10 * util::kMinute);
+  sched.tick(15 * util::kMinute);
+  EXPECT_EQ(sched.service_time().at("alice"), 15 * util::kMinute);
+}
+
+}  // namespace
+}  // namespace patchwork::core

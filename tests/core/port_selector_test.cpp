@@ -1,0 +1,153 @@
+#include "core/port_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace patchwork::core {
+namespace {
+
+std::vector<telemetry::PortRate> make_rates(
+    std::initializer_list<std::pair<std::uint32_t, double>> ports) {
+  std::vector<telemetry::PortRate> out;
+  for (const auto& [index, bps] : ports) {
+    telemetry::PortRate r;
+    r.port = {testbed::SiteId{0}, testbed::PortId{index}};
+    r.tx_bps = bps;
+    r.rx_bps = 0.0;
+    out.push_back(r);
+  }
+  // MfLib returns rates busiest-first.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.total() > b.total(); });
+  return out;
+}
+
+TEST(PortSelector, BusiestBiasPicksBusiestOnBusyCycle) {
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kBusiestBias;
+  plan.busiest_bias_n = 4;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng);
+  // Cycle 0 is a busiest-port cycle (0 % 4 == 0).
+  const auto rates = make_rates({{1, 1e9}, {2, 50e9}, {3, 10e9}});
+  const auto chosen = selector.next(rates);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->value, 2u);
+}
+
+TEST(PortSelector, BusiestBiasAvoidsRecentlySampledBusiest) {
+  SamplingPlan plan;
+  plan.busiest_bias_n = 4;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng);
+  const auto rates = make_rates({{1, 1e9}, {2, 50e9}, {3, 10e9}});
+  const auto first = selector.next(rates);
+  ASSERT_TRUE(first.has_value());
+  // Advance to the next busiest cycle (cycles 1-3 are random picks).
+  selector.next(rates);
+  selector.next(rates);
+  selector.next(rates);
+  const auto second = selector.next(rates);  // Cycle 4: busiest again.
+  ASSERT_TRUE(second.has_value());
+  // Port 2 was sampled at cycle 0 which is within the last n=4 cycles...
+  // cycle 4 - lookback 4 = cycle 0 inclusive, so port 2 is excluded and
+  // the next-busiest unsampled port is chosen.
+  EXPECT_NE(second->value, 2u);
+}
+
+TEST(PortSelector, BusiestBiasSkipsIdlePortsOnRandomCycles) {
+  SamplingPlan plan;
+  plan.busiest_bias_n = 3;
+  plan.idle_threshold_bps = 1e6;
+  util::Rng rng(7);
+  PortSelector selector(plan, rng);
+  const auto rates = make_rates({{1, 0.0}, {2, 5e9}, {3, 8e9}});
+  for (int i = 0; i < 30; ++i) {
+    const auto chosen = selector.next(rates);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_NE(chosen->value, 1u);  // Idle port never picked.
+  }
+}
+
+TEST(PortSelector, BusiestBiasFallsBackWhenAllIdle) {
+  SamplingPlan plan;
+  util::Rng rng(7);
+  PortSelector selector(plan, rng);
+  const auto rates = make_rates({{4, 0.0}, {5, 0.0}});
+  const auto chosen = selector.next(rates);
+  ASSERT_TRUE(chosen.has_value());  // Still samples something.
+}
+
+TEST(PortSelector, EmptyCandidatesYieldNothing) {
+  SamplingPlan plan;
+  util::Rng rng(7);
+  PortSelector selector(plan, rng);
+  EXPECT_FALSE(selector.next({}).has_value());
+}
+
+TEST(PortSelector, FixedPolicyRotatesThroughList) {
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kFixed;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng,
+                        {testbed::PortId{7}, testbed::PortId{9}});
+  EXPECT_EQ(selector.next({})->value, 7u);
+  EXPECT_EQ(selector.next({})->value, 9u);
+  EXPECT_EQ(selector.next({})->value, 7u);
+}
+
+TEST(PortSelector, FixedPolicyWithoutPortsYieldsNothing) {
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kFixed;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng);
+  EXPECT_FALSE(selector.next(make_rates({{1, 1e9}})).has_value());
+}
+
+TEST(PortSelector, RoundRobinCoversAllPortsIncludingIdle) {
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kRoundRobinAll;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng);
+  const auto rates = make_rates({{1, 0.0}, {2, 1e9}, {3, 0.0}});
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 6; ++i) {
+    const auto chosen = selector.next(rates);
+    ASSERT_TRUE(chosen.has_value());
+    counts[chosen->value]++;
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [port, n] : counts) EXPECT_EQ(n, 2) << port;
+}
+
+TEST(PortSelector, CustomHeuristicIsInvoked) {
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kCustom;
+  util::Rng rng(1);
+  // "Users can also add their own heuristics": pick the *least* busy port.
+  PortSelector selector(
+      plan, rng, {},
+      [](const std::vector<telemetry::PortRate>& rates,
+         std::uint32_t) -> std::optional<testbed::PortId> {
+        if (rates.empty()) return std::nullopt;
+        return rates.back().port.port;
+      });
+  const auto rates = make_rates({{1, 1e9}, {2, 50e9}});
+  EXPECT_EQ(selector.next(rates)->value, 1u);
+}
+
+TEST(PortSelector, HistoryRecordsChoices) {
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kFixed;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng, {testbed::PortId{3}});
+  selector.next({});
+  selector.next({});
+  EXPECT_EQ(selector.cycles_run(), 2u);
+  EXPECT_EQ(selector.sample_history().size(), 2u);
+  EXPECT_EQ(selector.sample_history()[0].first.value, 3u);
+}
+
+}  // namespace
+}  // namespace patchwork::core

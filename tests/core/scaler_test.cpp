@@ -1,0 +1,167 @@
+#include "core/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "testing/env_fixture.hpp"
+
+namespace patchwork::core {
+namespace {
+
+TEST(TestbedPressure, CombinedTakesTheWorseSignal) {
+  TestbedPressure p;
+  p.nic_contention = 0.8;
+  p.activity_level = 1.0;  // Normal activity maps to 0.25.
+  EXPECT_DOUBLE_EQ(p.combined(), 0.8);
+  p.nic_contention = 0.1;
+  p.activity_level = 2.5;  // Deadline crunch maps to 1.0.
+  EXPECT_DOUBLE_EQ(p.combined(), 1.0);
+}
+
+TEST(TestbedPressure, CombinedIsClamped) {
+  TestbedPressure p;
+  p.nic_contention = 0.0;
+  p.activity_level = 0.0;
+  EXPECT_DOUBLE_EQ(p.combined(), 0.0);
+  p.nic_contention = 1.5;  // Garbage in, clamped out.
+  EXPECT_DOUBLE_EQ(p.combined(), 1.0);
+}
+
+TEST(DynamicScaler, GrowsIntoIdleTestbed) {
+  DynamicScaler scaler;
+  TestbedPressure idle;
+  idle.nic_contention = 0.05;
+  idle.activity_level = 0.6;
+  EXPECT_EQ(scaler.target_instances(2, idle, 3), 3u);
+}
+
+TEST(DynamicScaler, NeverGrowsWithoutFreeNics) {
+  DynamicScaler scaler;
+  TestbedPressure idle;
+  idle.nic_contention = 0.0;
+  idle.activity_level = 0.5;
+  EXPECT_EQ(scaler.target_instances(2, idle, 0), 2u);
+}
+
+TEST(DynamicScaler, ShedsUnderContention) {
+  DynamicScaler scaler;
+  TestbedPressure hot;
+  hot.nic_contention = 0.9;
+  EXPECT_EQ(scaler.target_instances(3, hot, 0), 2u);
+  // Gradual: one instance per decision, never below the minimum.
+  EXPECT_EQ(scaler.target_instances(1, hot, 0), 1u);
+}
+
+TEST(DynamicScaler, NiceFactorShiftsThresholds) {
+  DynamicScaler::Policy polite;
+  polite.nice = 0.9;
+  DynamicScaler::Policy greedy;
+  greedy.nice = 0.0;
+  const DynamicScaler p(polite), g(greedy);
+  EXPECT_LT(p.grow_threshold(), g.grow_threshold());
+  EXPECT_LT(p.shed_threshold(), g.shed_threshold());
+  // Moderate pressure: the greedy profiler grows, the polite one sheds.
+  TestbedPressure moderate;
+  moderate.nic_contention = 0.4;
+  EXPECT_EQ(g.target_instances(2, moderate, 2), 3u);
+  EXPECT_EQ(p.target_instances(2, moderate, 2), 1u);
+}
+
+TEST(DynamicScaler, RespectsBounds) {
+  DynamicScaler::Policy policy;
+  policy.max_instances = 3;
+  policy.min_instances = 2;
+  DynamicScaler scaler(policy);
+  TestbedPressure idle;
+  EXPECT_EQ(scaler.target_instances(3, idle, 5), 3u);  // At max.
+  TestbedPressure hot;
+  hot.nic_contention = 1.0;
+  EXPECT_EQ(scaler.target_instances(2, hot, 0), 2u);  // At min.
+}
+
+// --- Integration with SiteProfiler ----------------------------------------
+
+using patchwork::testing::World;
+
+ProfilerConfig scaling_config() {
+  ProfilerConfig config;
+  config.plan.cycles = 4;
+  config.plan.samples_per_run = 1;
+  config.plan.max_frames_per_sample = 100;
+  config.crash_probability = 0.0;
+  config.desired_instances = 1;  // Small baseline; room to grow.
+  config.dynamic_scaling = true;
+  config.scaling.nice = 0.3;
+  config.capture.method = capture::CaptureMethod::kFpgaDpdk;
+  config.capture.cores = 5;
+  config.allocator.backend_failure_rate = 0.0;
+  return config;
+}
+
+TEST(ScalingProfiler, GrowsWhenTestbedIsIdle) {
+  World world(21);
+  world.warm_up_telemetry();
+  ProfilerConfig config = scaling_config();
+  // Make the activity signal read as idle regardless of traffic.
+  config.nominal_testbed_bps = 1e18;
+  SiteProfiler profiler(world.env, testbed::SiteId{0}, config);
+  ASSERT_TRUE(profiler.setup().ok);
+  EXPECT_EQ(profiler.current_instances(), 1u);
+  const RunOutcome outcome = profiler.run();
+  EXPECT_EQ(outcome, RunOutcome::kSuccess);
+  EXPECT_GT(profiler.scale_ups(), 0u);
+  EXPECT_GT(profiler.current_instances(), 1u);
+  EXPECT_GT(profiler.monitored_port_slots(), 2u);
+  profiler.teardown();
+  // Everything returned, including runtime extras.
+  EXPECT_GT(world.fed.site(testbed::SiteId{0})
+                .count_available_nics(testbed::NicKind::kDedicatedConnectX),
+            0u);
+}
+
+TEST(ScalingProfiler, ShedsExtrasUnderNicContention) {
+  World world(22);
+  world.warm_up_telemetry();
+  testbed::Site& site = world.fed.site(testbed::SiteId{1});
+  ProfilerConfig config = scaling_config();
+  config.nominal_testbed_bps = 1e18;
+  config.plan.cycles = 6;
+  SiteProfiler profiler(world.env, testbed::SiteId{1}, config);
+  ASSERT_TRUE(profiler.setup().ok);
+  // Let it grow for two cycles, then another user grabs every free NIC.
+  // We emulate by running in two phases.
+  // Phase 1: grow.
+  ProfilerConfig phase1 = config;
+  (void)phase1;
+  profiler.run();
+  const std::uint32_t grown = profiler.current_instances();
+  EXPECT_GT(grown, 1u);
+  // Phase 2: hold all remaining NICs as a rival slice and re-run a fresh
+  // profiler round (rescale() reacts to contention during cycles).
+  for (testbed::NicId nic :
+       site.available_nics(testbed::NicKind::kDedicatedConnectX)) {
+    site.mutable_nic(nic).allocated_to = testbed::SliceId{31337};
+  }
+  SiteProfiler crowded(world.env, testbed::SiteId{1}, config);
+  // All NICs are held (by the rival and the first profiler): pressure
+  // reads high for the new instance.
+  const TestbedPressure pressure = crowded.observe_pressure();
+  EXPECT_GT(pressure.nic_contention, 0.9);
+  profiler.teardown();
+}
+
+TEST(ScalingProfiler, DisabledByDefault) {
+  World world(23);
+  world.warm_up_telemetry();
+  ProfilerConfig config = scaling_config();
+  config.dynamic_scaling = false;
+  SiteProfiler profiler(world.env, testbed::SiteId{2}, config);
+  ASSERT_TRUE(profiler.setup().ok);
+  profiler.run();
+  EXPECT_EQ(profiler.scale_ups(), 0u);
+  EXPECT_EQ(profiler.current_instances(), 1u);
+  profiler.teardown();
+}
+
+}  // namespace
+}  // namespace patchwork::core

@@ -1,0 +1,78 @@
+#include "host/host_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::host {
+namespace {
+
+TEST(HostSpec, DpdkCapacityScalesWithCores) {
+  HostSpec spec;
+  const double one = spec.dpdk_capacity_pps(1, 200);
+  const double five = spec.dpdk_capacity_pps(5, 200);
+  EXPECT_GT(five, 3.5 * one);  // Sub-linear but strong scaling.
+  EXPECT_LT(five, 5.0 * one);
+}
+
+TEST(HostSpec, SmallerTruncationIsCheaper) {
+  // Section 8.1.4 / Tables 1-2: 64 B truncation "requires fewer cores to
+  // achieve the same throughput performance as the 200 bytes truncation".
+  HostSpec spec;
+  EXPECT_GT(spec.dpdk_capacity_pps(5, 64), spec.dpdk_capacity_pps(5, 200));
+}
+
+TEST(HostSpec, Table2Row1ThreeCoresSustain100G1514) {
+  // Table 2: 1514 B frames at 100 Gbps with 64 B truncation need 3 cores.
+  HostSpec spec;
+  const double offered_pps = 100e9 / (8.0 * 1514.0);
+  EXPECT_GT(spec.dpdk_capacity_pps(3, 64), offered_pps);
+  EXPECT_LT(spec.dpdk_capacity_pps(2, 64), offered_pps);
+}
+
+TEST(HostSpec, Table1Row1FiveCoresSustain100G1514) {
+  // Table 1: 200 B truncation needs 5 cores for the same stream.
+  HostSpec spec;
+  const double offered_pps = 100e9 / (8.0 * 1514.0);
+  EXPECT_GT(spec.dpdk_capacity_pps(5, 200), offered_pps);
+  EXPECT_LT(spec.dpdk_capacity_pps(4, 200), offered_pps);
+}
+
+TEST(HostSpec, FpgaOffloadRemovesWireByteCost) {
+  HostSpec spec;
+  const double with_fpga = spec.dpdk_capacity_pps(4, 200, 9000, true);
+  const double without = spec.dpdk_capacity_pps(4, 200, 9000, false);
+  EXPECT_GT(with_fpga, without);
+  // For tiny frames the difference nearly vanishes.
+  const double small_with = spec.dpdk_capacity_pps(4, 64, 64, true);
+  const double small_without = spec.dpdk_capacity_pps(4, 64, 64, false);
+  EXPECT_NEAR(small_with / small_without, 1.0, 0.05);
+}
+
+TEST(HostSpec, ZeroCoresNoCapacity) {
+  HostSpec spec;
+  EXPECT_DOUBLE_EQ(spec.dpdk_capacity_pps(0, 200), 0.0);
+}
+
+TEST(HostSpec, KernelCapacityMatchesTcpdumpCeiling) {
+  // Section 8.1.2: tcpdump captured without loss until ~8.5 Gbps of
+  // 1500 B frames (64 B snaplen).
+  HostSpec spec;
+  const double pps = spec.kernel_capacity_pps(1500, 64);
+  const double gbps = pps * 1500.0 * 8.0 / 1e9;
+  EXPECT_GT(gbps, 7.5);
+  EXPECT_LT(gbps, 9.5);
+}
+
+TEST(HostSpec, KernelPathPaysForWireBytesNotJustSnaplen) {
+  HostSpec spec;
+  // Same snaplen, bigger wire frames -> fewer pps.
+  EXPECT_GT(spec.kernel_capacity_pps(200, 64),
+            spec.kernel_capacity_pps(1500, 64));
+}
+
+TEST(HostSpec, KernelPathFarSlowerThanDpdk) {
+  HostSpec spec;
+  EXPECT_GT(spec.dpdk_capacity_pps(2, 64), spec.kernel_capacity_pps(64, 64));
+}
+
+}  // namespace
+}  // namespace patchwork::host

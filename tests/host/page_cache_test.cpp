@@ -1,0 +1,148 @@
+#include "host/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::host {
+namespace {
+
+PageCacheConfig small_cache() {
+  PageCacheConfig c;
+  c.free_cache_bytes = 1ull << 30;  // 1 GB for quick tests.
+  c.dirty_background_ratio = 0.10;
+  c.dirty_ratio = 0.20;
+  c.storage_write_bytes_per_sec = 100e6;  // 100 MB/s flush.
+  c.jitter_sigma = 0.0;                    // Deterministic latencies.
+  c.outlier_probability = 0.0;
+  return c;
+}
+
+struct PageCacheTest : ::testing::Test {
+  PageCacheTest() : rng(1) {}
+  util::Rng rng;
+};
+
+TEST_F(PageCacheTest, ThresholdBytes) {
+  PageCache cache(small_cache(), rng);
+  EXPECT_EQ(cache.background_threshold_bytes(), (1ull << 30) / 10);
+  EXPECT_EQ(cache.dirty_threshold_bytes(), (1ull << 30) / 5);
+  // The midpoint — where the paper found the kernel throttles the writer.
+  EXPECT_EQ(cache.midpoint_threshold_bytes(),
+            (cache.background_threshold_bytes() +
+             cache.dirty_threshold_bytes()) /
+                2);
+}
+
+TEST_F(PageCacheTest, FastRegimeLatencyIsBaseCost) {
+  PageCache cache(small_cache(), rng);
+  const std::uint64_t bytes = 27648;  // A 128-frame, 200 B-truncation batch.
+  const util::Nanos lat = cache.write(bytes);
+  // syscall overhead + memcpy at 10 B/ns.
+  EXPECT_NEAR(static_cast<double>(lat), 2000.0 + bytes / 10.0, 500.0);
+  EXPECT_EQ(cache.regime(), WritebackRegime::kFast);
+}
+
+TEST_F(PageCacheTest, RegimeProgression) {
+  PageCacheConfig cfg = small_cache();
+  cfg.storage_write_bytes_per_sec = 1.0;  // Effectively no flushing.
+  PageCache cache(cfg, rng);
+  const std::uint64_t chunk = 8ull << 20;  // 8 MB writes.
+  // Fill to just below background (102.4 MB).
+  while (cache.dirty_bytes() + chunk < cache.background_threshold_bytes()) {
+    cache.write(chunk);
+  }
+  EXPECT_EQ(cache.regime(), WritebackRegime::kFast);
+  // Cross background.
+  while (cache.dirty_bytes() + chunk < cache.midpoint_threshold_bytes()) {
+    cache.write(chunk);
+  }
+  EXPECT_EQ(cache.regime(), WritebackRegime::kBackground);
+  while (cache.dirty_bytes() + chunk < cache.dirty_threshold_bytes()) {
+    cache.write(chunk);
+  }
+  EXPECT_EQ(cache.regime(), WritebackRegime::kThrottled);
+  cache.write(chunk);
+  cache.write(chunk);
+  EXPECT_EQ(cache.regime(), WritebackRegime::kBlocked);
+}
+
+TEST_F(PageCacheTest, ThrottlingStartsAtMidpointNotDirtyRatio) {
+  // The paper's Appendix B discovery: "at the midpoint of
+  // vm.dirty_background_ratio and vm.dirty_ratio, the writing process is
+  // throttled ... Surprisingly, this increase happened before exceeding
+  // vm.dirty_ratio."
+  PageCacheConfig cfg = small_cache();
+  cfg.storage_write_bytes_per_sec = 1.0;
+  PageCache cache(cfg, rng);
+  const std::uint64_t chunk = 1ull << 20;
+  // Latency just below midpoint.
+  while (cache.dirty_bytes() + 2 * chunk <
+         cache.midpoint_threshold_bytes()) {
+    cache.write(chunk);
+  }
+  const util::Nanos before_midpoint = cache.write(chunk);
+  // Push past the midpoint but stay below dirty_ratio.
+  while (cache.dirty_bytes() + 2 * chunk < cache.dirty_threshold_bytes()) {
+    cache.write(chunk);
+  }
+  ASSERT_EQ(cache.regime(), WritebackRegime::kThrottled);
+  const util::Nanos after_midpoint = cache.write(chunk);
+  EXPECT_GT(after_midpoint, 10 * before_midpoint);
+}
+
+TEST_F(PageCacheTest, AdvanceFlushesOnlyAboveBackground) {
+  PageCacheConfig cfg = small_cache();
+  PageCache cache(cfg, rng);
+  cache.write(50ull << 20);  // Below background: no writeback triggered.
+  const std::uint64_t dirty = cache.dirty_bytes();
+  cache.advance(util::kSecond);
+  EXPECT_EQ(cache.dirty_bytes(), dirty);
+  // Go above background; now advance() drains at storage bandwidth.
+  while (cache.regime() == WritebackRegime::kFast) cache.write(8ull << 20);
+  const std::uint64_t dirty2 = cache.dirty_bytes();
+  cache.advance(util::kSecond);
+  EXPECT_LT(cache.dirty_bytes(), dirty2);
+  // But never below the background threshold.
+  cache.advance(3600 * util::kSecond);
+  EXPECT_EQ(cache.dirty_bytes(), cache.background_threshold_bytes());
+}
+
+TEST_F(PageCacheTest, BlockedWritesWaitForFlush) {
+  PageCacheConfig cfg = small_cache();
+  // A device too slow for the bounded throttle pauses to contain the
+  // writer: dirty pages outrun writeback and hit dirty_ratio. (With fast
+  // storage, pacing keeps dirty below the ratio — by design.)
+  cfg.storage_write_bytes_per_sec = 1e6;
+  PageCache cache(cfg, rng);
+  // Jam the cache past dirty_ratio.
+  for (int i = 0; i < 1000 && cache.regime() != WritebackRegime::kBlocked;
+       ++i) {
+    cache.write(16ull << 20);
+  }
+  ASSERT_EQ(cache.regime(), WritebackRegime::kBlocked);
+  const util::Nanos lat = cache.write(1ull << 20);
+  // Must reflect storage-speed flushing of the excess: >> 1 ms.
+  EXPECT_GT(lat, static_cast<util::Nanos>(1e6));
+}
+
+TEST_F(PageCacheTest, LatencyHistogramRecordsEveryWrite) {
+  PageCache cache(small_cache(), rng);
+  for (int i = 0; i < 100; ++i) cache.write(1000);
+  EXPECT_EQ(cache.latency_histogram().total(), 100u);
+  EXPECT_EQ(cache.total_bytes_written(), 100'000u);
+}
+
+TEST_F(PageCacheTest, JitterProducesLatencySpread) {
+  PageCacheConfig cfg = small_cache();
+  cfg.jitter_sigma = 0.5;
+  PageCache cache(cfg, rng);
+  util::Nanos lo = ~0ull, hi = 0;
+  for (int i = 0; i < 500; ++i) {
+    const util::Nanos lat = cache.write(1000);
+    lo = std::min(lo, lat);
+    hi = std::max(hi, lat);
+  }
+  EXPECT_GT(hi, 2 * lo);
+}
+
+}  // namespace
+}  // namespace patchwork::host

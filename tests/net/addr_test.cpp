@@ -1,0 +1,74 @@
+#include "net/addr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::net {
+namespace {
+
+TEST(MacAddress, RoundTripsThroughString) {
+  MacAddress mac{{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42}};
+  EXPECT_EQ(mac.to_string(), "de:ad:be:ef:00:42");
+  auto parsed = MacAddress::parse("de:ad:be:ef:00:42");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("de:ad:be:ef:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("zz:ad:be:ef:00:42").has_value());
+  EXPECT_FALSE(MacAddress::parse("de-ad-be-ef-00-42").has_value());
+}
+
+TEST(MacAddress, FromIdIsLocallyAdministeredUnicast) {
+  const MacAddress mac = MacAddress::from_id(12345);
+  EXPECT_EQ(mac.bytes[0], 0x02);
+  EXPECT_FALSE(mac.is_multicast());
+  EXPECT_NE(MacAddress::from_id(1), MacAddress::from_id(2));
+}
+
+TEST(MacAddress, BroadcastDetection) {
+  MacAddress bc{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  EXPECT_TRUE(bc.is_broadcast());
+  EXPECT_TRUE(bc.is_multicast());
+  EXPECT_FALSE(MacAddress::from_id(1).is_broadcast());
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  const Ipv4Address a = Ipv4Address::from_octets(10, 1, 2, 3);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+  auto parsed = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(Ipv4Address, ParseRejectsBadInput) {
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.3 ").has_value());
+}
+
+TEST(Ipv4Address, TenSlashEight) {
+  EXPECT_TRUE(Ipv4Address::from_octets(10, 0, 0, 1).in_ten_slash_eight());
+  EXPECT_FALSE(Ipv4Address::from_octets(192, 168, 0, 1).in_ten_slash_eight());
+}
+
+TEST(Ipv4Address, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4Address::from_octets(10, 0, 0, 1),
+            Ipv4Address::from_octets(10, 0, 0, 2));
+}
+
+TEST(Ipv6Address, FromWordsAndToString) {
+  const Ipv6Address a = Ipv6Address::from_words(
+      {0xfd00, 0x1, 0x2, 0x3, 0x4, 0x5, 0x6, 0x7});
+  EXPECT_EQ(a.to_string(),
+            "fd00:0001:0002:0003:0004:0005:0006:0007");
+  EXPECT_EQ(a.bytes[0], 0xfd);
+  EXPECT_EQ(a.bytes[1], 0x00);
+  EXPECT_EQ(a.bytes[15], 0x07);
+}
+
+}  // namespace
+}  // namespace patchwork::net

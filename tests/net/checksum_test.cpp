@@ -1,0 +1,42 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace patchwork::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example from RFC 1071 discussions.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, ZeroBufferIsAllOnes) {
+  const std::vector<std::uint8_t> data(8, 0);
+  EXPECT_EQ(internet_checksum(data), 0xffff);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> even = {0x12, 0x34, 0x56, 0x00};
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(InternetChecksum, VerifiesToZero) {
+  // A header with its checksum inserted sums to 0 (i.e. ~0 == 0xffff
+  // before complement).
+  std::vector<std::uint8_t> header = {0x45, 0x00, 0x00, 0x28, 0x00, 0x00,
+                                      0x40, 0x00, 0x40, 0x06, 0x00, 0x00,
+                                      0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00,
+                                      0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(header);
+  header[10] = static_cast<std::uint8_t>(sum >> 8);
+  header[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+}  // namespace
+}  // namespace patchwork::net

@@ -1,0 +1,167 @@
+#include "net/frame_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/parser.hpp"
+
+namespace patchwork::net {
+namespace {
+
+const MacAddress kSrc = MacAddress::from_id(1);
+const MacAddress kDst = MacAddress::from_id(2);
+const Ipv4Address kA = Ipv4Address::from_octets(10, 0, 0, 1);
+const Ipv4Address kB = Ipv4Address::from_octets(10, 0, 0, 2);
+
+TEST(FrameBuilder, MinimalEthernetIpv4Tcp) {
+  const Frame f =
+      FrameBuilder().ethernet(kSrc, kDst).ipv4(kA, kB).tcp(1000, 2000).build();
+  EXPECT_EQ(f.wire_length(), 14u + 20u + 20u);
+  // EtherType chained automatically.
+  EXPECT_EQ(f.bytes()[12], 0x08);
+  EXPECT_EQ(f.bytes()[13], 0x00);
+}
+
+TEST(FrameBuilder, Ipv4LengthsAreResolved) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .udp(1, 2)
+                      .payload(100)
+                      .build();
+  auto ip = Ipv4Header::decode(f.bytes(), 14);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->total_length, 20 + 8 + 100);
+  EXPECT_EQ(ip->protocol, kIpProtoUdp);
+  auto udp = UdpHeader::decode(f.bytes(), 34);
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_EQ(udp->length, 8 + 100);
+}
+
+TEST(FrameBuilder, MplsBottomOfStackOnlyOnLast) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .mpls(100)
+                      .mpls(200)
+                      .ipv4(kA, kB)
+                      .tcp(1, 2)
+                      .build();
+  auto l1 = MplsLabel::decode(f.bytes(), 14);
+  auto l2 = MplsLabel::decode(f.bytes(), 18);
+  ASSERT_TRUE(l1 && l2);
+  EXPECT_FALSE(l1->bottom_of_stack);
+  EXPECT_TRUE(l2->bottom_of_stack);
+  EXPECT_EQ(l1->label, 100u);
+  EXPECT_EQ(l2->label, 200u);
+}
+
+TEST(FrameBuilder, PadToExtendsFrame) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .tcp(1, 2)
+                      .pad_to(1514)
+                      .build();
+  EXPECT_EQ(f.wire_length(), 1514u);
+  // The IPv4 total length must include the padding payload.
+  auto ip = Ipv4Header::decode(f.bytes(), 14);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->total_length, 1514 - 14);
+}
+
+TEST(FrameBuilder, PadToIsNoOpWhenAlreadyLonger) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .udp(1, 2)
+                      .payload(200)
+                      .pad_to(64)
+                      .build();
+  EXPECT_EQ(f.wire_length(), 14u + 20u + 8u + 200u);
+}
+
+TEST(FrameBuilder, PaperEncapsulationExample) {
+  // "Ethernet / VLAN / MPLS / MPLS / PseudoWire / Ethernet / IPv4 / TCP /
+  // TLS" — the paper's Section 8.2 example stack.
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .vlan(100)
+                      .mpls(16001)
+                      .mpls(16002)
+                      .pseudowire()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .tcp(49152, 443)
+                      .tls()
+                      .payload(64)
+                      .build();
+  const ParsedFrame parsed = parse_frame(f);
+  EXPECT_EQ(parsed.stack_string(),
+            "eth/vlan/mpls/mpls/pw/eth/ipv4/tcp/tls/data");
+  EXPECT_EQ(parsed.header_depth(), 9u);
+}
+
+TEST(FrameBuilder, BuilderIsReusable) {
+  FrameBuilder b;
+  b.ethernet(kSrc, kDst).ipv4(kA, kB).udp(1, 2).pad_to(100);
+  const Frame f1 = b.build(10);
+  const Frame f2 = b.build(20);
+  EXPECT_EQ(f1.wire_length(), f2.wire_length());
+  EXPECT_EQ(f1.timestamp(), 10u);
+  EXPECT_EQ(f2.timestamp(), 20u);
+  EXPECT_TRUE(std::equal(f1.bytes().begin(), f1.bytes().end(),
+                         f2.bytes().begin()));
+}
+
+TEST(FrameBuilder, SshBannerInPayload) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .tcp(50000, 22)
+                      .ssh_banner()
+                      .pad_to(128)
+                      .build();
+  const ParsedFrame parsed = parse_frame(f);
+  EXPECT_TRUE(parsed.has(Protocol::kSsh));
+  EXPECT_EQ(f.wire_length(), 128u);
+}
+
+TEST(FrameBuilder, VxlanCarriesInnerEthernet) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .udp(40000, 4789)
+                      .vxlan(77)
+                      .ethernet(kDst, kSrc)
+                      .ipv4(kB, kA)
+                      .tcp(1, 2)
+                      .build();
+  const ParsedFrame parsed = parse_frame(f);
+  EXPECT_EQ(parsed.count(Protocol::kEthernet), 2u);
+  EXPECT_TRUE(parsed.has(Protocol::kVxlan));
+  ASSERT_TRUE(parsed.vxlan_vni.has_value());
+  EXPECT_EQ(*parsed.vxlan_vni, 77u);
+}
+
+TEST(FrameBuilder, TruncateKeepsWireLength) {
+  const Frame f = FrameBuilder()
+                      .ethernet(kSrc, kDst)
+                      .ipv4(kA, kB)
+                      .udp(1, 2)
+                      .pad_to(1514)
+                      .build();
+  const Frame cut = f.truncate(200);
+  EXPECT_EQ(cut.captured_length(), 200u);
+  EXPECT_EQ(cut.wire_length(), 1514u);
+  EXPECT_TRUE(cut.truncated());
+  EXPECT_FALSE(f.truncated());
+}
+
+TEST(FrameBuilder, TruncateZeroKeepsEverything) {
+  const Frame f =
+      FrameBuilder().ethernet(kSrc, kDst).ipv4(kA, kB).udp(1, 2).build();
+  const Frame same = f.truncate(0);
+  EXPECT_EQ(same.captured_length(), f.captured_length());
+}
+
+}  // namespace
+}  // namespace patchwork::net

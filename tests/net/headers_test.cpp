@@ -1,0 +1,213 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::net {
+namespace {
+
+template <typename H>
+H round_trip(const H& header) {
+  Bytes buf;
+  header.encode(buf);
+  EXPECT_EQ(buf.size(), H::kSize);
+  auto decoded = H::decode(buf, 0);
+  EXPECT_TRUE(decoded.has_value());
+  return *decoded;
+}
+
+TEST(EthernetHeader, RoundTrip) {
+  EthernetHeader h;
+  h.src = MacAddress::from_id(1);
+  h.dst = MacAddress::from_id(2);
+  h.ethertype = kEtherTypeIpv4;
+  const EthernetHeader d = round_trip(h);
+  EXPECT_EQ(d.src, h.src);
+  EXPECT_EQ(d.dst, h.dst);
+  EXPECT_EQ(d.ethertype, kEtherTypeIpv4);
+}
+
+TEST(EthernetHeader, DecodeRejectsShortBuffer) {
+  Bytes buf(13, 0);
+  EXPECT_FALSE(EthernetHeader::decode(buf, 0).has_value());
+}
+
+TEST(VlanTag, RoundTripAllFields) {
+  VlanTag t;
+  t.pcp = 5;
+  t.dei = true;
+  t.vid = 0xabc;
+  t.ethertype = kEtherTypeIpv6;
+  const VlanTag d = round_trip(t);
+  EXPECT_EQ(d.pcp, 5);
+  EXPECT_TRUE(d.dei);
+  EXPECT_EQ(d.vid, 0xabc);
+  EXPECT_EQ(d.ethertype, kEtherTypeIpv6);
+}
+
+TEST(MplsLabel, RoundTripAndBottomOfStack) {
+  MplsLabel l;
+  l.label = 0xfffff;  // Max 20-bit value.
+  l.tc = 3;
+  l.bottom_of_stack = true;
+  l.ttl = 12;
+  const MplsLabel d = round_trip(l);
+  EXPECT_EQ(d.label, 0xfffffu);
+  EXPECT_EQ(d.tc, 3);
+  EXPECT_TRUE(d.bottom_of_stack);
+  EXPECT_EQ(d.ttl, 12);
+}
+
+TEST(PseudoWireControlWord, FirstNibbleZero) {
+  PseudoWireControlWord cw;
+  cw.sequence = 77;
+  Bytes buf;
+  cw.encode(buf);
+  EXPECT_EQ(buf[0] & 0xf0, 0);
+  auto d = PseudoWireControlWord::decode(buf, 0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->sequence, 77);
+}
+
+TEST(PseudoWireControlWord, RejectsIpLikeNibble) {
+  Bytes buf = {0x45, 0x00, 0x00, 0x00};  // IPv4's first byte.
+  EXPECT_FALSE(PseudoWireControlWord::decode(buf, 0).has_value());
+}
+
+TEST(ArpHeader, RoundTrip) {
+  ArpHeader h;
+  h.opcode = 2;
+  h.sender_mac = MacAddress::from_id(9);
+  h.sender_ip = Ipv4Address::from_octets(10, 0, 0, 9);
+  h.target_ip = Ipv4Address::from_octets(10, 0, 0, 1);
+  const ArpHeader d = round_trip(h);
+  EXPECT_EQ(d.opcode, 2);
+  EXPECT_EQ(d.sender_mac, h.sender_mac);
+  EXPECT_EQ(d.sender_ip, h.sender_ip);
+  EXPECT_EQ(d.target_ip, h.target_ip);
+}
+
+TEST(Ipv4Header, RoundTripAndChecksumVerifies) {
+  Ipv4Header h;
+  h.src = Ipv4Address::from_octets(10, 1, 1, 1);
+  h.dst = Ipv4Address::from_octets(10, 2, 2, 2);
+  h.protocol = kIpProtoTcp;
+  h.total_length = 1500;
+  h.ttl = 17;
+  Bytes buf;
+  h.encode(buf);
+  auto d = Ipv4Header::decode(buf, 0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, h.src);
+  EXPECT_EQ(d->dst, h.dst);
+  EXPECT_EQ(d->total_length, 1500);
+  EXPECT_EQ(d->ttl, 17);
+  EXPECT_NE(d->checksum, 0);  // encode() filled it in.
+}
+
+TEST(Ipv4Header, DecodeRejectsWrongVersion) {
+  Ipv4Header h;
+  Bytes buf;
+  h.encode(buf);
+  buf[0] = 0x65;  // Version 6.
+  EXPECT_FALSE(Ipv4Header::decode(buf, 0).has_value());
+}
+
+TEST(Ipv6Header, RoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 7;
+  h.flow_label = 0xabcde;
+  h.payload_length = 512;
+  h.next_header = kIpProtoUdp;
+  h.src = Ipv6Address::from_words({0xfd00, 1, 2, 3, 4, 5, 6, 7});
+  h.dst = Ipv6Address::from_words({0xfd00, 7, 6, 5, 4, 3, 2, 1});
+  const Ipv6Header d = round_trip(h);
+  EXPECT_EQ(d.traffic_class, 7);
+  EXPECT_EQ(d.flow_label, 0xabcdeu);
+  EXPECT_EQ(d.payload_length, 512);
+  EXPECT_EQ(d.src, h.src);
+  EXPECT_EQ(d.dst, h.dst);
+}
+
+TEST(TcpHeader, RoundTripFlags) {
+  TcpHeader h;
+  h.src_port = 49152;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.ack = 42;
+  h.flags = tcp_flags::kSyn | tcp_flags::kAck;
+  h.window = 1234;
+  const TcpHeader d = round_trip(h);
+  EXPECT_EQ(d.src_port, 49152);
+  EXPECT_EQ(d.dst_port, 443);
+  EXPECT_EQ(d.seq, 0xdeadbeefu);
+  EXPECT_EQ(d.flags, tcp_flags::kSyn | tcp_flags::kAck);
+  EXPECT_EQ(d.window, 1234);
+}
+
+TEST(UdpHeader, RoundTrip) {
+  UdpHeader h;
+  h.src_port = 5353;
+  h.dst_port = 53;
+  h.length = 96;
+  const UdpHeader d = round_trip(h);
+  EXPECT_EQ(d.src_port, 5353);
+  EXPECT_EQ(d.dst_port, 53);
+  EXPECT_EQ(d.length, 96);
+}
+
+TEST(DnsHeader, ResponseFlag) {
+  DnsHeader h;
+  h.id = 0x1234;
+  h.is_response = true;
+  h.answer_count = 3;
+  const DnsHeader d = round_trip(h);
+  EXPECT_EQ(d.id, 0x1234);
+  EXPECT_TRUE(d.is_response);
+  EXPECT_EQ(d.answer_count, 3);
+}
+
+TEST(TlsRecordHeader, AcceptsOnlyPlausibleRecords) {
+  TlsRecordHeader h;
+  h.content_type = 22;
+  h.length = 100;
+  const TlsRecordHeader d = round_trip(h);
+  EXPECT_EQ(d.content_type, 22);
+  EXPECT_EQ(d.length, 100);
+  // Random payload bytes must not parse as TLS.
+  Bytes junk = {'0', '1', '2', '3', '4'};
+  EXPECT_FALSE(TlsRecordHeader::decode(junk, 0).has_value());
+}
+
+TEST(NtpHeader, VersionValidation) {
+  NtpHeader h;
+  const NtpHeader d = round_trip(h);
+  EXPECT_EQ(d.leap_version_mode, 0x23);
+  Bytes junk(NtpHeader::kSize, 0);  // Version 0: invalid.
+  EXPECT_FALSE(NtpHeader::decode(junk, 0).has_value());
+}
+
+TEST(VxlanHeader, RoundTripVni) {
+  VxlanHeader h;
+  h.vni = 0x123456;
+  const VxlanHeader d = round_trip(h);
+  EXPECT_EQ(d.vni, 0x123456u);
+}
+
+TEST(SshBanner, DetectedAndEncoded) {
+  Bytes buf;
+  encode_ssh_banner(buf);
+  EXPECT_TRUE(looks_like_ssh_banner(buf, 0));
+  Bytes other = {'h', 'i'};
+  EXPECT_FALSE(looks_like_ssh_banner(other, 0));
+}
+
+TEST(Http, DetectsCommonMethods) {
+  Bytes buf;
+  encode_http_request(buf);
+  EXPECT_TRUE(looks_like_http(buf, 0));
+  Bytes junk = {'x', 'y', 'z', 'w', 'q'};
+  EXPECT_FALSE(looks_like_http(junk, 0));
+}
+
+}  // namespace
+}  // namespace patchwork::net

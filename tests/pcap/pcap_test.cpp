@@ -1,0 +1,116 @@
+#include "pcap/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/frame_builder.hpp"
+#include "util/byte_io.hpp"
+
+namespace patchwork::pcap {
+namespace {
+
+net::Frame test_frame(std::size_t size, util::Nanos ts) {
+  return net::FrameBuilder()
+      .ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(10, 0, 0, 2))
+      .udp(1000, 2000)
+      .pad_to(size)
+      .build(ts);
+}
+
+TEST(Pcap, GlobalHeaderFields) {
+  PcapWriter writer(200);
+  const auto& buf = writer.buffer();
+  ASSERT_EQ(buf.size(), kGlobalHeaderSize);
+  EXPECT_EQ(util::get_le32(buf, 0), kMagicMicro);
+  EXPECT_EQ(util::get_le16(buf, 4), 2u);   // Version major.
+  EXPECT_EQ(util::get_le16(buf, 6), 4u);   // Version minor.
+  EXPECT_EQ(util::get_le32(buf, 16), 200u);  // Snaplen.
+  EXPECT_EQ(util::get_le32(buf, 20), kLinkTypeEthernet);
+}
+
+TEST(Pcap, RoundTripsFrames) {
+  PcapWriter writer(65535);
+  writer.write(test_frame(100, 5 * util::kSecond + 123 * util::kMicrosecond));
+  writer.write(test_frame(200, 6 * util::kSecond));
+  EXPECT_EQ(writer.frames_written(), 2u);
+
+  auto reader = PcapReader::open(writer.take_buffer());
+  ASSERT_TRUE(reader.has_value());
+  auto f1 = reader->next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->wire_length(), 100u);
+  EXPECT_EQ(f1->captured_length(), 100u);
+  EXPECT_EQ(f1->timestamp(),
+            5 * util::kSecond + 123 * util::kMicrosecond);
+  auto f2 = reader->next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->wire_length(), 200u);
+  EXPECT_FALSE(reader->next().has_value());
+  EXPECT_EQ(reader->frames_read(), 2u);
+  EXPECT_EQ(reader->bad_records(), 0u);
+}
+
+TEST(Pcap, SnaplenTruncatesButKeepsOrigLen) {
+  PcapWriter writer(64);
+  writer.write(test_frame(1500, 0));
+  auto reader = PcapReader::open(writer.take_buffer());
+  ASSERT_TRUE(reader.has_value());
+  auto f = reader->next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->captured_length(), 64u);
+  EXPECT_EQ(f->wire_length(), 1500u);
+  EXPECT_TRUE(f->truncated());
+}
+
+TEST(Pcap, NanosecondResolution) {
+  PcapWriter writer(65535, TimestampResolution::kNano);
+  writer.write(test_frame(100, 123456789));
+  auto reader = PcapReader::open(writer.take_buffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->info().resolution, TimestampResolution::kNano);
+  auto f = reader->next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->timestamp(), 123456789u);
+}
+
+TEST(Pcap, MicroResolutionRoundsDown) {
+  PcapWriter writer(65535, TimestampResolution::kMicro);
+  writer.write(test_frame(100, 123456789));  // 123456.789 us.
+  auto reader = PcapReader::open(writer.take_buffer());
+  auto f = reader->next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->timestamp(), 123456000u);
+}
+
+TEST(Pcap, OpenRejectsBadMagic) {
+  std::vector<std::uint8_t> junk(kGlobalHeaderSize, 0xaa);
+  EXPECT_FALSE(PcapReader::open(junk).has_value());
+}
+
+TEST(Pcap, OpenRejectsShortBuffer) {
+  EXPECT_FALSE(PcapReader::open({1, 2, 3}).has_value());
+}
+
+TEST(Pcap, CorruptRecordCountsAsBad) {
+  PcapWriter writer(65535);
+  writer.write(test_frame(100, 0));
+  std::vector<std::uint8_t> bytes = writer.take_buffer();
+  // Lie about the record's captured length so it overruns the buffer.
+  bytes[kGlobalHeaderSize + 8] = 0xff;
+  bytes[kGlobalHeaderSize + 9] = 0xff;
+  auto reader = PcapReader::open(std::move(bytes));
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_FALSE(reader->next().has_value());
+  EXPECT_EQ(reader->bad_records(), 1u);
+}
+
+TEST(Pcap, StreamSizeFormula) {
+  PcapWriter writer(64);
+  const std::size_t n = 10;
+  for (std::size_t i = 0; i < n; ++i) writer.write(test_frame(64, 0));
+  EXPECT_EQ(writer.bytes_written(), pcap_stream_size(n, 64));
+}
+
+}  // namespace
+}  // namespace patchwork::pcap

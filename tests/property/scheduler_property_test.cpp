@@ -1,0 +1,107 @@
+// Property test: the mirror scheduler's invariants hold under random
+// workloads of submissions, cancellations, and clock ticks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/mirror_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace patchwork::core {
+namespace {
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, InvariantsHoldUnderRandomWorkload) {
+  util::Rng rng(GetParam());
+  std::vector<testbed::SwitchPort> ports;
+  for (int i = 0; i < 16; ++i) {
+    ports.emplace_back(testbed::PortKind::kDownlink, 100e9);
+  }
+  testbed::ToRSwitch tor(std::move(ports));
+  MirrorScheduler::Policy policy;
+  policy.quantum = (1 + rng.uniform_u64(0, 9)) * util::kMinute;
+  MirrorScheduler scheduler(
+      tor, {testbed::PortId{14}, testbed::PortId{15}}, policy);
+
+  const char* users[] = {"a", "b", "c"};
+  std::map<MirrorRequestId, util::Nanos> requested;
+  std::map<MirrorRequestId, util::Nanos> last_remaining;
+  std::vector<MirrorRequestId> live;
+  util::Nanos now = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.35) {
+      MirrorRequest request;
+      request.user = users[rng.uniform_u64(0, 2)];
+      request.source =
+          testbed::PortId{static_cast<std::uint32_t>(rng.uniform_u64(0, 13))};
+      request.duration = (1 + rng.uniform_u64(0, 29)) * util::kMinute;
+      const MirrorRequestId id = scheduler.submit(request);
+      requested[id] = request.duration;
+      last_remaining[id] = request.duration;
+      live.push_back(id);
+    } else if (roll < 0.45 && !live.empty()) {
+      const std::size_t idx = rng.uniform_u64(0, live.size() - 1);
+      scheduler.cancel(live[idx]);
+      last_remaining.erase(live[idx]);
+      live.erase(live.begin() + static_cast<long>(idx));
+    } else {
+      now += (1 + rng.uniform_u64(0, 7)) * util::kMinute;
+      scheduler.tick(now);
+    }
+
+    // Invariant 1: active leases occupy distinct sources & destinations.
+    std::set<std::uint32_t> sources, destinations;
+    for (const MirrorLease& lease : scheduler.active()) {
+      EXPECT_TRUE(sources.insert(lease.source.value).second);
+      EXPECT_TRUE(destinations.insert(lease.destination.value).second);
+      EXPECT_GT(lease.expires, lease.started);
+      EXPECT_LE(lease.expires - lease.started, policy.quantum);
+    }
+    // Invariant 2: hardware mirrors exactly mirror the active leases.
+    EXPECT_EQ(tor.mirrors().size(), scheduler.active().size());
+    for (const MirrorLease& lease : scheduler.active()) {
+      const auto session = tor.mirror_for_source(lease.source);
+      ASSERT_TRUE(session.has_value());
+      EXPECT_EQ(session->destination, lease.destination);
+    }
+    // Invariant 3: remaining time never grows and never exceeds the ask.
+    for (auto& [id, prev] : last_remaining) {
+      const util::Nanos rem = scheduler.remaining(id);
+      EXPECT_LE(rem, prev) << "request " << id;
+      EXPECT_LE(rem, requested[id]);
+      prev = rem;
+    }
+  }
+
+  // Drain: with no cancellations and enough ticks, everything completes
+  // and the hardware is clean. Tick at the quantum so every slot advances
+  // one lease per tick.
+  for (int i = 0; i < 4000 && (scheduler.pending_count() > 0 ||
+                               !scheduler.active().empty());
+       ++i) {
+    now += policy.quantum;
+    scheduler.tick(now);
+  }
+  EXPECT_EQ(scheduler.pending_count(), 0u);
+  EXPECT_TRUE(scheduler.active().empty());
+  EXPECT_TRUE(tor.mirrors().empty());
+  for (const auto& [id, duration] : requested) {
+    EXPECT_EQ(scheduler.remaining(id), 0u);
+  }
+  // Service accounting adds up to no more than was requested in total.
+  util::Nanos served_total = 0;
+  for (const auto& [user, t] : scheduler.service_time()) served_total += t;
+  util::Nanos requested_total = 0;
+  for (const auto& [id, d] : requested) requested_total += d;
+  EXPECT_LE(served_total, requested_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(1ull, 17ull, 404ull, 90210ull));
+
+}  // namespace
+}  // namespace patchwork::core

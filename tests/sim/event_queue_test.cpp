@@ -1,0 +1,94 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace patchwork::sim {
+namespace {
+
+TEST(Clock, AdvancesMonotonically) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.advance_by(10);
+  c.advance_to(50);
+  EXPECT_EQ(c.now(), 50u);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  Clock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  Clock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  Clock clock;
+  EventQueue q(clock);
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(100, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), 50u);  // Advanced to the horizon, not past it.
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenEmpty) {
+  Clock clock;
+  EventQueue q(clock);
+  q.run_until(500);
+  EXPECT_EQ(clock.now(), 500u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  Clock clock;
+  EventQueue q(clock);
+  q.schedule_at(40, [] {});
+  q.run_all();
+  util::Nanos fired_at = 0;
+  q.schedule_in(10, [&] { fired_at = clock.now(); });
+  q.run_all();
+  EXPECT_EQ(fired_at, 50u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  Clock clock;
+  EventQueue q(clock);
+  int chain = 0;
+  q.schedule_at(10, [&] {
+    ++chain;
+    q.schedule_in(5, [&] { ++chain; });
+  });
+  EXPECT_EQ(q.run_all(), 2u);
+  EXPECT_EQ(chain, 2);
+  EXPECT_EQ(clock.now(), 15u);
+}
+
+TEST(EventQueue, ScheduleEveryRepeats) {
+  Clock clock;
+  EventQueue q(clock);
+  int ticks = 0;
+  q.schedule_every(10, 55, [&] { ++ticks; });
+  q.run_all();
+  EXPECT_EQ(ticks, 5);  // t = 10, 20, 30, 40, 50.
+}
+
+}  // namespace
+}  // namespace patchwork::sim

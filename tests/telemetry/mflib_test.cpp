@@ -1,0 +1,95 @@
+#include "telemetry/mflib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed/federation.hpp"
+
+namespace patchwork::telemetry {
+namespace {
+
+struct MfLibTest : ::testing::Test {
+  MfLibTest() : rng(1), fed(testbed::make_fabric_like_federation(rng)) {}
+
+  /// Drive `seconds` of testbed time with 5-minute polls.
+  void run_with_polls(MfLib& mflib, util::Nanos total) {
+    for (util::Nanos t = 0; t < total; t += kDefaultPollInterval) {
+      fed.advance(kDefaultPollInterval);
+      mflib.poll_all(t + kDefaultPollInterval);
+    }
+  }
+
+  util::Rng rng;
+  testbed::Federation fed;
+};
+
+TEST_F(MfLibTest, PollAllCoversEveryPort) {
+  MfLib mflib(fed);
+  mflib.poll_all(0);
+  std::size_t expected = 0;
+  for (testbed::SiteId id : fed.site_ids()) {
+    expected += fed.site(id).tor().port_count() * 2;  // Tx and Rx series.
+  }
+  EXPECT_EQ(mflib.db().series_count(), expected);
+  EXPECT_EQ(mflib.polls_completed(), 1u);
+}
+
+TEST_F(MfLibTest, PortRateDerivedFromCounters) {
+  MfLib mflib(fed);
+  const testbed::GlobalPortId port{testbed::SiteId{0}, testbed::PortId{0}};
+  fed.site(testbed::SiteId{0})
+      .tor()
+      .mutable_port(testbed::PortId{0})
+      .set_rates(8e9, 4e9);
+  run_with_polls(mflib, 30 * util::kMinute);
+  const auto rate = mflib.port_rate(port, 15 * util::kMinute);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(rate->tx_bps, 8e9, 1e8);
+  EXPECT_NEAR(rate->rx_bps, 4e9, 1e8);
+  EXPECT_NEAR(rate->total(), 12e9, 2e8);
+}
+
+TEST_F(MfLibTest, RateUnavailableBeforeTwoPolls) {
+  MfLib mflib(fed);
+  mflib.poll_all(0);
+  EXPECT_FALSE(mflib
+                   .port_rate({testbed::SiteId{0}, testbed::PortId{0}},
+                              15 * util::kMinute)
+                   .has_value());
+}
+
+TEST_F(MfLibTest, SiteRatesSortedBusiestFirst) {
+  MfLib mflib(fed);
+  testbed::Site& site = fed.site(testbed::SiteId{0});
+  site.tor().mutable_port(testbed::PortId{0}).set_rates(1e9, 0);
+  site.tor().mutable_port(testbed::PortId{1}).set_rates(50e9, 10e9);
+  site.tor().mutable_port(testbed::PortId{2}).set_rates(10e9, 0);
+  run_with_polls(mflib, 30 * util::kMinute);
+  const auto rates =
+      mflib.site_rates_sorted(testbed::SiteId{0}, 15 * util::kMinute);
+  ASSERT_GE(rates.size(), 3u);
+  EXPECT_EQ(rates[0].port.port.value, 1u);
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_GE(rates[i - 1].total(), rates[i].total());
+  }
+}
+
+TEST_F(MfLibTest, TestbedTotalSumsTxAcrossSites) {
+  MfLib mflib(fed);
+  for (testbed::SiteId id : fed.site_ids()) {
+    fed.site(id).tor().mutable_port(testbed::PortId{0}).set_rates(8e9, 0);
+  }
+  run_with_polls(mflib, 30 * util::kMinute);
+  const double total = mflib.testbed_total_tx_bps(15 * util::kMinute);
+  EXPECT_NEAR(total, 8e9 * static_cast<double>(fed.site_count()), 1e9);
+}
+
+TEST(PortSeriesName, EncodesSitePortDirection) {
+  const testbed::GlobalPortId port{testbed::SiteId{3}, testbed::PortId{7}};
+  EXPECT_EQ(port_series_name(port, testbed::Direction::kTx),
+            "site3/p7/tx_bytes");
+  EXPECT_EQ(port_series_name(port, testbed::Direction::kRx),
+            "site3/p7/rx_bytes");
+}
+
+}  // namespace
+}  // namespace patchwork::telemetry

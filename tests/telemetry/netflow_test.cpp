@@ -1,0 +1,187 @@
+#include "telemetry/netflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/frame_builder.hpp"
+#include "net/parser.hpp"
+
+namespace patchwork::telemetry {
+namespace {
+
+net::ParsedFrame tcp_frame(std::uint8_t host_a, std::uint8_t host_b,
+                           std::uint16_t sport, std::uint16_t dport,
+                           std::size_t size = 256,
+                           std::uint8_t flags = net::tcp_flags::kAck) {
+  net::FrameBuilder b;
+  b.ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .vlan(100)
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, host_a),
+            net::Ipv4Address::from_octets(10, 0, 0, host_b))
+      .tcp(sport, dport, flags)
+      .payload(1)
+      .pad_to(size);
+  return net::parse_frame(b.build());
+}
+
+TEST(NetflowCache, AggregatesPacketsIntoFlows) {
+  NetflowCache cache;
+  cache.observe(tcp_frame(1, 2, 1000, 443, 500), 0);
+  cache.observe(tcp_frame(1, 2, 1000, 443, 700), util::kSecond);
+  cache.observe(tcp_frame(3, 4, 2000, 22, 300), util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 2u);
+  cache.flush(2 * util::kSecond);
+  auto records = cache.drain();
+  ASSERT_EQ(records.size(), 2u);
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.octets > b.octets; });
+  EXPECT_EQ(records[0].packets, 2u);
+  EXPECT_EQ(records[0].octets, 1200u);
+  EXPECT_EQ(records[0].src_port, 1000);
+  EXPECT_EQ(records[0].dst_port, 443);
+  EXPECT_EQ(records[0].protocol, net::kIpProtoTcp);
+}
+
+TEST(NetflowCache, FlowsAreUnidirectional) {
+  // Unlike Patchwork's canonical bidirectional keys, v5 splits the two
+  // directions — one of its documented coarseness problems.
+  NetflowCache cache;
+  cache.observe(tcp_frame(1, 2, 1000, 443), 0);
+  cache.observe(tcp_frame(2, 1, 443, 1000), 0);
+  EXPECT_EQ(cache.active_flows(), 2u);
+}
+
+TEST(NetflowCache, TagsAreInvisible) {
+  // Two slices, same 5-tuple, different VLAN: v5 merges them.
+  net::FrameBuilder b1, b2;
+  b1.ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .vlan(100)
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(10, 0, 0, 2))
+      .tcp(1000, 443)
+      .payload(8);
+  b2.ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .vlan(200)
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(10, 0, 0, 2))
+      .tcp(1000, 443)
+      .payload(8);
+  NetflowCache cache;
+  cache.observe(net::parse_frame(b1.build()), 0);
+  cache.observe(net::parse_frame(b2.build()), 0);
+  EXPECT_EQ(cache.active_flows(), 1u);
+}
+
+TEST(NetflowCache, IdleTimeoutExpires) {
+  NetflowCache::Config config;
+  config.idle_timeout = 15 * util::kSecond;
+  NetflowCache cache(config);
+  cache.observe(tcp_frame(1, 2, 1, 2), 0);
+  cache.sweep(10 * util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 1u);
+  cache.sweep(16 * util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 0u);
+  EXPECT_EQ(cache.drain().size(), 1u);
+}
+
+TEST(NetflowCache, ActiveTimeoutExpiresLongFlows) {
+  NetflowCache::Config config;
+  config.active_timeout = 60 * util::kSecond;
+  config.idle_timeout = 15 * util::kSecond;
+  NetflowCache cache(config);
+  // Keep the flow busy past the active timeout.
+  for (int s = 0; s <= 70; s += 5) {
+    cache.observe(tcp_frame(1, 2, 1, 2),
+                  static_cast<util::Nanos>(s) * util::kSecond);
+  }
+  cache.sweep(70 * util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 0u);  // Cut despite being active.
+}
+
+TEST(NetflowCache, IgnoresNonIpv4) {
+  net::FrameBuilder arp;
+  arp.ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))
+      .arp(net::MacAddress::from_id(1),
+           net::Ipv4Address::from_octets(10, 0, 0, 1),
+           net::Ipv4Address::from_octets(10, 0, 0, 2))
+      .pad_to(64);
+  NetflowCache cache;
+  EXPECT_FALSE(cache.observe(net::parse_frame(arp.build()), 0));
+  EXPECT_EQ(cache.ignored_frames(), 1u);
+  EXPECT_EQ(cache.active_flows(), 0u);
+}
+
+TEST(NetflowCache, TcpFlagsAccumulate) {
+  NetflowCache cache;
+  cache.observe(tcp_frame(1, 2, 1, 2, 256, net::tcp_flags::kSyn), 0);
+  cache.observe(tcp_frame(1, 2, 1, 2, 256,
+                          net::tcp_flags::kAck | net::tcp_flags::kFin),
+                util::kSecond);
+  cache.flush(util::kSecond);
+  const auto records = cache.drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].tcp_flags, net::tcp_flags::kSyn |
+                                      net::tcp_flags::kAck |
+                                      net::tcp_flags::kFin);
+}
+
+TEST(NetflowExport, RoundTripsThroughCollector) {
+  std::vector<NetflowRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    NetflowRecord r;
+    r.src_addr = 0x0a000001u + static_cast<std::uint32_t>(i);
+    r.dst_addr = 0x0a000099;
+    r.packets = 10 + static_cast<std::uint32_t>(i);
+    r.octets = 1000;
+    r.src_port = 4000;
+    r.dst_port = 443;
+    r.protocol = 6;
+    r.tcp_flags = net::tcp_flags::kAck;
+    records.push_back(r);
+  }
+  std::uint32_t sequence = 100;
+  const auto datagrams =
+      netflow_export(records, 5 * util::kSecond, sequence);
+  ASSERT_EQ(datagrams.size(), 1u);
+  EXPECT_EQ(sequence, 103u);
+  EXPECT_EQ(datagrams[0].size(),
+            kNetflowHeaderSize + 3 * kNetflowRecordSize);
+  const auto packet = netflow_collect(datagrams[0]);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->flow_sequence, 100u);
+  EXPECT_EQ(packet->sys_uptime_ms, 5000u);
+  ASSERT_EQ(packet->records.size(), 3u);
+  EXPECT_EQ(packet->records[1].src_addr, 0x0a000002u);
+  EXPECT_EQ(packet->records[1].packets, 11u);
+  EXPECT_EQ(packet->records[0].protocol, 6);
+}
+
+TEST(NetflowExport, SplitsAtThirtyRecords) {
+  std::vector<NetflowRecord> records(65);
+  std::uint32_t sequence = 0;
+  const auto datagrams = netflow_export(records, 0, sequence);
+  ASSERT_EQ(datagrams.size(), 3u);  // 30 + 30 + 5.
+  EXPECT_EQ(sequence, 65u);
+  const auto last = netflow_collect(datagrams[2]);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->records.size(), 5u);
+  EXPECT_EQ(last->flow_sequence, 60u);
+}
+
+TEST(NetflowCollect, RejectsMalformedDatagrams) {
+  EXPECT_FALSE(netflow_collect({}).has_value());
+  std::vector<std::uint8_t> short_packet(10, 0);
+  EXPECT_FALSE(netflow_collect(short_packet).has_value());
+  // Valid length but wrong version.
+  std::vector<NetflowRecord> one(1);
+  std::uint32_t seq = 0;
+  auto datagrams = netflow_export(one, 0, seq);
+  datagrams[0][1] = 9;  // Version 9.
+  EXPECT_FALSE(netflow_collect(datagrams[0]).has_value());
+  // Count/size mismatch.
+  auto again = netflow_export(one, 0, seq);
+  again[0].push_back(0);
+  EXPECT_FALSE(netflow_collect(again[0]).has_value());
+}
+
+}  // namespace
+}  // namespace patchwork::telemetry

@@ -1,0 +1,78 @@
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::telemetry {
+namespace {
+
+TEST(TimeSeriesDb, AppendAndRange) {
+  TimeSeriesDb db;
+  db.append("s", 10, 1.0);
+  db.append("s", 20, 2.0);
+  db.append("s", 30, 3.0);
+  const auto samples = db.range("s", 15, 30);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].time, 20u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+}
+
+TEST(TimeSeriesDb, RangeOfUnknownSeriesIsEmpty) {
+  TimeSeriesDb db;
+  EXPECT_TRUE(db.range("nope", 0, 100).empty());
+}
+
+TEST(TimeSeriesDb, Latest) {
+  TimeSeriesDb db;
+  EXPECT_FALSE(db.latest("s").has_value());
+  db.append("s", 10, 1.0);
+  db.append("s", 50, 9.0);
+  const auto latest = db.latest("s");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->time, 50u);
+  EXPECT_DOUBLE_EQ(latest->value, 9.0);
+}
+
+TEST(TimeSeriesDb, WindowedRateFromCounter) {
+  TimeSeriesDb db;
+  // A byte counter growing 1000 bytes per second, sampled every second.
+  for (int i = 0; i <= 10; ++i) {
+    db.append("ctr", static_cast<util::Nanos>(i) * util::kSecond,
+              i * 1000.0);
+  }
+  const auto rate = db.windowed_rate("ctr", 5 * util::kSecond);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 1000.0, 1e-6);
+}
+
+TEST(TimeSeriesDb, WindowedRateNeedsTwoSamples) {
+  TimeSeriesDb db;
+  db.append("ctr", 0, 5.0);
+  EXPECT_FALSE(db.windowed_rate("ctr", util::kSecond).has_value());
+}
+
+TEST(TimeSeriesDb, WindowedRateUsesOnlyWindow) {
+  TimeSeriesDb db;
+  // Fast growth long ago, flat recently.
+  db.append("ctr", 0, 0.0);
+  db.append("ctr", 1 * util::kSecond, 1e9);
+  db.append("ctr", 100 * util::kSecond, 1e9);
+  db.append("ctr", 101 * util::kSecond, 1e9);
+  const auto rate = db.windowed_rate("ctr", 2 * util::kSecond);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 0.0, 1e-6);
+}
+
+TEST(TimeSeriesDb, SeriesBookkeeping) {
+  TimeSeriesDb db;
+  db.append("a", 0, 1.0);
+  db.append("b", 0, 1.0);
+  db.append("a", 1, 2.0);
+  EXPECT_EQ(db.series_count(), 2u);
+  EXPECT_EQ(db.sample_count("a"), 2u);
+  EXPECT_EQ(db.sample_count("c"), 0u);
+  const auto names = db.series_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace patchwork::telemetry

@@ -1,0 +1,67 @@
+#include "testbed/activity_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::testbed {
+namespace {
+
+TEST(ActivityModel, MeanIsNormalizedToOne) {
+  ActivityModel m;
+  EXPECT_NEAR(m.mean_multiplier(), 1.0, 1e-9);
+}
+
+TEST(ActivityModel, PeakIsAtScWeek) {
+  ActivityModel m;
+  const double peak = m.peak_multiplier();
+  EXPECT_DOUBLE_EQ(m.week_multiplier(ActivityModel::kPeakWeek), peak);
+  // Fig. 6: the SC'24 spike towers over the rest of the year.
+  EXPECT_GT(peak, 2.0);
+}
+
+TEST(ActivityModel, SpringRampExists) {
+  ActivityModel m;
+  // Ramp-up to April (week ~13): early April beats mid-February and the
+  // post-deadline lull.
+  EXPECT_GT(m.week_multiplier(13), m.week_multiplier(6));
+  EXPECT_GT(m.week_multiplier(13), m.week_multiplier(20));
+}
+
+TEST(ActivityModel, FallRampLeadsIntoScPeak) {
+  ActivityModel m;
+  EXPECT_GT(m.week_multiplier(43), m.week_multiplier(30));
+  EXPECT_GT(m.week_multiplier(46), m.week_multiplier(43));
+}
+
+TEST(ActivityModel, DecemberTailsOff) {
+  ActivityModel m;
+  EXPECT_LT(m.week_multiplier(51),
+            m.week_multiplier(ActivityModel::kPeakWeek) / 2.0);
+}
+
+TEST(ActivityModel, AllMultipliersPositive) {
+  ActivityModel m;
+  for (std::size_t w = 0; w < ActivityModel::kWeeksPerYear; ++w) {
+    EXPECT_GT(m.week_multiplier(w), 0.0) << "week " << w;
+  }
+}
+
+TEST(ActivityModel, YearFractionInterpolatesSmoothly) {
+  ActivityModel m;
+  // Adjacent evaluations should not jump by more than adjacent weeks do.
+  double prev = m.at_year_fraction(0.0);
+  for (double f = 0.001; f < 1.0; f += 0.001) {
+    const double cur = m.at_year_fraction(f);
+    EXPECT_LT(std::abs(cur - prev), 1.0);
+    prev = cur;
+  }
+}
+
+TEST(ActivityModel, SeasonalSwingIsLarge) {
+  // Fig. 5's stddev/mean of active slices (52/85) requires strong
+  // seasonality in the arrival rate.
+  ActivityModel m;
+  EXPECT_GT(m.stddev_multiplier(), 0.3);
+}
+
+}  // namespace
+}  // namespace patchwork::testbed

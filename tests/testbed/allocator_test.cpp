@@ -1,0 +1,178 @@
+#include "testbed/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed/federation.hpp"
+
+namespace patchwork::testbed {
+namespace {
+
+struct AllocatorTest : ::testing::Test {
+  AllocatorTest() : rng(1), fed(make_fabric_like_federation(rng)) {}
+
+  Site& site() { return fed.site(SiteId{0}); }
+
+  Allocator::Tuning no_failures() {
+    Allocator::Tuning t;
+    t.backend_failure_rate = 0.0;
+    return t;
+  }
+
+  util::Rng rng;
+  Federation fed;
+};
+
+TEST_F(AllocatorTest, GrantsDefaultPatchworkRequest) {
+  Allocator alloc(site(), rng, no_failures());
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.push_back(VmRequest{});  // 2 cores, 8GB, 100GB, 1 dedicated NIC.
+  const AllocResult result = alloc.allocate(req);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.grant->vms.size(), 1u);
+  EXPECT_EQ(result.grant->vms[0].nics.size(), 1u);
+  // A dedicated dual-port NIC exposes two switch ports.
+  EXPECT_EQ(result.grant->vms[0].nic_ports.size(), 2u);
+}
+
+TEST_F(AllocatorTest, AllocationConsumesResources) {
+  Allocator alloc(site(), rng, no_failures());
+  const auto nics_before =
+      site().count_available_nics(NicKind::kDedicatedConnectX);
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.push_back(VmRequest{});
+  const AllocResult result = alloc.allocate(req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(site().count_available_nics(NicKind::kDedicatedConnectX),
+            nics_before - 1);
+}
+
+TEST_F(AllocatorTest, ReleaseRestoresResources) {
+  Allocator alloc(site(), rng, no_failures());
+  const auto nics_before =
+      site().count_available_nics(NicKind::kDedicatedConnectX);
+  const auto storage_before = site().total_free_storage();
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.push_back(VmRequest{});
+  const AllocResult result = alloc.allocate(req);
+  ASSERT_TRUE(result.ok());
+  alloc.release(*result.grant);
+  EXPECT_EQ(site().count_available_nics(NicKind::kDedicatedConnectX),
+            nics_before);
+  EXPECT_EQ(site().total_free_storage(), storage_before);
+}
+
+TEST_F(AllocatorTest, DedicatedNicExhaustionReported) {
+  Allocator alloc(site(), rng, no_failures());
+  const auto available =
+      site().count_available_nics(NicKind::kDedicatedConnectX);
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.assign(available + 1, VmRequest{});
+  EXPECT_EQ(alloc.can_satisfy(req), AllocError::kNoDedicatedNic);
+  const AllocResult result = alloc.allocate(req);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, AllocError::kNoDedicatedNic);
+}
+
+TEST_F(AllocatorTest, FailedAllocationLeavesStateUntouched) {
+  Allocator alloc(site(), rng, no_failures());
+  const auto nics_before =
+      site().count_available_nics(NicKind::kDedicatedConnectX);
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.assign(nics_before + 5, VmRequest{});
+  ASSERT_FALSE(alloc.allocate(req).ok());
+  EXPECT_EQ(site().count_available_nics(NicKind::kDedicatedConnectX),
+            nics_before);
+}
+
+TEST_F(AllocatorTest, CanSatisfyIsDryRun) {
+  Allocator alloc(site(), rng, no_failures());
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.push_back(VmRequest{});
+  EXPECT_EQ(alloc.can_satisfy(req), std::nullopt);
+  // Nothing consumed by the dry run.
+  EXPECT_GT(site().count_available_nics(NicKind::kDedicatedConnectX), 0u);
+}
+
+TEST_F(AllocatorTest, StorageExhaustionReported) {
+  Allocator alloc(site(), rng, no_failures());
+  SliceRequest req;
+  req.site = SiteId{0};
+  VmRequest vm;
+  vm.dedicated_nics = 0;
+  vm.storage = 100ull << 40;  // 100 TB: more than any worker has.
+  req.vms.push_back(vm);
+  EXPECT_EQ(alloc.can_satisfy(req), AllocError::kNoStorage);
+}
+
+TEST_F(AllocatorTest, CpuExhaustionReported) {
+  Allocator alloc(site(), rng, no_failures());
+  SliceRequest req;
+  req.site = SiteId{0};
+  VmRequest vm;
+  vm.dedicated_nics = 0;
+  vm.cores = 100000;
+  req.vms.push_back(vm);
+  EXPECT_EQ(alloc.can_satisfy(req), AllocError::kNoCpu);
+}
+
+TEST_F(AllocatorTest, FpgaRequestHonoured) {
+  // Find a site with an FPGA.
+  for (SiteId id : fed.site_ids()) {
+    Site& s = fed.site(id);
+    if (s.count_available_nics(NicKind::kAlveoFpga) == 0) continue;
+    Allocator alloc(s, rng, no_failures());
+    SliceRequest req;
+    req.site = id;
+    VmRequest vm;
+    vm.dedicated_nics = 0;
+    vm.wants_fpga = true;
+    req.vms.push_back(vm);
+    const AllocResult result = alloc.allocate(req);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(s.nic(result.grant->vms[0].nics[0]).kind,
+              NicKind::kAlveoFpga);
+    return;
+  }
+  FAIL() << "no FPGA site in the federation";
+}
+
+TEST_F(AllocatorTest, BackendFailuresHappenAtConfiguredRate) {
+  Allocator::Tuning t;
+  t.backend_failure_rate = 1.0;  // Always fail.
+  Allocator alloc(site(), rng, t);
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.push_back(VmRequest{});
+  const AllocResult result = alloc.allocate(req);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, AllocError::kBackendError);
+}
+
+TEST_F(AllocatorTest, LatencyGrowsSuperlinearlyWithSliceSize) {
+  Allocator alloc(site(), rng, no_failures());
+  // Section 8.3: large slices take disproportionately long to allocate,
+  // which is why Patchwork prefers smaller slices.
+  const util::Nanos small = alloc.allocation_latency(2);
+  const util::Nanos big = alloc.allocation_latency(20);
+  EXPECT_GT(big, 10 * small / 2);  // More than linear scaling.
+}
+
+TEST_F(AllocatorTest, DistinctSlicesGetDistinctIds) {
+  Allocator alloc(site(), rng, no_failures());
+  SliceRequest req;
+  req.site = SiteId{0};
+  req.vms.push_back(VmRequest{});
+  const AllocResult a = alloc.allocate(req);
+  const AllocResult b = alloc.allocate(req);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.grant->slice, b.grant->slice);
+}
+
+}  // namespace
+}  // namespace patchwork::testbed

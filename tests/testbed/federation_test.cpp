@@ -1,0 +1,120 @@
+#include "testbed/federation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::testbed {
+namespace {
+
+TEST(Federation, FabricLikeShape) {
+  util::Rng rng(1);
+  FederationSpec spec;
+  const Federation fed = make_fabric_like_federation(rng, spec);
+  EXPECT_EQ(fed.site_count(), spec.sites);
+  for (SiteId id : fed.site_ids()) {
+    const Site& s = fed.site(id);
+    const std::size_t up = s.tor().count_of_kind(PortKind::kUplink);
+    const std::size_t down = s.tor().count_of_kind(PortKind::kDownlink);
+    EXPECT_GE(up, spec.min_uplinks);
+    EXPECT_LE(up, spec.max_uplinks);
+    // Fig. 2's structural finding: every site has many more downlinks
+    // than uplinks.
+    EXPECT_GT(down, up);
+  }
+}
+
+TEST(Federation, TeachingSiteHasNoDedicatedNics) {
+  util::Rng rng(2);
+  const Federation fed = make_fabric_like_federation(rng);
+  std::size_t teaching = 0;
+  for (SiteId id : fed.site_ids()) {
+    const Site& s = fed.site(id);
+    if (s.teaching_only()) {
+      ++teaching;
+      EXPECT_EQ(s.count_available_nics(NicKind::kDedicatedConnectX), 0u);
+    } else {
+      // The paper: sites usually have ~2-6 dedicated NICs.
+      const std::size_t ded =
+          s.count_available_nics(NicKind::kDedicatedConnectX);
+      EXPECT_GE(ded, 2u);
+      EXPECT_LE(ded, 6u);
+    }
+  }
+  EXPECT_EQ(teaching, 1u);
+}
+
+TEST(Federation, DedicatedNicsAreDualPort) {
+  util::Rng rng(3);
+  const Federation fed = make_fabric_like_federation(rng);
+  for (SiteId id : fed.site_ids()) {
+    for (const Nic& nic : fed.site(id).nics()) {
+      if (nic.kind == NicKind::kDedicatedConnectX) {
+        EXPECT_EQ(nic.port_count(), 2u);
+      }
+    }
+  }
+}
+
+TEST(Federation, LinksConnectDistinctSitesOnUplinkPorts) {
+  util::Rng rng(4);
+  const Federation fed = make_fabric_like_federation(rng);
+  EXPECT_GE(fed.links().size(), fed.site_count());  // At least the ring.
+  for (const InterSiteLink& link : fed.links()) {
+    EXPECT_NE(link.a.site, link.b.site);
+    EXPECT_EQ(fed.site(link.a.site).tor().port(link.a.port).kind(),
+              PortKind::kUplink);
+    EXPECT_EQ(fed.site(link.b.site).tor().port(link.b.port).kind(),
+              PortKind::kUplink);
+  }
+}
+
+TEST(Federation, PortInventoryMatchesSwitches) {
+  util::Rng rng(5);
+  const Federation fed = make_fabric_like_federation(rng);
+  const auto inventory = port_inventory(fed);
+  ASSERT_EQ(inventory.size(), fed.site_count());
+  for (const SitePortInventory& row : inventory) {
+    const Site& s = fed.site(row.site);
+    EXPECT_EQ(row.uplinks, s.tor().count_of_kind(PortKind::kUplink));
+    EXPECT_EQ(row.downlinks, s.tor().count_of_kind(PortKind::kDownlink));
+    EXPECT_EQ(row.name, s.name());
+  }
+}
+
+TEST(Federation, DeterministicForSeed) {
+  util::Rng rng1(99), rng2(99);
+  const Federation a = make_fabric_like_federation(rng1);
+  const Federation b = make_fabric_like_federation(rng2);
+  ASSERT_EQ(a.site_count(), b.site_count());
+  for (SiteId id : a.site_ids()) {
+    EXPECT_EQ(a.site(id).tor().port_count(), b.site(id).tor().port_count());
+    EXPECT_EQ(a.site(id).nics().size(), b.site(id).nics().size());
+  }
+}
+
+TEST(Federation, AdvancePropagatesToAllSwitches) {
+  util::Rng rng(6);
+  Federation fed = make_fabric_like_federation(rng);
+  for (SiteId id : fed.site_ids()) {
+    fed.site(id).tor().mutable_port(PortId{0}).set_rates(8e9, 8e9);
+  }
+  fed.advance(util::kSecond);
+  for (SiteId id : fed.site_ids()) {
+    EXPECT_EQ(fed.site(id).tor().port(PortId{0}).counters().tx_bytes, 1e9);
+  }
+}
+
+TEST(Site, AvailableNicTracking) {
+  util::Rng rng(7);
+  Federation fed = make_fabric_like_federation(rng);
+  Site& site = fed.site(SiteId{0});
+  const auto before =
+      site.count_available_nics(NicKind::kDedicatedConnectX);
+  ASSERT_GT(before, 0u);
+  const NicId nic = site.available_nics(NicKind::kDedicatedConnectX).front();
+  site.mutable_nic(nic).allocated_to = SliceId{1};
+  EXPECT_EQ(site.count_available_nics(NicKind::kDedicatedConnectX),
+            before - 1);
+}
+
+}  // namespace
+}  // namespace patchwork::testbed

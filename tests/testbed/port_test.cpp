@@ -1,0 +1,51 @@
+#include "testbed/port.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::testbed {
+namespace {
+
+TEST(SwitchPort, AdvanceIntegratesRates) {
+  SwitchPort p(PortKind::kDownlink, 100e9);
+  p.set_rates(8e9, 4e9);  // 1 GB/s tx, 0.5 GB/s rx.
+  p.advance(2 * util::kSecond);
+  EXPECT_EQ(p.counters().tx_bytes, 2'000'000'000u);
+  EXPECT_EQ(p.counters().rx_bytes, 1'000'000'000u);
+}
+
+TEST(SwitchPort, RatesClampedToLineRate) {
+  SwitchPort p(PortKind::kDownlink, 10e9);
+  p.set_rates(100e9, 0.0);  // Offered far above line rate.
+  p.advance(util::kSecond);
+  EXPECT_EQ(p.counters().tx_bytes, 10e9 / 8);
+}
+
+TEST(SwitchPort, FrameCountersUseMeanFrameSize) {
+  SwitchPort p(PortKind::kDownlink, 100e9);
+  p.set_mean_frame_size(1000.0);
+  p.set_rates(8e6, 0.0);  // 1 MB/s.
+  p.advance(util::kSecond);
+  EXPECT_EQ(p.counters().tx_frames, 1000u);
+}
+
+TEST(SwitchPort, UtilizationIsBusierDirection) {
+  SwitchPort p(PortKind::kUplink, 100e9);
+  p.set_rates(38e9, 10e9);
+  EXPECT_DOUBLE_EQ(p.utilization(), 0.38);
+  p.set_rates(10e9, 90e9);
+  EXPECT_DOUBLE_EQ(p.utilization(), 0.9);
+}
+
+TEST(SwitchPort, UtilizationCapsAtOne) {
+  SwitchPort p(PortKind::kUplink, 10e9);
+  p.set_rates(50e9, 0.0);
+  EXPECT_DOUBLE_EQ(p.utilization(), 1.0);
+}
+
+TEST(SwitchPort, ZeroLineRatePortHasZeroUtilization) {
+  SwitchPort p;
+  EXPECT_DOUBLE_EQ(p.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace patchwork::testbed

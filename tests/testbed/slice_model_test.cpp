@@ -1,0 +1,109 @@
+#include "testbed/slice_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace patchwork::testbed {
+namespace {
+
+struct SliceModelTest : ::testing::Test {
+  SliceModelTest() : rng(1234), model(rng, activity) {}
+  util::Rng rng;
+  ActivityModel activity;
+  SliceActivityModel model;
+};
+
+TEST_F(SliceModelTest, SingleSiteFractionMatchesFig3) {
+  // Fig. 3: 66.5% of all FABRIC slices use a single site.
+  int single = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (model.draw_site_count() == 1) ++single;
+  }
+  EXPECT_NEAR(static_cast<double>(single) / n, 0.665, 0.02);
+}
+
+TEST_F(SliceModelTest, MultiSiteSlicesSpreadOverFewSites) {
+  // Fig. 3: slices tend to use resources spread across *few* sites.
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t sites = model.draw_site_count();
+    EXPECT_GE(sites, 1u);
+    EXPECT_LE(sites, 9u);
+  }
+}
+
+TEST_F(SliceModelTest, DurationQuartilesMatchFig4) {
+  // Fig. 4: 75% of slices last <= 24 hours.
+  int within_day = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (model.draw_duration() <= util::kDay) ++within_day;
+  }
+  EXPECT_NEAR(static_cast<double>(within_day) / n, 0.75, 0.02);
+}
+
+TEST_F(SliceModelTest, DurationsHaveHeavyTail) {
+  bool saw_week_long = false;
+  for (int i = 0; i < 50000 && !saw_week_long; ++i) {
+    saw_week_long = model.draw_duration() > 7 * util::kDay;
+  }
+  EXPECT_TRUE(saw_week_long);
+}
+
+TEST_F(SliceModelTest, GeneratedSlicesAreTimeOrderedAndWithinSites) {
+  const auto slices = model.generate(30 * util::kDay);
+  ASSERT_FALSE(slices.empty());
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_LE(slices[i - 1].start, slices[i].start);
+  }
+  for (const SliceRecord& s : slices) {
+    EXPECT_EQ(s.sites.size(), s.site_count);
+    for (std::uint32_t site : s.sites) {
+      EXPECT_LT(site, model.params().total_sites);
+    }
+    // Sites within one slice are distinct.
+    for (std::size_t a = 0; a < s.sites.size(); ++a) {
+      for (std::size_t b = a + 1; b < s.sites.size(); ++b) {
+        EXPECT_NE(s.sites[a], s.sites[b]);
+      }
+    }
+  }
+}
+
+TEST_F(SliceModelTest, SteadyStateActiveCountNearFig5Mean) {
+  // Fig. 5: average 85 simultaneous slices. Sample a full year at daily
+  // granularity; mean should land in the right neighbourhood.
+  const auto slices = model.generate(365 * util::kDay);
+  util::RunningStats stats;
+  for (util::Nanos t = 0; t < 365 * util::kDay; t += util::kDay) {
+    stats.add(static_cast<double>(
+        SliceActivityModel::active_count(slices, t)));
+  }
+  EXPECT_NEAR(stats.mean(), 85.0, 25.0);
+  // Fig. 5's variability: stddev 52; require strong dispersion at least.
+  EXPECT_GT(stats.stddev(), 25.0);
+  // "At most, we saw 272 simultaneous slices" — the peak should clearly
+  // exceed the mean.
+  EXPECT_GT(stats.max(), 1.8 * stats.mean());
+}
+
+TEST_F(SliceModelTest, WarmupPopulatesTimeZero) {
+  const auto slices = model.generate(2 * util::kDay);
+  EXPECT_GT(SliceActivityModel::active_count(slices, 0), 10u);
+}
+
+TEST_F(SliceModelTest, ActiveCountRespectsIntervals) {
+  std::vector<SliceRecord> slices;
+  SliceRecord r;
+  r.start = 100;
+  r.duration = 50;
+  slices.push_back(r);
+  EXPECT_EQ(SliceActivityModel::active_count(slices, 99), 0u);
+  EXPECT_EQ(SliceActivityModel::active_count(slices, 100), 1u);
+  EXPECT_EQ(SliceActivityModel::active_count(slices, 149), 1u);
+  EXPECT_EQ(SliceActivityModel::active_count(slices, 150), 0u);
+}
+
+}  // namespace
+}  // namespace patchwork::testbed

@@ -1,0 +1,134 @@
+#include "testbed/switch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::testbed {
+namespace {
+
+ToRSwitch make_switch(std::size_t uplinks = 2, std::size_t downlinks = 6,
+                      double rate = 100e9) {
+  std::vector<SwitchPort> ports;
+  for (std::size_t i = 0; i < uplinks; ++i) {
+    ports.emplace_back(PortKind::kUplink, rate);
+  }
+  for (std::size_t i = 0; i < downlinks; ++i) {
+    ports.emplace_back(PortKind::kDownlink, rate);
+  }
+  return ToRSwitch(std::move(ports));
+}
+
+TEST(ToRSwitch, PortsOfKind) {
+  ToRSwitch sw = make_switch(2, 6);
+  EXPECT_EQ(sw.count_of_kind(PortKind::kUplink), 2u);
+  EXPECT_EQ(sw.count_of_kind(PortKind::kDownlink), 6u);
+  EXPECT_EQ(sw.ports_of_kind(PortKind::kUplink).front().value, 0u);
+}
+
+TEST(ToRSwitch, AddMirrorBasics) {
+  ToRSwitch sw = make_switch();
+  EXPECT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  ASSERT_EQ(sw.mirrors().size(), 1u);
+  EXPECT_TRUE(sw.port_is_mirror_member(PortId{0}));
+  EXPECT_TRUE(sw.port_is_mirror_member(PortId{5}));
+  EXPECT_FALSE(sw.port_is_mirror_member(PortId{3}));
+}
+
+TEST(ToRSwitch, MirrorDestinationMustBeDownlink) {
+  ToRSwitch sw = make_switch();
+  // Port 1 is an uplink: invalid destination.
+  EXPECT_FALSE(sw.add_mirror({PortId{3}, MirrorDirections::kBoth, PortId{1}}));
+}
+
+TEST(ToRSwitch, MirrorRejectsSelfAndBusyPorts) {
+  ToRSwitch sw = make_switch();
+  EXPECT_FALSE(sw.add_mirror({PortId{5}, MirrorDirections::kBoth, PortId{5}}));
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  // Source already mirrored elsewhere.
+  EXPECT_FALSE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{6}}));
+  // Destination already in use.
+  EXPECT_FALSE(sw.add_mirror({PortId{2}, MirrorDirections::kBoth, PortId{5}}));
+}
+
+TEST(ToRSwitch, RetargetMirrorIsPortCycling) {
+  ToRSwitch sw = make_switch();
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  EXPECT_TRUE(sw.retarget_mirror(PortId{0}, PortId{2}));
+  auto session = sw.mirror_for_source(PortId{2});
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(session->destination, PortId{5});
+  EXPECT_FALSE(sw.mirror_for_source(PortId{0}).has_value());
+}
+
+TEST(ToRSwitch, RetargetRejectsBusyNewSource) {
+  ToRSwitch sw = make_switch(2, 8);
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  ASSERT_TRUE(sw.add_mirror({PortId{1}, MirrorDirections::kBoth, PortId{6}}));
+  EXPECT_FALSE(sw.retarget_mirror(PortId{0}, PortId{1}));
+  EXPECT_FALSE(sw.retarget_mirror(PortId{0}, PortId{5}));  // Own dest.
+}
+
+TEST(ToRSwitch, RemoveMirror) {
+  ToRSwitch sw = make_switch();
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  EXPECT_TRUE(sw.remove_mirror(PortId{0}));
+  EXPECT_FALSE(sw.remove_mirror(PortId{0}));
+  EXPECT_TRUE(sw.mirrors().empty());
+}
+
+TEST(ToRSwitch, MirrorOfferedRespectDirections) {
+  ToRSwitch sw = make_switch();
+  sw.mutable_port(PortId{0}).set_rates(60e9, 50e9);
+  MirrorSession both{PortId{0}, MirrorDirections::kBoth, PortId{5}};
+  MirrorSession tx{PortId{0}, MirrorDirections::kTxOnly, PortId{5}};
+  MirrorSession rx{PortId{0}, MirrorDirections::kRxOnly, PortId{5}};
+  EXPECT_DOUBLE_EQ(sw.mirror_offered_bps(both), 110e9);
+  EXPECT_DOUBLE_EQ(sw.mirror_offered_bps(tx), 60e9);
+  EXPECT_DOUBLE_EQ(sw.mirror_offered_bps(rx), 50e9);
+}
+
+TEST(ToRSwitch, MirrorDeliveryDropsWhenOversubscribed) {
+  // The paper's congestion mode: Mirrored(Tx) + Mirrored(Rx) > line rate
+  // of the egress channel means silent frame drops at the switch.
+  ToRSwitch sw = make_switch();
+  sw.mutable_port(PortId{0}).set_rates(60e9, 50e9);  // 110G into a 100G port.
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  const double f = sw.mirror_delivery_fraction(sw.mirrors().front());
+  EXPECT_NEAR(f, 100.0 / 110.0, 1e-9);
+}
+
+TEST(ToRSwitch, MirrorDeliveryFullWhenUnderCapacity) {
+  ToRSwitch sw = make_switch();
+  sw.mutable_port(PortId{0}).set_rates(30e9, 20e9);
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  EXPECT_DOUBLE_EQ(sw.mirror_delivery_fraction(sw.mirrors().front()), 1.0);
+}
+
+TEST(ToRSwitch, SetMirrorDirections) {
+  ToRSwitch sw = make_switch();
+  sw.mutable_port(PortId{0}).set_rates(60e9, 50e9);
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  // 110G into 100G: dropping. Switching to Tx-only fits.
+  EXPECT_LT(sw.mirror_delivery_fraction(sw.mirrors().front()), 1.0);
+  EXPECT_TRUE(sw.set_mirror_directions(PortId{0}, MirrorDirections::kTxOnly));
+  EXPECT_DOUBLE_EQ(sw.mirror_delivery_fraction(sw.mirrors().front()), 1.0);
+  EXPECT_EQ(sw.mirror_for_source(PortId{0})->directions,
+            MirrorDirections::kTxOnly);
+  EXPECT_FALSE(sw.set_mirror_directions(PortId{3}, MirrorDirections::kBoth));
+}
+
+TEST(ToRSwitch, AdvanceChargesMirrorEgressAndDrops) {
+  ToRSwitch sw = make_switch();
+  sw.mutable_port(PortId{0}).set_rates(60e9, 50e9);
+  sw.mutable_port(PortId{0}).set_mean_frame_size(1000.0);
+  ASSERT_TRUE(sw.add_mirror({PortId{0}, MirrorDirections::kBoth, PortId{5}}));
+  sw.advance(util::kSecond);
+  // Egress carried its line rate worth of bytes.
+  EXPECT_NEAR(static_cast<double>(sw.port(PortId{5}).counters().tx_bytes),
+              100e9 / 8, 1e7);
+  // The 10G excess shows up as mirror drops.
+  EXPECT_NEAR(static_cast<double>(sw.port(PortId{5}).counters().mirror_drops),
+              (10e9 / 8) / 1000.0, 1e4);
+}
+
+}  // namespace
+}  // namespace patchwork::testbed

@@ -1,0 +1,40 @@
+// A ready-to-use simulated FABRIC world for core and integration tests.
+#pragma once
+
+#include <memory>
+
+#include "core/environment.hpp"
+#include "sim/clock.hpp"
+#include "telemetry/mflib.hpp"
+#include "testbed/activity_model.hpp"
+#include "testbed/federation.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+
+namespace patchwork::testing {
+
+struct World {
+  explicit World(std::uint64_t seed = 1,
+                 testbed::FederationSpec spec = testbed::FederationSpec())
+      : rng(seed),
+        fed(testbed::make_fabric_like_federation(rng, spec)),
+        mflib(fed),
+        traffic(fed, activity,
+                traffic::make_site_profiles(rng, fed.site_count()),
+                rng.fork()),
+        env(clock, fed, mflib, traffic, rng) {}
+
+  /// Prime telemetry so windowed rate queries work: two polls, 5 min apart.
+  void warm_up_telemetry() { env.advance(11 * util::kMinute); }
+
+  util::Rng rng;
+  sim::Clock clock;
+  testbed::ActivityModel activity;
+  testbed::Federation fed;
+  telemetry::MfLib mflib;
+  traffic::TrafficEngine traffic;
+  core::Environment env;
+};
+
+}  // namespace patchwork::testing

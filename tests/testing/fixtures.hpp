@@ -1,0 +1,47 @@
+// Shared helpers for building synthetic captures in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/digest.hpp"
+#include "net/frame_builder.hpp"
+#include "pcap/pcap.hpp"
+
+namespace patchwork::testing {
+
+inline net::Frame tcp_frame(std::uint8_t host_a, std::uint8_t host_b,
+                            std::uint16_t sport, std::uint16_t dport,
+                            std::size_t size = 256, util::Nanos ts = 0,
+                            std::uint16_t vlan = 100,
+                            std::uint8_t flags = net::tcp_flags::kAck |
+                                                 net::tcp_flags::kPsh) {
+  net::FrameBuilder b;
+  b.ethernet(net::MacAddress::from_id(host_a), net::MacAddress::from_id(host_b))
+      .vlan(vlan)
+      .mpls(16000)
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, host_a),
+            net::Ipv4Address::from_octets(10, 0, 0, host_b))
+      .tcp(sport, dport, flags)
+      .payload(1)
+      .pad_to(size);
+  return b.build(ts);
+}
+
+/// Wrap frames into a RawCapture with a valid pcap stream.
+inline analysis::RawCapture make_capture(
+    std::string site, std::uint32_t port,
+    const std::vector<net::Frame>& frames, util::Nanos start = 0,
+    std::uint32_t snaplen = 200) {
+  pcap::PcapWriter writer(snaplen);
+  for (const net::Frame& f : frames) writer.write(f);
+  analysis::RawCapture raw;
+  raw.site = std::move(site);
+  raw.port = port;
+  raw.start = start;
+  raw.duration = 20 * util::kSecond;
+  raw.pcap = writer.take_buffer();
+  return raw;
+}
+
+}  // namespace patchwork::testing

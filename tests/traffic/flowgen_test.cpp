@@ -1,0 +1,151 @@
+#include "traffic/flowgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/parser.hpp"
+
+namespace patchwork::traffic {
+namespace {
+
+SiteWorkloadProfile default_profile() {
+  util::Rng rng(3);
+  return make_site_profiles(rng, 1).front();
+}
+
+TEST(FlowGen, DrawFlowRespectsProfileStructure) {
+  util::Rng rng(1);
+  const SiteWorkloadProfile profile = default_profile();
+  for (int i = 0; i < 200; ++i) {
+    const FlowSpec flow = draw_flow(rng, profile);
+    EXPECT_TRUE(flow.src_ip.in_ten_slash_eight());
+    EXPECT_TRUE(flow.dst_ip.in_ten_slash_eight());
+    EXPECT_GE(flow.total_bytes, 64u);
+    if (flow.pseudowire) {
+      EXPECT_FALSE(flow.mpls_labels.empty());
+    }
+  }
+}
+
+TEST(FlowGen, DataFrameParsesWithExpectedStack) {
+  util::Rng rng(2);
+  SiteWorkloadProfile profile = default_profile();
+  for (int i = 0; i < 100; ++i) {
+    const FlowSpec flow = draw_flow(rng, profile);
+    const net::Frame frame = make_data_frame(flow, 1000);
+    const net::ParsedFrame parsed = net::parse_frame(frame);
+    ASSERT_FALSE(parsed.layers.empty());
+    EXPECT_EQ(parsed.layers.front().protocol, net::Protocol::kEthernet);
+    EXPECT_FALSE(parsed.has(net::Protocol::kMalformed))
+        << parsed.stack_string();
+    // Tags survive into the parse for flow classification.
+    if (flow.vlan_id) {
+      EXPECT_FALSE(parsed.vlan_ids.empty());
+    }
+    EXPECT_EQ(parsed.mpls_labels.size(), flow.mpls_labels.size());
+  }
+}
+
+TEST(FlowGen, AckFramesAreMinimumSizeReverseDirection) {
+  util::Rng rng(4);
+  SiteWorkloadProfile profile = default_profile();
+  FlowSpec flow;
+  do {
+    flow = draw_flow(rng, profile);
+  } while (!app_is_tcp(flow.app) || flow.ipv6);
+  const net::Frame ack = make_ack_frame(flow, 0);
+  EXPECT_LE(ack.wire_length(), 127u);  // Paper's 65-127 B ACK bucket.
+  const net::ParsedFrame parsed = net::parse_frame(ack);
+  ASSERT_TRUE(parsed.tcp.has_value());
+  EXPECT_EQ(parsed.tcp->dst_port, flow.src_port);
+  EXPECT_EQ(parsed.tcp->src_port, flow.dst_port);
+  ASSERT_TRUE(parsed.ipv4.has_value());
+  EXPECT_EQ(parsed.ipv4->src, flow.dst_ip);
+  EXPECT_EQ(parsed.ipv4->dst, flow.src_ip);
+  // Stack ends at TCP: payload-free ACK.
+  EXPECT_EQ(parsed.layers.back().protocol, net::Protocol::kTcp);
+}
+
+TEST(FlowGen, WindowRespectsTargetRate) {
+  util::Rng rng(5);
+  SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 1e9;
+  params.max_frames = 100000;
+  const WindowTraffic window = generate_window(rng, profile, params);
+  EXPECT_DOUBLE_EQ(window.offered_bps, 1e9);
+  EXPECT_GT(window.offered_pps, 0.0);
+  EXPECT_FALSE(window.frames.empty());
+  // The true stream (offered_pps at the rendered frames' mean size) must
+  // carry approximately the target byte volume.
+  double rendered_bytes = 0.0;
+  for (const net::Frame& f : window.frames) {
+    rendered_bytes += static_cast<double>(f.wire_length());
+  }
+  const double mean_frame =
+      rendered_bytes / static_cast<double>(window.frames.size());
+  const double implied_bytes = window.offered_pps * 20.0 * mean_frame;
+  const double target_bytes = 1e9 * 20.0 / 8.0;
+  EXPECT_GT(implied_bytes, 0.5 * target_bytes);
+  EXPECT_LT(implied_bytes, 2.0 * target_bytes);
+}
+
+TEST(FlowGen, WindowRenderingCapScalesDown) {
+  util::Rng rng(6);
+  SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 50e9;  // Far too many frames to render fully.
+  params.max_frames = 5000;
+  const WindowTraffic window = generate_window(rng, profile, params);
+  EXPECT_LE(window.frames.size(), 7000u);  // Cap plus stochastic slack.
+  // True rate is still reported: 50 Gbps of ~1500-2000 B frames is
+  // millions of frames over 20 s.
+  EXPECT_GT(window.offered_pps * 20.0, 1e6);
+}
+
+TEST(FlowGen, WindowFramesAreTimeOrderedWithinWindow) {
+  util::Rng rng(7);
+  SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 1e8;
+  const WindowTraffic window = generate_window(rng, profile, params);
+  for (std::size_t i = 1; i < window.frames.size(); ++i) {
+    EXPECT_LE(window.frames[i - 1].timestamp(), window.frames[i].timestamp());
+  }
+  for (const net::Frame& f : window.frames) {
+    EXPECT_LT(f.timestamp(), params.duration);
+  }
+}
+
+TEST(FlowGen, ZeroRateWindowIsEmpty) {
+  util::Rng rng(8);
+  SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.target_bps = 0.0;
+  const WindowTraffic window = generate_window(rng, profile, params);
+  EXPECT_TRUE(window.frames.empty());
+  EXPECT_DOUBLE_EQ(window.offered_pps, 0.0);
+}
+
+TEST(FlowGen, TcpAppsProduceAcks) {
+  util::Rng rng(9);
+  SiteWorkloadProfile profile = default_profile();
+  // Force a TCP-dominant profile.
+  std::fill(profile.app_weights.begin(), profile.app_weights.end(), 0.0);
+  profile.app_weights[static_cast<std::size_t>(FlowApp::kIperfTcp)] = 1.0;
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 1e9;
+  const WindowTraffic window = generate_window(rng, profile, params);
+  std::size_t minis = 0;
+  for (const net::Frame& f : window.frames) {
+    if (f.wire_length() <= 127) ++minis;
+  }
+  // Roughly one delayed ACK per four data frames.
+  EXPECT_GT(minis, window.frames.size() / 8);
+}
+
+}  // namespace
+}  // namespace patchwork::traffic

@@ -1,0 +1,82 @@
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace patchwork::traffic {
+namespace {
+
+TEST(Workload, ProfilesAreDeterministicPerSeed) {
+  util::Rng rng1(9), rng2(9);
+  const auto a = make_site_profiles(rng1, 30);
+  const auto b = make_site_profiles(rng2, 30);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mtu_frame_size, b[i].mtu_frame_size);
+    EXPECT_EQ(a[i].app_weights, b[i].app_weights);
+  }
+}
+
+TEST(Workload, SitesAreDiverse) {
+  // Finding B1/B2: sites differ in protocol variety.
+  util::Rng rng(9);
+  const auto profiles = make_site_profiles(rng, 30);
+  std::size_t min_apps = 100, max_apps = 0;
+  for (const auto& p : profiles) {
+    min_apps = std::min(min_apps, p.active_apps());
+    max_apps = std::max(max_apps, p.active_apps());
+  }
+  EXPECT_LE(min_apps, 4u);  // Some throughput-only sites.
+  EXPECT_GE(max_apps, 7u);  // Some app-diverse sites.
+}
+
+TEST(Workload, Ipv6StaysMarginal) {
+  // Finding B6: IPv6 < ~2% of traffic overall.
+  util::Rng rng(9);
+  const auto profiles = make_site_profiles(rng, 30);
+  util::RunningStats stats;
+  for (const auto& p : profiles) stats.add(p.ipv6_fraction);
+  EXPECT_LT(stats.mean(), 0.04);
+}
+
+TEST(Workload, MostSitesAreJumboHeavy) {
+  // Finding B5: jumbo frames are highly prevalent.
+  util::Rng rng(9);
+  const auto profiles = make_site_profiles(rng, 30);
+  std::size_t jumbo_heavy = 0;
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.mtu_frame_size, 1518u);  // Jumbo-capable MTU everywhere.
+    if (p.jumbo_fraction > 0.6) ++jumbo_heavy;
+  }
+  EXPECT_GT(jumbo_heavy, profiles.size() / 2);
+}
+
+TEST(Workload, EncapsulationIsTheNorm) {
+  util::Rng rng(9);
+  const auto profiles = make_site_profiles(rng, 30);
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.encapsulation.vlan_probability, 0.8);
+    EXPECT_GT(p.encapsulation.mpls_probability, 0.5);
+  }
+}
+
+TEST(Workload, AppWeightsNonNegativeAndSomeActive) {
+  util::Rng rng(9);
+  for (const auto& p : make_site_profiles(rng, 30)) {
+    double total = 0.0;
+    for (double w : p.app_weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST(Workload, AppNames) {
+  EXPECT_EQ(to_string(FlowApp::kIperfTcp), "iperf-tcp");
+  EXPECT_EQ(to_string(FlowApp::kVxlan), "vxlan");
+}
+
+}  // namespace
+}  // namespace patchwork::traffic

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace patchwork::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesHeaderImmediately) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(CsvWriter, MixedTypesRow) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"name", "count", "ratio"});
+  csv.begin_row()
+      .add("x")
+      .add(static_cast<std::uint64_t>(3))
+      .add(0.5)
+      .end_row();
+  EXPECT_EQ(os.str(), "name,count,ratio\nx,3,0.5\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, RowConvenience) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.row({"1", "two,three"});
+  EXPECT_EQ(os.str(), "a,b\n1,\"two,three\"\n");
+}
+
+}  // namespace
+}  // namespace patchwork::util

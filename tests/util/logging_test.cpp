@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::util {
+namespace {
+
+TEST(Logger, RecordsInOrder) {
+  Logger log;
+  log.info(10, "a", "first");
+  log.warn(20, "b", "second");
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].message, "first");
+  EXPECT_EQ(log.records()[1].level, LogLevel::kWarn);
+}
+
+TEST(Logger, MinLevelFilters) {
+  Logger log(LogLevel::kWarn);
+  log.debug(0, "c", "ignored");
+  log.info(0, "c", "ignored too");
+  log.error(0, "c", "kept");
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].message, "kept");
+}
+
+TEST(Logger, AtLeastSelectsSeverity) {
+  Logger log;
+  log.debug(0, "x", "d");
+  log.warn(0, "x", "w");
+  log.error(0, "x", "e");
+  EXPECT_EQ(log.at_least(LogLevel::kWarn).size(), 2u);
+}
+
+TEST(Logger, ForComponent) {
+  Logger log;
+  log.info(0, "profiler/S1", "a");
+  log.info(0, "profiler/S2", "b");
+  log.info(0, "profiler/S1", "c");
+  EXPECT_EQ(log.for_component("profiler/S1").size(), 2u);
+}
+
+TEST(Logger, CountContaining) {
+  Logger log;
+  log.info(0, "x", "congestion: mirror dropping");
+  log.info(0, "x", "sample ok");
+  log.warn(0, "x", "congestion: again");
+  EXPECT_EQ(log.count_containing("congestion"), 2u);
+}
+
+TEST(Logger, MergeSortsByTime) {
+  Logger a, b;
+  a.info(30, "a", "late");
+  b.info(10, "b", "early");
+  a.merge(b);
+  ASSERT_EQ(a.records().size(), 2u);
+  EXPECT_EQ(a.records()[0].message, "early");
+  EXPECT_EQ(a.records()[1].message, "late");
+}
+
+TEST(Logger, RenderContainsLevelAndComponent) {
+  Logger log;
+  log.error(2 * kSecond, "dpdk-writer", "ring overflow");
+  const std::string text = log.render();
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("dpdk-writer"), std::string::npos);
+  EXPECT_NE(text.find("ring overflow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace patchwork::util

@@ -1,0 +1,162 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace patchwork::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bits(), b.bits());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.bits() == b.bits()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Child stream must not simply mirror the parent.
+  Rng parent2(7);
+  Rng child2 = parent2.fork();
+  EXPECT_EQ(child.bits(), child2.bits());  // Same lineage, same stream.
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64CoversEndpoints) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000 && !(saw_lo && saw_hi); ++i) {
+    const std::uint64_t v = rng.uniform_u64(0, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.pareto(10.0, 1000.0, 1.2);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0 + 1e-6);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(23);
+  // With alpha < 1 a nontrivial share of draws should land far above the
+  // minimum.
+  int above = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(1.0, 1e6, 0.6) > 1000.0) ++above;
+  }
+  EXPECT_GT(above, n / 100);
+  // But the median stays near the minimum.
+  std::vector<double> v;
+  for (int i = 0; i < 1001; ++i) v.push_back(rng.pareto(1.0, 1e6, 0.6));
+  std::nth_element(v.begin(), v.begin() + 500, v.end());
+  EXPECT_LT(v[500], 20.0);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(29);
+  std::uint64_t sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(6.5);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 6.5, 0.15);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.weighted_index(weights)]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace patchwork::util

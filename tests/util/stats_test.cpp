@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace patchwork::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // Classic population-stddev example.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  std::vector<double> v = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v = {5, 1, 9};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Ecdf, AtValues) {
+  std::vector<double> sorted = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 10.0), 1.0);
+}
+
+TEST(Ecdf, PairsAreMonotone) {
+  auto pairs = ecdf({3.0, 1.0, 1.0, 2.0});
+  ASSERT_EQ(pairs.size(), 3u);  // Distinct values only.
+  EXPECT_DOUBLE_EQ(pairs[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(pairs[0].second, 0.5);  // Two of four samples are <= 1.
+  EXPECT_DOUBLE_EQ(pairs.back().second, 1.0);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GT(pairs[i].first, pairs[i - 1].first);
+    EXPECT_GT(pairs[i].second, pairs[i - 1].second);
+  }
+}
+
+}  // namespace
+}  // namespace patchwork::util

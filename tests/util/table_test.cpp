@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace patchwork::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Frame Size (B)", "Rate (Gbps)"});
+  t.add_row({"1514", "100"});
+  t.add_row({"128", "15"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("Frame Size (B) | Rate (Gbps)"), std::string::npos);
+  EXPECT_NE(out.find("1514"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(FmtHelpers, FormatsDoubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FmtHelpers, FormatsPercent) {
+  EXPECT_EQ(fmt_percent(0.747, 1), "74.7%");
+  EXPECT_EQ(fmt_percent(0.0193, 2), "1.93%");
+}
+
+}  // namespace
+}  // namespace patchwork::util
