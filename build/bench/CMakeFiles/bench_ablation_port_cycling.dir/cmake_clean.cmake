@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_port_cycling.dir/bench_ablation_port_cycling.cpp.o"
+  "CMakeFiles/bench_ablation_port_cycling.dir/bench_ablation_port_cycling.cpp.o.d"
+  "bench_ablation_port_cycling"
+  "bench_ablation_port_cycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_port_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

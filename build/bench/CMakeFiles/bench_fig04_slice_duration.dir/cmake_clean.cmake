@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_slice_duration.dir/bench_fig04_slice_duration.cpp.o"
+  "CMakeFiles/bench_fig04_slice_duration.dir/bench_fig04_slice_duration.cpp.o.d"
+  "bench_fig04_slice_duration"
+  "bench_fig04_slice_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_slice_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_active_slices.dir/bench_fig05_active_slices.cpp.o"
+  "CMakeFiles/bench_fig05_active_slices.dir/bench_fig05_active_slices.cpp.o.d"
+  "bench_fig05_active_slices"
+  "bench_fig05_active_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_active_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_deployment_behavior.dir/bench_fig10_deployment_behavior.cpp.o"
+  "CMakeFiles/bench_fig10_deployment_behavior.dir/bench_fig10_deployment_behavior.cpp.o.d"
+  "bench_fig10_deployment_behavior"
+  "bench_fig10_deployment_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_deployment_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

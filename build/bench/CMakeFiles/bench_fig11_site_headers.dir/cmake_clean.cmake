@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_site_headers.dir/bench_fig11_site_headers.cpp.o"
+  "CMakeFiles/bench_fig11_site_headers.dir/bench_fig11_site_headers.cpp.o.d"
+  "bench_fig11_site_headers"
+  "bench_fig11_site_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_site_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

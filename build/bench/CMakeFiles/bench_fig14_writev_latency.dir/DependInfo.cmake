@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_writev_latency.cpp" "bench/CMakeFiles/bench_fig14_writev_latency.dir/bench_fig14_writev_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_writev_latency.dir/bench_fig14_writev_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/patchwork_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/patchwork_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/patchwork_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/patchwork_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/patchwork_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/patchwork_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/patchwork_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/patchwork_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/patchwork_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/patchwork_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dissect.dir/bench_micro_dissect.cpp.o"
+  "CMakeFiles/bench_micro_dissect.dir/bench_micro_dissect.cpp.o.d"
+  "bench_micro_dissect"
+  "bench_micro_dissect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dissect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

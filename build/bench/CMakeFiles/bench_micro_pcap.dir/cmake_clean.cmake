@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pcap.dir/bench_micro_pcap.cpp.o"
+  "CMakeFiles/bench_micro_pcap.dir/bench_micro_pcap.cpp.o.d"
+  "bench_micro_pcap"
+  "bench_micro_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

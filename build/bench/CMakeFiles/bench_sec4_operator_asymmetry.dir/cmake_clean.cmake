@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_operator_asymmetry.dir/bench_sec4_operator_asymmetry.cpp.o"
+  "CMakeFiles/bench_sec4_operator_asymmetry.dir/bench_sec4_operator_asymmetry.cpp.o.d"
+  "bench_sec4_operator_asymmetry"
+  "bench_sec4_operator_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_operator_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec812_software_capture.dir/bench_sec812_software_capture.cpp.o"
+  "CMakeFiles/bench_sec812_software_capture.dir/bench_sec812_software_capture.cpp.o.d"
+  "bench_sec812_software_capture"
+  "bench_sec812_software_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec812_software_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_table2_truncation.dir/bench_table1_table2_truncation.cpp.o"
+  "CMakeFiles/bench_table1_table2_truncation.dir/bench_table1_table2_truncation.cpp.o.d"
+  "bench_table1_table2_truncation"
+  "bench_table1_table2_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_table2_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_tuning.dir/capture_tuning.cpp.o"
+  "CMakeFiles/capture_tuning.dir/capture_tuning.cpp.o.d"
+  "capture_tuning"
+  "capture_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_cli.dir/patchwork_cli.cpp.o"
+  "CMakeFiles/patchwork_cli.dir/patchwork_cli.cpp.o.d"
+  "patchwork_cli"
+  "patchwork_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_demo.dir/portability_demo.cpp.o"
+  "CMakeFiles/portability_demo.dir/portability_demo.cpp.o.d"
+  "portability_demo"
+  "portability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_experiment_profile.dir/single_experiment_profile.cpp.o"
+  "CMakeFiles/single_experiment_profile.dir/single_experiment_profile.cpp.o.d"
+  "single_experiment_profile"
+  "single_experiment_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_experiment_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_wide_profile.dir/testbed_wide_profile.cpp.o"
+  "CMakeFiles/testbed_wide_profile.dir/testbed_wide_profile.cpp.o.d"
+  "testbed_wide_profile"
+  "testbed_wide_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_wide_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

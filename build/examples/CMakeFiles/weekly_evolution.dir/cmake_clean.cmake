@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weekly_evolution.dir/weekly_evolution.cpp.o"
+  "CMakeFiles/weekly_evolution.dir/weekly_evolution.cpp.o.d"
+  "weekly_evolution"
+  "weekly_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weekly_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/acap.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/acap.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/acap.cpp.o.d"
+  "/root/repo/src/analysis/analyses.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/analyses.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/analyses.cpp.o.d"
+  "/root/repo/src/analysis/digest.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/digest.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/digest.cpp.o.d"
+  "/root/repo/src/analysis/index.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/index.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/index.cpp.o.d"
+  "/root/repo/src/analysis/operator_view.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/operator_view.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/operator_view.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/pipeline.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/patchwork_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/patchwork_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/patchwork_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/patchwork_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

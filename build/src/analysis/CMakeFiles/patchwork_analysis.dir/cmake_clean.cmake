@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_analysis.dir/acap.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/acap.cpp.o.d"
+  "CMakeFiles/patchwork_analysis.dir/analyses.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/analyses.cpp.o.d"
+  "CMakeFiles/patchwork_analysis.dir/digest.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/digest.cpp.o.d"
+  "CMakeFiles/patchwork_analysis.dir/index.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/index.cpp.o.d"
+  "CMakeFiles/patchwork_analysis.dir/operator_view.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/operator_view.cpp.o.d"
+  "CMakeFiles/patchwork_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/pipeline.cpp.o.d"
+  "CMakeFiles/patchwork_analysis.dir/report.cpp.o"
+  "CMakeFiles/patchwork_analysis.dir/report.cpp.o.d"
+  "libpatchwork_analysis.a"
+  "libpatchwork_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

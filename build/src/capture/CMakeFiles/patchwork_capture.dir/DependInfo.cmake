@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/anonymize.cpp" "src/capture/CMakeFiles/patchwork_capture.dir/anonymize.cpp.o" "gcc" "src/capture/CMakeFiles/patchwork_capture.dir/anonymize.cpp.o.d"
+  "/root/repo/src/capture/filter.cpp" "src/capture/CMakeFiles/patchwork_capture.dir/filter.cpp.o" "gcc" "src/capture/CMakeFiles/patchwork_capture.dir/filter.cpp.o.d"
+  "/root/repo/src/capture/fpga_pipeline.cpp" "src/capture/CMakeFiles/patchwork_capture.dir/fpga_pipeline.cpp.o" "gcc" "src/capture/CMakeFiles/patchwork_capture.dir/fpga_pipeline.cpp.o.d"
+  "/root/repo/src/capture/perf_model.cpp" "src/capture/CMakeFiles/patchwork_capture.dir/perf_model.cpp.o" "gcc" "src/capture/CMakeFiles/patchwork_capture.dir/perf_model.cpp.o.d"
+  "/root/repo/src/capture/session.cpp" "src/capture/CMakeFiles/patchwork_capture.dir/session.cpp.o" "gcc" "src/capture/CMakeFiles/patchwork_capture.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/patchwork_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/patchwork_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/patchwork_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_capture.dir/anonymize.cpp.o"
+  "CMakeFiles/patchwork_capture.dir/anonymize.cpp.o.d"
+  "CMakeFiles/patchwork_capture.dir/filter.cpp.o"
+  "CMakeFiles/patchwork_capture.dir/filter.cpp.o.d"
+  "CMakeFiles/patchwork_capture.dir/fpga_pipeline.cpp.o"
+  "CMakeFiles/patchwork_capture.dir/fpga_pipeline.cpp.o.d"
+  "CMakeFiles/patchwork_capture.dir/perf_model.cpp.o"
+  "CMakeFiles/patchwork_capture.dir/perf_model.cpp.o.d"
+  "CMakeFiles/patchwork_capture.dir/session.cpp.o"
+  "CMakeFiles/patchwork_capture.dir/session.cpp.o.d"
+  "libpatchwork_capture.a"
+  "libpatchwork_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_core.dir/congestion.cpp.o"
+  "CMakeFiles/patchwork_core.dir/congestion.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/coordinator.cpp.o"
+  "CMakeFiles/patchwork_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/environment.cpp.o"
+  "CMakeFiles/patchwork_core.dir/environment.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/mirror_scheduler.cpp.o"
+  "CMakeFiles/patchwork_core.dir/mirror_scheduler.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/port_selector.cpp.o"
+  "CMakeFiles/patchwork_core.dir/port_selector.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/profiler.cpp.o"
+  "CMakeFiles/patchwork_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/scaler.cpp.o"
+  "CMakeFiles/patchwork_core.dir/scaler.cpp.o.d"
+  "CMakeFiles/patchwork_core.dir/testbed_backend.cpp.o"
+  "CMakeFiles/patchwork_core.dir/testbed_backend.cpp.o.d"
+  "libpatchwork_core.a"
+  "libpatchwork_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_host.dir/page_cache.cpp.o"
+  "CMakeFiles/patchwork_host.dir/page_cache.cpp.o.d"
+  "libpatchwork_host.a"
+  "libpatchwork_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/patchwork_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/patchwork_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/frame_builder.cpp" "src/net/CMakeFiles/patchwork_net.dir/frame_builder.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/frame_builder.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/patchwork_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/patchwork_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/parser.cpp" "src/net/CMakeFiles/patchwork_net.dir/parser.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/parser.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/patchwork_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/patchwork_net.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_net.dir/addr.cpp.o"
+  "CMakeFiles/patchwork_net.dir/addr.cpp.o.d"
+  "CMakeFiles/patchwork_net.dir/checksum.cpp.o"
+  "CMakeFiles/patchwork_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/patchwork_net.dir/frame_builder.cpp.o"
+  "CMakeFiles/patchwork_net.dir/frame_builder.cpp.o.d"
+  "CMakeFiles/patchwork_net.dir/headers.cpp.o"
+  "CMakeFiles/patchwork_net.dir/headers.cpp.o.d"
+  "CMakeFiles/patchwork_net.dir/packet.cpp.o"
+  "CMakeFiles/patchwork_net.dir/packet.cpp.o.d"
+  "CMakeFiles/patchwork_net.dir/parser.cpp.o"
+  "CMakeFiles/patchwork_net.dir/parser.cpp.o.d"
+  "CMakeFiles/patchwork_net.dir/protocol.cpp.o"
+  "CMakeFiles/patchwork_net.dir/protocol.cpp.o.d"
+  "libpatchwork_net.a"
+  "libpatchwork_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_pcap.dir/pcap.cpp.o"
+  "CMakeFiles/patchwork_pcap.dir/pcap.cpp.o.d"
+  "libpatchwork_pcap.a"
+  "libpatchwork_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

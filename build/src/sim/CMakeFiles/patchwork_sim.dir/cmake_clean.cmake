@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/patchwork_sim.dir/event_queue.cpp.o.d"
+  "libpatchwork_sim.a"
+  "libpatchwork_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

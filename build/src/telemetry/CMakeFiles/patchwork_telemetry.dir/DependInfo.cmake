@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/mflib.cpp" "src/telemetry/CMakeFiles/patchwork_telemetry.dir/mflib.cpp.o" "gcc" "src/telemetry/CMakeFiles/patchwork_telemetry.dir/mflib.cpp.o.d"
+  "/root/repo/src/telemetry/netflow.cpp" "src/telemetry/CMakeFiles/patchwork_telemetry.dir/netflow.cpp.o" "gcc" "src/telemetry/CMakeFiles/patchwork_telemetry.dir/netflow.cpp.o.d"
+  "/root/repo/src/telemetry/timeseries.cpp" "src/telemetry/CMakeFiles/patchwork_telemetry.dir/timeseries.cpp.o" "gcc" "src/telemetry/CMakeFiles/patchwork_telemetry.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/patchwork_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/patchwork_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/patchwork_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

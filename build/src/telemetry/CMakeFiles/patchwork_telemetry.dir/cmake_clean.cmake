@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_telemetry.dir/mflib.cpp.o"
+  "CMakeFiles/patchwork_telemetry.dir/mflib.cpp.o.d"
+  "CMakeFiles/patchwork_telemetry.dir/netflow.cpp.o"
+  "CMakeFiles/patchwork_telemetry.dir/netflow.cpp.o.d"
+  "CMakeFiles/patchwork_telemetry.dir/timeseries.cpp.o"
+  "CMakeFiles/patchwork_telemetry.dir/timeseries.cpp.o.d"
+  "libpatchwork_telemetry.a"
+  "libpatchwork_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

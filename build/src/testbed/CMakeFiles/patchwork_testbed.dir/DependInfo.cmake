@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/activity_model.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/activity_model.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/activity_model.cpp.o.d"
+  "/root/repo/src/testbed/allocator.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/allocator.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/allocator.cpp.o.d"
+  "/root/repo/src/testbed/federation.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/federation.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/federation.cpp.o.d"
+  "/root/repo/src/testbed/port.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/port.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/port.cpp.o.d"
+  "/root/repo/src/testbed/site.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/site.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/site.cpp.o.d"
+  "/root/repo/src/testbed/slice_model.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/slice_model.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/slice_model.cpp.o.d"
+  "/root/repo/src/testbed/switch.cpp" "src/testbed/CMakeFiles/patchwork_testbed.dir/switch.cpp.o" "gcc" "src/testbed/CMakeFiles/patchwork_testbed.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/patchwork_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_testbed.dir/activity_model.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/activity_model.cpp.o.d"
+  "CMakeFiles/patchwork_testbed.dir/allocator.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/allocator.cpp.o.d"
+  "CMakeFiles/patchwork_testbed.dir/federation.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/federation.cpp.o.d"
+  "CMakeFiles/patchwork_testbed.dir/port.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/port.cpp.o.d"
+  "CMakeFiles/patchwork_testbed.dir/site.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/site.cpp.o.d"
+  "CMakeFiles/patchwork_testbed.dir/slice_model.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/slice_model.cpp.o.d"
+  "CMakeFiles/patchwork_testbed.dir/switch.cpp.o"
+  "CMakeFiles/patchwork_testbed.dir/switch.cpp.o.d"
+  "libpatchwork_testbed.a"
+  "libpatchwork_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

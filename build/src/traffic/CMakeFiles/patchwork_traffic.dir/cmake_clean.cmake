@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_traffic.dir/engine.cpp.o"
+  "CMakeFiles/patchwork_traffic.dir/engine.cpp.o.d"
+  "CMakeFiles/patchwork_traffic.dir/flowgen.cpp.o"
+  "CMakeFiles/patchwork_traffic.dir/flowgen.cpp.o.d"
+  "CMakeFiles/patchwork_traffic.dir/workload.cpp.o"
+  "CMakeFiles/patchwork_traffic.dir/workload.cpp.o.d"
+  "libpatchwork_traffic.a"
+  "libpatchwork_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpatchwork_traffic.a"
+)

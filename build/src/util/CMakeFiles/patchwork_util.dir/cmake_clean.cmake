@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchwork_util.dir/compress.cpp.o"
+  "CMakeFiles/patchwork_util.dir/compress.cpp.o.d"
+  "CMakeFiles/patchwork_util.dir/csv.cpp.o"
+  "CMakeFiles/patchwork_util.dir/csv.cpp.o.d"
+  "CMakeFiles/patchwork_util.dir/histogram.cpp.o"
+  "CMakeFiles/patchwork_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/patchwork_util.dir/logging.cpp.o"
+  "CMakeFiles/patchwork_util.dir/logging.cpp.o.d"
+  "CMakeFiles/patchwork_util.dir/rng.cpp.o"
+  "CMakeFiles/patchwork_util.dir/rng.cpp.o.d"
+  "CMakeFiles/patchwork_util.dir/stats.cpp.o"
+  "CMakeFiles/patchwork_util.dir/stats.cpp.o.d"
+  "CMakeFiles/patchwork_util.dir/table.cpp.o"
+  "CMakeFiles/patchwork_util.dir/table.cpp.o.d"
+  "libpatchwork_util.a"
+  "libpatchwork_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchwork_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/acap_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/acap_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/acap_test.cpp.o.d"
+  "/root/repo/tests/analysis/analyses_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/analyses_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/analyses_test.cpp.o.d"
+  "/root/repo/tests/analysis/digest_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/digest_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/digest_test.cpp.o.d"
+  "/root/repo/tests/analysis/index_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/index_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/index_test.cpp.o.d"
+  "/root/repo/tests/analysis/operator_view_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/operator_view_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/operator_view_test.cpp.o.d"
+  "/root/repo/tests/analysis/pipeline_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/pipeline_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/capture/anonymize_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/capture/anonymize_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/capture/anonymize_test.cpp.o.d"
+  "/root/repo/tests/capture/filter_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/capture/filter_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/capture/filter_test.cpp.o.d"
+  "/root/repo/tests/capture/fpga_pipeline_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/capture/fpga_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/capture/fpga_pipeline_test.cpp.o.d"
+  "/root/repo/tests/capture/perf_model_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/capture/perf_model_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/capture/perf_model_test.cpp.o.d"
+  "/root/repo/tests/capture/session_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/capture/session_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/capture/session_test.cpp.o.d"
+  "/root/repo/tests/core/congestion_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/congestion_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/congestion_test.cpp.o.d"
+  "/root/repo/tests/core/coordinator_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/coordinator_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/coordinator_test.cpp.o.d"
+  "/root/repo/tests/core/environment_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/environment_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/environment_test.cpp.o.d"
+  "/root/repo/tests/core/mirror_scheduler_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/mirror_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/mirror_scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/port_selector_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/port_selector_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/port_selector_test.cpp.o.d"
+  "/root/repo/tests/core/profiler_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/profiler_test.cpp.o.d"
+  "/root/repo/tests/core/scaler_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/scaler_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/scaler_test.cpp.o.d"
+  "/root/repo/tests/core/testbed_backend_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/core/testbed_backend_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/core/testbed_backend_test.cpp.o.d"
+  "/root/repo/tests/host/host_system_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/host/host_system_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/host/host_system_test.cpp.o.d"
+  "/root/repo/tests/host/page_cache_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/host/page_cache_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/host/page_cache_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/profile_fidelity_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/integration/profile_fidelity_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/integration/profile_fidelity_test.cpp.o.d"
+  "/root/repo/tests/net/addr_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/net/addr_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/net/addr_test.cpp.o.d"
+  "/root/repo/tests/net/checksum_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/net/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/net/checksum_test.cpp.o.d"
+  "/root/repo/tests/net/frame_builder_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/net/frame_builder_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/net/frame_builder_test.cpp.o.d"
+  "/root/repo/tests/net/headers_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/net/headers_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/net/headers_test.cpp.o.d"
+  "/root/repo/tests/net/parser_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/net/parser_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/net/parser_test.cpp.o.d"
+  "/root/repo/tests/pcap/pcap_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/pcap/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/pcap/pcap_test.cpp.o.d"
+  "/root/repo/tests/property/parser_property_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/property/parser_property_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/property/parser_property_test.cpp.o.d"
+  "/root/repo/tests/property/scheduler_property_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/property/scheduler_property_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/property/scheduler_property_test.cpp.o.d"
+  "/root/repo/tests/property/system_property_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/property/system_property_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/property/system_property_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/telemetry/mflib_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/telemetry/mflib_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/telemetry/mflib_test.cpp.o.d"
+  "/root/repo/tests/telemetry/netflow_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/telemetry/netflow_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/telemetry/netflow_test.cpp.o.d"
+  "/root/repo/tests/telemetry/timeseries_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/telemetry/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/telemetry/timeseries_test.cpp.o.d"
+  "/root/repo/tests/testbed/activity_model_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/testbed/activity_model_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/testbed/activity_model_test.cpp.o.d"
+  "/root/repo/tests/testbed/allocator_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/testbed/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/testbed/allocator_test.cpp.o.d"
+  "/root/repo/tests/testbed/federation_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/testbed/federation_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/testbed/federation_test.cpp.o.d"
+  "/root/repo/tests/testbed/port_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/testbed/port_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/testbed/port_test.cpp.o.d"
+  "/root/repo/tests/testbed/slice_model_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/testbed/slice_model_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/testbed/slice_model_test.cpp.o.d"
+  "/root/repo/tests/testbed/switch_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/testbed/switch_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/testbed/switch_test.cpp.o.d"
+  "/root/repo/tests/traffic/engine_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/traffic/engine_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/traffic/engine_test.cpp.o.d"
+  "/root/repo/tests/traffic/flowgen_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/traffic/flowgen_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/traffic/flowgen_test.cpp.o.d"
+  "/root/repo/tests/traffic/workload_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/traffic/workload_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/traffic/workload_test.cpp.o.d"
+  "/root/repo/tests/util/compress_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/compress_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/compress_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/patchwork_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/patchwork_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/patchwork_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/patchwork_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/patchwork_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/patchwork_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/patchwork_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/patchwork_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/patchwork_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/patchwork_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/patchwork_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/patchwork_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchwork_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
