@@ -28,6 +28,7 @@
 #include <string>
 
 #include "analysis/pipeline.hpp"
+#include "util/thread_pool.hpp"
 #include "core/coordinator.hpp"
 #include "sim/clock.hpp"
 #include "telemetry/mflib.hpp"
@@ -168,6 +169,8 @@ int main(int argc, char** argv) {
             << run.outcome_count(core::RunOutcome::kFailed) << " failed\n"
             << "gathered " << run.captures.size() << " samples\n";
 
+  std::cout << "offline pipeline workers: " << util::thread_count()
+            << " (set PATCHWORK_THREADS, 0 = serial)\n";
   const analysis::ProfileReport report = analysis::run_pipeline(run.captures);
   std::cout << "digested " << report.digest_stats.frames << " frames, "
             << report.distinct_flows << " distinct flows\n";

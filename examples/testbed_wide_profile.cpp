@@ -17,6 +17,7 @@
 #include "testbed/federation.hpp"
 #include "traffic/engine.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace patchwork;
 
@@ -56,6 +57,9 @@ int main() {
             << run.outcome_count(core::RunOutcome::kIncomplete) << "\n"
             << "  " << run.captures.size() << " samples gathered\n\n";
 
+  // The offline phase fans out across PATCHWORK_THREADS workers (0 = serial);
+  // output is byte-identical either way.
+  std::cout << "Offline pipeline workers: " << util::thread_count() << "\n\n";
   const analysis::ProfileReport report = analysis::run_pipeline(run.captures);
 
   std::cout << "=== Testbed network profile ===\n";

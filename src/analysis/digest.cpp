@@ -2,8 +2,17 @@
 
 #include "net/parser.hpp"
 #include "pcap/pcap.hpp"
+#include "util/parallel.hpp"
 
 namespace patchwork::analysis {
+
+DigestStats& DigestStats::operator+=(const DigestStats& other) {
+  frames += other.frames;
+  bad_records += other.bad_records;
+  truncated_frames += other.truncated_frames;
+  malformed_frames += other.malformed_frames;
+  return *this;
+}
 
 AcapFile digest(const RawCapture& capture, DigestStats* stats) {
   AcapFile out;
@@ -18,8 +27,11 @@ AcapFile digest(const RawCapture& capture, DigestStats* stats) {
     if (stats) ++stats->bad_records;
     return out;
   }
-  while (auto frame = reader->next()) {
-    const net::ParsedFrame parsed = net::parse_frame(*frame);
+  // Zero-copy hot loop: dissect each record in place in the reader's buffer
+  // instead of copying it into an owning net::Frame first.
+  while (auto view = reader->next_view()) {
+    const net::ParsedFrame parsed =
+        net::parse_bytes(view->bytes, view->wire_length, view->timestamp);
     AcapRecord rec = abstract_frame(parsed);
     if (stats) {
       ++stats->frames;
@@ -34,9 +46,16 @@ AcapFile digest(const RawCapture& capture, DigestStats* stats) {
 
 std::vector<AcapFile> digest_all(const std::vector<RawCapture>& captures,
                                  DigestStats* stats) {
-  std::vector<AcapFile> out;
-  out.reserve(captures.size());
-  for (const RawCapture& c : captures) out.push_back(digest(c, stats));
+  // One task per capture; each writes its own output slot and its own
+  // private DigestStats, merged below in input order.
+  std::vector<AcapFile> out(captures.size());
+  std::vector<DigestStats> per_capture(stats ? captures.size() : 0);
+  util::parallel_for(captures.size(), [&](std::size_t i) {
+    out[i] = digest(captures[i], stats ? &per_capture[i] : nullptr);
+  });
+  if (stats) {
+    for (const DigestStats& s : per_capture) *stats += s;
+  }
   return out;
 }
 

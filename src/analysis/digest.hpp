@@ -33,13 +33,20 @@ struct DigestStats {
   std::uint64_t bad_records = 0;
   std::uint64_t truncated_frames = 0;   ///< Snaplen cut into a header.
   std::uint64_t malformed_frames = 0;
+
+  /// Fold another capture's counters in. All fields are sums, so merging is
+  /// order-independent — digest_all still merges in input order so the
+  /// parallel path is trivially byte-identical to the serial one.
+  DigestStats& operator+=(const DigestStats& other);
 };
 
 /// Digest one capture. Invalid pcap data produces an empty AcapFile with
 /// `bad_records` counted in `stats`.
 AcapFile digest(const RawCapture& capture, DigestStats* stats = nullptr);
 
-/// Digest a whole gathered profile.
+/// Digest a whole gathered profile: one task per capture on the analysis
+/// thread pool (`PATCHWORK_THREADS` workers; 0 = serial), results and stats
+/// assembled in input order so output is identical for any thread count.
 std::vector<AcapFile> digest_all(const std::vector<RawCapture>& captures,
                                  DigestStats* stats = nullptr);
 

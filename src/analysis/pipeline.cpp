@@ -1,9 +1,13 @@
 #include "analysis/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
+#include <functional>
 #include <sstream>
+#include <utility>
 
 #include "analysis/report.hpp"
+#include "util/parallel.hpp"
 
 namespace patchwork::analysis {
 
@@ -23,55 +27,72 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
   ProfileIndex index(digested.files);
   (void)index;
 
-  report.frame_sizes = analyze_frame_sizes(digested.files);
-  report.header_occurrence = analyze_header_occurrence(digested.files);
-  report.site_variety = analyze_site_header_variety(digested.files);
-  report.flows_per_sample = analyze_flows_per_sample(digested.files);
-  report.tcp_control = analyze_tcp_control(digested.files);
-  report.tagging = analyze_tagging(digested.files);
-  report.top_stacks = analyze_top_stacks(digested.files);
-
-  const auto flows = aggregate_flows(digested.files);
-  report.distinct_flows = flows.size();
-  report.flow_distribution = analyze_flow_distribution(flows);
-  report.largest_flow_bytes = report.flow_distribution.largest_flow_bytes;
-
-  // Process step: render every CSV.
-  auto emit = [&report](const std::string& name, auto&& writer) {
-    std::ostringstream os;
-    writer(os);
-    report.csv_files[name] = os.str();
+  // Analyze step: the passes are independent and each writes a distinct
+  // report field, so they fan out as one task each. Flow aggregation and
+  // the distribution derived from it stay one task to keep the dependency
+  // inside a single thread.
+  std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> flows;
+  const std::array<std::function<void()>, 8> passes = {
+      [&] { report.frame_sizes = analyze_frame_sizes(digested.files); },
+      [&] {
+        report.header_occurrence = analyze_header_occurrence(digested.files);
+      },
+      [&] { report.site_variety = analyze_site_header_variety(digested.files); },
+      [&] { report.flows_per_sample = analyze_flows_per_sample(digested.files); },
+      [&] { report.tcp_control = analyze_tcp_control(digested.files); },
+      [&] { report.tagging = analyze_tagging(digested.files); },
+      [&] { report.top_stacks = analyze_top_stacks(digested.files); },
+      [&] {
+        flows = aggregate_flows(digested.files);
+        report.distinct_flows = flows.size();
+        report.flow_distribution = analyze_flow_distribution(flows);
+        report.largest_flow_bytes = report.flow_distribution.largest_flow_bytes;
+      },
   };
-  emit("frame_sizes.csv", [&](std::ostream& os) {
-    write_frame_size_csv(os, report.frame_sizes);
+  util::parallel_for(passes.size(), [&](std::size_t i) { passes[i](); });
+
+  // Process step: render every CSV, one parallel task per file, each into
+  // its own slot; the name->bytes map is assembled afterwards in order.
+  using Emitter = std::pair<const char*, std::function<void(std::ostream&)>>;
+  const std::array<Emitter, 10> emitters = {{
+      {"frame_sizes.csv",
+       [&](std::ostream& os) { write_frame_size_csv(os, report.frame_sizes); }},
+      {"site_frame_sizes.csv",
+       [&](std::ostream& os) { write_site_frame_size_csv(os, digested.files); }},
+      {"header_occurrence.csv",
+       [&](std::ostream& os) {
+         write_header_occurrence_csv(os, report.header_occurrence);
+       }},
+      {"site_variety.csv",
+       [&](std::ostream& os) {
+         write_site_variety_csv(os, report.site_variety);
+       }},
+      {"flows_per_sample.csv",
+       [&](std::ostream& os) {
+         write_flows_per_sample_csv(os, report.flows_per_sample);
+       }},
+      {"flow_aggregate.csv",
+       [&](std::ostream& os) { write_flow_aggregate_csv(os, flows); }},
+      {"tcp_control.csv",
+       [&](std::ostream& os) { write_tcp_control_csv(os, report.tcp_control); }},
+      {"tagging.csv",
+       [&](std::ostream& os) { write_tagging_csv(os, report.tagging); }},
+      {"top_stacks.csv",
+       [&](std::ostream& os) { write_top_stacks_csv(os, report.top_stacks); }},
+      {"flow_distribution.csv",
+       [&](std::ostream& os) {
+         write_flow_distribution_csv(os, report.flow_distribution);
+       }},
+  }};
+  std::array<std::string, emitters.size()> rendered;
+  util::parallel_for(emitters.size(), [&](std::size_t i) {
+    std::ostringstream os;
+    emitters[i].second(os);
+    rendered[i] = os.str();
   });
-  emit("site_frame_sizes.csv", [&](std::ostream& os) {
-    write_site_frame_size_csv(os, digested.files);
-  });
-  emit("header_occurrence.csv", [&](std::ostream& os) {
-    write_header_occurrence_csv(os, report.header_occurrence);
-  });
-  emit("site_variety.csv", [&](std::ostream& os) {
-    write_site_variety_csv(os, report.site_variety);
-  });
-  emit("flows_per_sample.csv", [&](std::ostream& os) {
-    write_flows_per_sample_csv(os, report.flows_per_sample);
-  });
-  emit("flow_aggregate.csv", [&](std::ostream& os) {
-    write_flow_aggregate_csv(os, flows);
-  });
-  emit("tcp_control.csv", [&](std::ostream& os) {
-    write_tcp_control_csv(os, report.tcp_control);
-  });
-  emit("tagging.csv", [&](std::ostream& os) {
-    write_tagging_csv(os, report.tagging);
-  });
-  emit("top_stacks.csv", [&](std::ostream& os) {
-    write_top_stacks_csv(os, report.top_stacks);
-  });
-  emit("flow_distribution.csv", [&](std::ostream& os) {
-    write_flow_distribution_csv(os, report.flow_distribution);
-  });
+  for (std::size_t i = 0; i < emitters.size(); ++i) {
+    report.csv_files[emitters[i].first] = std::move(rendered[i]);
+  }
   return report;
 }
 

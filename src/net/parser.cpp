@@ -34,7 +34,10 @@ std::size_t ParsedFrame::count(Protocol p) const {
 }
 
 std::string ParsedFrame::stack_string() const {
+  std::size_t total = layers.empty() ? 0 : layers.size() - 1;  // Separators.
+  for (const LayerInfo& l : layers) total += to_string(l.protocol).size();
   std::string out;
+  out.reserve(total);
   for (const LayerInfo& l : layers) {
     if (!out.empty()) out += '/';
     out += to_string(l.protocol);

@@ -1,5 +1,7 @@
 #include "pcap/pcap.hpp"
 
+#include <algorithm>
+
 #include "util/byte_io.hpp"
 
 namespace patchwork::pcap {
@@ -22,8 +24,18 @@ PcapWriter::PcapWriter(std::uint32_t snaplen, TimestampResolution res)
 }
 
 void PcapWriter::write(const net::Frame& frame) {
-  const net::Frame cut = frame.truncate(snaplen_);
-  const util::Nanos ts = cut.timestamp();
+  // Truncate by slicing the frame's bytes rather than materializing a cut
+  // Frame — this is the per-record hot loop of the DPDK writer model.
+  std::span<const std::uint8_t> bytes = frame.bytes();
+  if (snaplen_ != 0 && bytes.size() > snaplen_) bytes = bytes.first(snaplen_);
+  const std::size_t needed =
+      buffer_.size() + kRecordHeaderSize + bytes.size();
+  if (buffer_.capacity() < needed) {
+    // Keep growth geometric; a bare reserve(needed) per record would pin
+    // capacity to size and turn the append loop quadratic.
+    buffer_.reserve(std::max(needed, buffer_.capacity() * 2));
+  }
+  const util::Nanos ts = frame.timestamp();
   const std::uint32_t sec = static_cast<std::uint32_t>(ts / util::kSecond);
   const std::uint32_t frac =
       resolution_ == TimestampResolution::kMicro
@@ -32,9 +44,9 @@ void PcapWriter::write(const net::Frame& frame) {
           : static_cast<std::uint32_t>(ts % util::kSecond);
   put_le32(buffer_, sec);
   put_le32(buffer_, frac);
-  put_le32(buffer_, static_cast<std::uint32_t>(cut.captured_length()));
-  put_le32(buffer_, static_cast<std::uint32_t>(cut.wire_length()));
-  buffer_.insert(buffer_.end(), cut.bytes().begin(), cut.bytes().end());
+  put_le32(buffer_, static_cast<std::uint32_t>(bytes.size()));
+  put_le32(buffer_, static_cast<std::uint32_t>(frame.wire_length()));
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
   ++frames_;
 }
 
@@ -62,32 +74,53 @@ std::optional<PcapReader> PcapReader::open(std::vector<std::uint8_t> bytes) {
   return PcapReader(std::move(bytes), info);
 }
 
+std::optional<FrameView> PcapReader::next_view() {
+  // Loop so a record with inconsistent lengths is skipped in place and the
+  // scan resyncs at the record that follows it.
+  for (;;) {
+    if (offset_ + kRecordHeaderSize > bytes_.size()) {
+      if (offset_ != bytes_.size()) {
+        ++bad_records_;  // Trailing partial header, counted once.
+        offset_ = bytes_.size();
+      }
+      return std::nullopt;
+    }
+    const std::uint32_t sec = get_le32(bytes_, offset_);
+    const std::uint32_t frac = get_le32(bytes_, offset_ + 4);
+    const std::uint32_t incl = get_le32(bytes_, offset_ + 8);
+    const std::uint32_t orig = get_le32(bytes_, offset_ + 12);
+    offset_ += kRecordHeaderSize;
+    if (offset_ + incl > bytes_.size()) {
+      // Body extends past the buffer: no resync point exists.
+      ++bad_records_;
+      offset_ = bytes_.size();
+      return std::nullopt;
+    }
+    if (incl > orig) {
+      // Corrupt lengths but the body fits — skip just this record.
+      ++bad_records_;
+      offset_ += incl;
+      continue;
+    }
+    FrameView view;
+    view.bytes = std::span<const std::uint8_t>(bytes_).subspan(offset_, incl);
+    view.wire_length = orig;
+    view.timestamp =
+        static_cast<util::Nanos>(sec) * util::kSecond +
+        (info_.resolution == TimestampResolution::kMicro
+             ? static_cast<util::Nanos>(frac) * util::kMicrosecond
+             : static_cast<util::Nanos>(frac));
+    offset_ += incl;
+    ++frames_;
+    return view;
+  }
+}
+
 std::optional<net::Frame> PcapReader::next() {
-  if (offset_ + kRecordHeaderSize > bytes_.size()) {
-    if (offset_ != bytes_.size()) ++bad_records_;
-    return std::nullopt;
-  }
-  const std::uint32_t sec = get_le32(bytes_, offset_);
-  const std::uint32_t frac = get_le32(bytes_, offset_ + 4);
-  const std::uint32_t incl = get_le32(bytes_, offset_ + 8);
-  const std::uint32_t orig = get_le32(bytes_, offset_ + 12);
-  offset_ += kRecordHeaderSize;
-  if (offset_ + incl > bytes_.size() || incl > orig) {
-    ++bad_records_;
-    offset_ = bytes_.size();
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> data(bytes_.begin() + static_cast<long>(offset_),
-                                 bytes_.begin() +
-                                     static_cast<long>(offset_ + incl));
-  offset_ += incl;
-  const util::Nanos ts =
-      static_cast<util::Nanos>(sec) * util::kSecond +
-      (info_.resolution == TimestampResolution::kMicro
-           ? static_cast<util::Nanos>(frac) * util::kMicrosecond
-           : static_cast<util::Nanos>(frac));
-  ++frames_;
-  return net::Frame(std::move(data), orig, ts);
+  const std::optional<FrameView> view = next_view();
+  if (!view) return std::nullopt;
+  std::vector<std::uint8_t> data(view->bytes.begin(), view->bytes.end());
+  return net::Frame(std::move(data), view->wire_length, view->timestamp);
 }
 
 }  // namespace patchwork::pcap

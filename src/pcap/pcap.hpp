@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,18 @@ struct PcapFileInfo {
   std::uint32_t link_type = 0;
 };
 
+/// Non-owning view of one pcap record: a zero-copy slice of the reader's
+/// buffer plus the record metadata. Valid only until the reader that
+/// produced it is destroyed or moved — the digest hot path consumes each
+/// view before pulling the next, so nothing escapes the reader's lifetime.
+struct FrameView {
+  std::span<const std::uint8_t> bytes;  ///< Captured (possibly truncated).
+  std::size_t wire_length = 0;          ///< Original on-the-wire size.
+  util::Nanos timestamp = 0;
+
+  bool truncated() const { return bytes.size() < wire_length; }
+};
+
 /// Streaming reader over an in-memory pcap byte stream.
 class PcapReader {
  public:
@@ -65,8 +78,14 @@ class PcapReader {
 
   const PcapFileInfo& info() const { return info_; }
 
-  /// Next frame, or nullopt at end of stream. A record whose header or body
-  /// extends past the buffer ends the stream (counted in `bad_records`).
+  /// Next record as a zero-copy view into the reader's buffer, or nullopt
+  /// at end of stream. A record whose header or body extends past the
+  /// buffer ends the stream; a record whose lengths are merely inconsistent
+  /// (incl > orig) is skipped and the scan resyncs at the following record.
+  /// Both cases count in `bad_records`.
+  std::optional<FrameView> next_view();
+
+  /// Like next_view(), but copies the bytes into an owning net::Frame.
   std::optional<net::Frame> next();
 
   std::uint64_t frames_read() const { return frames_; }

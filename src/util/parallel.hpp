@@ -1,0 +1,73 @@
+// parallel_for / parallel_map on top of ThreadPool.
+//
+// Both primitives are *deterministic by construction*: every index writes
+// only its own output slot, so results are identical to the serial loop for
+// any thread count. Work is handed out through an atomic cursor (dynamic
+// scheduling) — cheap tasks don't idle workers behind an expensive one, and
+// because results land by index, the schedule never shows in the output.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace patchwork::util {
+
+/// Invoke fn(i) for every i in [0, n), fanned out over `threads` workers
+/// (default: thread_count()). Blocks until all indices complete. The first
+/// exception thrown by any fn(i) is rethrown on the calling thread.
+/// Runs serially when threads <= 1, n <= 1, or when already called from a
+/// pool worker (nested parallelism degrades instead of deadlocking).
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = thread_count()) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers = threads < n ? threads : n;
+  ThreadPool pool(workers);
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    done.push_back(pool.submit([&cursor, n, &fn] {
+      for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    }));
+  }
+  // Drain every worker before rethrowing so no task outlives the frame the
+  // closures point into; get() rethrows the first stored exception.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Map fn over `items`, preserving input order in the result vector.
+/// The result type must be default-constructible (slots are pre-allocated
+/// so workers never contend on the output container).
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn,
+                  std::size_t threads = thread_count())
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const T&>>> {
+  std::vector<std::decay_t<std::invoke_result_t<Fn&, const T&>>> out(
+      items.size());
+  parallel_for(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); }, threads);
+  return out;
+}
+
+}  // namespace patchwork::util

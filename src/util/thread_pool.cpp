@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace patchwork::util {
+
+namespace {
+
+// Set while a thread is executing inside ThreadPool::worker_loop(); lets
+// parallel_for() detect nesting and degrade to serial instead of
+// deadlocking on a pool that is busy running the caller itself.
+thread_local bool t_on_worker = false;
+
+std::optional<std::size_t>& thread_count_override() {
+  static std::optional<std::size_t> value;
+  return value;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> future = wrapped.get_future();
+  if (workers_.empty()) {
+    wrapped();  // Serial mode: run inline; the future still carries throws.
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task stores any exception in its future.
+  }
+}
+
+std::size_t thread_count() {
+  if (thread_count_override().has_value()) return *thread_count_override();
+  if (const char* env = std::getenv("PATCHWORK_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void set_thread_count(std::optional<std::size_t> n) {
+  thread_count_override() = n;
+}
+
+}  // namespace patchwork::util

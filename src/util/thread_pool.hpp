@@ -1,0 +1,68 @@
+// A small fixed-size thread pool — the concurrency substrate for the
+// offline analysis pipeline (Fig. 9: Digest -> Index -> Analyze -> Process)
+// and any future subsystem that wants multi-core fan-out.
+//
+// Design rules, in priority order:
+//   1. Determinism first. The pool never reorders *results*: callers own
+//      output slots indexed by task, so byte-identical output falls out of
+//      the structure regardless of worker interleaving.
+//   2. Serial fallback. A pool of size 0 runs every task inline on the
+//      submitting thread — the same code path tests pin to compare parallel
+//      output against, and the mode `PATCHWORK_THREADS=0` selects.
+//   3. Exceptions propagate. A task that throws surfaces its exception to
+//      the caller through the returned future, never to std::terminate.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace patchwork::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 workers means submit() runs tasks inline.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers; outstanding queued tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task. The future completes when the task returns and
+  /// carries any exception the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// True when called from inside one of this pool's workers.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Worker-thread count the parallel primitives use:
+/// explicit set_thread_count() override, else the `PATCHWORK_THREADS`
+/// environment variable, else std::thread::hardware_concurrency().
+/// 0 means "run serially on the calling thread".
+std::size_t thread_count();
+
+/// Override the thread count (tests and benches pin 0/1/2/8 with this).
+/// std::nullopt restores env/hardware resolution.
+void set_thread_count(std::optional<std::size_t> n);
+
+}  // namespace patchwork::util

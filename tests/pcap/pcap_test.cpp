@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/frame_builder.hpp"
 #include "util/byte_io.hpp"
 
@@ -103,6 +105,77 @@ TEST(Pcap, CorruptRecordCountsAsBad) {
   ASSERT_TRUE(reader.has_value());
   EXPECT_FALSE(reader->next().has_value());
   EXPECT_EQ(reader->bad_records(), 1u);
+}
+
+TEST(Pcap, InconsistentLengthsSkipJustTheBadRecord) {
+  PcapWriter writer(65535);
+  writer.write(test_frame(100, 1 * util::kSecond));
+  writer.write(test_frame(120, 2 * util::kSecond));
+  writer.write(test_frame(140, 3 * util::kSecond));
+  std::vector<std::uint8_t> bytes = writer.take_buffer();
+  // Corrupt the middle record's orig_len so incl > orig while the body
+  // still fits — the reader should resync at the third record.
+  const std::size_t second_record = kGlobalHeaderSize + kRecordHeaderSize + 100;
+  bytes[second_record + 12] = 50;  // orig_len = 50 (LE), below incl of 120.
+  bytes[second_record + 13] = 0;
+  bytes[second_record + 14] = 0;
+  bytes[second_record + 15] = 0;
+  auto reader = PcapReader::open(std::move(bytes));
+  ASSERT_TRUE(reader.has_value());
+  auto f1 = reader->next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->wire_length(), 100u);
+  auto f3 = reader->next();
+  ASSERT_TRUE(f3.has_value());
+  EXPECT_EQ(f3->wire_length(), 140u);
+  EXPECT_EQ(f3->timestamp(), 3 * util::kSecond);
+  EXPECT_FALSE(reader->next().has_value());
+  EXPECT_EQ(reader->frames_read(), 2u);
+  EXPECT_EQ(reader->bad_records(), 1u);
+}
+
+TEST(Pcap, NextViewIsZeroCopyIntoReaderBuffer) {
+  PcapWriter writer(65535);
+  writer.write(test_frame(100, 5 * util::kSecond));
+  writer.write(test_frame(200, 6 * util::kSecond));
+  auto reader = PcapReader::open(writer.take_buffer());
+  ASSERT_TRUE(reader.has_value());
+
+  auto v1 = reader->next_view();
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->bytes.size(), 100u);
+  EXPECT_EQ(v1->wire_length, 100u);
+  EXPECT_EQ(v1->timestamp, 5 * util::kSecond);
+  EXPECT_FALSE(v1->truncated());
+
+  auto v2 = reader->next_view();
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->bytes.size(), 200u);
+  // Consecutive views are adjacent slices of one buffer, record header
+  // apart — i.e. no per-record copies were made.
+  EXPECT_EQ(v2->bytes.data(),
+            v1->bytes.data() + v1->bytes.size() + kRecordHeaderSize);
+  EXPECT_FALSE(reader->next_view().has_value());
+  EXPECT_EQ(reader->frames_read(), 2u);
+}
+
+TEST(Pcap, ViewAndFrameAgreeOnTruncatedRecords) {
+  PcapWriter writer(64);
+  writer.write(test_frame(1500, 7 * util::kSecond));
+  const std::vector<std::uint8_t> bytes = writer.buffer();
+
+  auto views = PcapReader::open(bytes);
+  auto frames = PcapReader::open(bytes);
+  auto v = views->next_view();
+  auto f = frames->next();
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(v->bytes.size(), f->captured_length());
+  EXPECT_EQ(v->wire_length, f->wire_length());
+  EXPECT_EQ(v->timestamp, f->timestamp());
+  EXPECT_TRUE(v->truncated());
+  EXPECT_TRUE(std::equal(v->bytes.begin(), v->bytes.end(),
+                         f->bytes().begin()));
 }
 
 TEST(Pcap, StreamSizeFormula) {

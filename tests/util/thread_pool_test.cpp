@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace patchwork::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  bool ran = false;
+  auto future = pool.submit([&ran] { ran = true; });
+  // In serial mode the task has already run by the time submit() returns.
+  EXPECT_TRUE(ran);
+  future.get();
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, ZeroThreadsStillCarriesExceptions) {
+  ThreadPool pool(0);
+  auto future = pool.submit([] { throw std::runtime_error("inline fail"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) pool.submit([&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 8);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ForSerialWhenZeroThreads) {
+  std::vector<int> hits(100, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 0);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ForRethrowsTaskException) {
+  EXPECT_THROW(
+      parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 17) throw std::runtime_error("index 17");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(Parallel, MapPreservesInputOrder) {
+  std::vector<int> in(257);
+  std::iota(in.begin(), in.end(), 0);
+  const std::vector<int> out =
+      parallel_map(in, [](const int& v) { return v * v; }, 8);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], in[i] * in[i]);
+  }
+}
+
+TEST(Parallel, NestedParallelForDegradesToSerial) {
+  std::atomic<int> total{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(8, [&](std::size_t) { ++total; }, 8);
+      },
+      4);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, ThreadCountOverrideWins) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), 0u);
+  set_thread_count(std::nullopt);
+  EXPECT_GE(thread_count(), 1u);  // env or hardware_concurrency fallback.
+}
+
+}  // namespace
+}  // namespace patchwork::util
