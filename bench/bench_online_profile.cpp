@@ -1,0 +1,164 @@
+// Serial vs. parallel ONLINE profiling path: Coordinator::run_sites over a
+// wide federation, 1 worker against N workers.
+//
+// The control plane (allocation, port selection, mirror sessions) is serial
+// either way; what fans out is the per-site data plane — traffic window
+// synthesis, the capture path, pcap serialization, and the transfer
+// compression round-trip. Each timed run rebuilds a same-seed world so
+// every configuration profiles an identical federation, and the reports
+// are cross-checked for byte-level agreement.
+//
+// Prints a JSON summary suitable for recording as BENCH_online_profile.json.
+// On hosts with fewer than 4 hardware threads the speedup is reported but
+// not judged (a 1-core container cannot demonstrate parallel gain).
+//
+// Build & run:  ./build/bench/bench_online_profile
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/coordinator.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+constexpr int kSites = 10;
+constexpr int kReps = 3;
+
+core::ProfilerConfig bench_config() {
+  core::ProfilerConfig config;
+  config.plan.cycles = 2;
+  config.plan.samples_per_run = 3;
+  config.plan.runs_per_cycle = 2;
+  config.plan.max_frames_per_sample = 4000;
+  config.crash_probability = 0.0;
+  config.desired_instances = 1;
+  config.compress_transfers = true;
+  return config;
+}
+
+testbed::FederationSpec wide_spec() {
+  testbed::FederationSpec spec;
+  spec.sites = kSites;
+  return spec;
+}
+
+struct RunResult {
+  double ms = 0.0;
+  core::ProfileRun run;
+};
+
+/// Best-of-kReps wall time for one full all-experiment profile. Each rep
+/// rebuilds the same-seed world so repetitions are identical work.
+RunResult time_run() {
+  RunResult result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    bench::BenchWorld world(/*seed=*/77, wide_spec());
+    world.warm_up_telemetry();
+    core::Coordinator coordinator(world.env, bench_config());
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ProfileRun run = coordinator.run_all_experiment();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < result.ms) result.ms = ms;
+    if (rep == 0) result.run = std::move(run);
+  }
+  return result;
+}
+
+bool runs_identical(const core::ProfileRun& a, const core::ProfileRun& b) {
+  if (a.reports.size() != b.reports.size()) return false;
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    if (a.reports[i].outcome != b.reports[i].outcome) return false;
+    if (a.reports[i].samples != b.reports[i].samples) return false;
+    if (a.reports[i].pcap_bytes != b.reports[i].pcap_bytes) return false;
+    if (a.reports[i].transferred_bytes != b.reports[i].transferred_bytes) {
+      return false;
+    }
+  }
+  if (a.captures.size() != b.captures.size()) return false;
+  for (std::size_t i = 0; i < a.captures.size(); ++i) {
+    if (a.captures[i].pcap != b.captures[i].pcap) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Parallel online profiling: 1 worker vs. N",
+                "Section 6.2.2 sampling phase, per-site data-plane fan-out");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "profile: " << kSites << " sites; host reports " << hw
+            << " hardware thread(s)\n\n";
+
+  util::set_thread_count(1);
+  const RunResult serial = time_run();
+  std::uint64_t total_pcap = 0, total_samples = 0;
+  for (const core::SiteRunReport& r : serial.run.reports) {
+    total_pcap += r.pcap_bytes;
+    total_samples += r.samples;
+  }
+  std::cout << "workers=1:  " << serial.ms << " ms  (" << total_samples
+            << " samples, " << total_pcap << " pcap bytes)\n";
+
+  std::vector<std::size_t> counts{2, 4, 8};
+  std::string rows;
+  bool all_identical = true;
+  double speedup_at_4 = 0.0;
+  for (std::size_t threads : counts) {
+    util::set_thread_count(threads);
+    const RunResult parallel = time_run();
+    const bool identical = runs_identical(serial.run, parallel.run);
+    all_identical = all_identical && identical;
+    const double speedup = serial.ms / parallel.ms;
+    if (threads == 4) speedup_at_4 = speedup;
+    std::cout << "workers=" << threads << ":  " << parallel.ms
+              << " ms  (speedup " << speedup << "x, output "
+              << (identical ? "identical" : "DIFFERS") << ")\n";
+    if (!rows.empty()) rows += ",\n";
+    rows += "    {\"workers\": " + std::to_string(threads) +
+            ", \"ms\": " + std::to_string(parallel.ms) +
+            ", \"speedup\": " + std::to_string(speedup) +
+            ", \"identical\": " + (identical ? "true" : "false") + "}";
+  }
+  util::set_thread_count(std::nullopt);
+
+  // The acceptance bar — >= 1.5x at 4 workers — only applies where the
+  // host can actually run 4 workers.
+  const bool judged = hw >= 4;
+  const bool speedup_ok = !judged || speedup_at_4 >= 1.5;
+  std::cout << "\n"
+            << (all_identical ? "PASS: all outputs byte-identical\n"
+                              : "FAIL: parallel output diverged\n");
+  if (judged) {
+    std::cout << (speedup_ok ? "PASS" : "FAIL") << ": speedup at 4 workers = "
+              << speedup_at_4 << "x (bar: 1.5x)\n";
+  } else {
+    std::cout << "SKIP: speedup bar not judged (" << hw
+              << " hardware thread(s) < 4)\n";
+  }
+
+  std::cout << "\nJSON:\n"
+            << "{\n"
+            << "  \"bench\": \"online_profile\",\n"
+            << "  \"sites\": " << kSites << ",\n"
+            << "  \"samples\": " << total_samples << ",\n"
+            << "  \"pcap_bytes\": " << total_pcap << ",\n"
+            << "  \"hardware_threads\": " << hw << ",\n"
+            << "  \"serial_ms\": " << serial.ms << ",\n"
+            << "  \"runs\": [\n"
+            << rows << "\n  ],\n"
+            << "  \"speedup_at_4\": " << speedup_at_4 << ",\n"
+            << "  \"speedup_judged\": " << (judged ? "true" : "false") << ",\n"
+            << "  \"outputs_identical\": " << (all_identical ? "true" : "false")
+            << "\n}\n";
+  return all_identical && speedup_ok ? 0 : 1;
+}

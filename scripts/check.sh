@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full correctness gate: release build + complete test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive tests (shared
+# pool, parallel_for, parallel pipeline/coordinator determinism, sharded
+# aggregation).
+#
+# Usage: scripts/check.sh [--tsan-only | --release-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="all"
+case "${1:-}" in
+  --tsan-only) mode="tsan" ;;
+  --release-only) mode="release" ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--tsan-only | --release-only]" >&2
+     exit 2 ;;
+esac
+
+if [[ "$mode" == "all" || "$mode" == "release" ]]; then
+  echo "== release: configure + build + full ctest =="
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)"
+  ctest --preset release -j "$(nproc)"
+fi
+
+if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
+  echo "== tsan: configure + build + concurrency tests =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)" --target patchwork_tests
+  # The concurrency surface: shared pool stress, parallel primitives, and
+  # every determinism suite that fans out across the pool.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*'
+fi
+
+echo "OK"

@@ -1,7 +1,11 @@
 #include "analysis/analyses.hpp"
 
 #include <algorithm>
+#include <array>
 #include <set>
+
+#include "analysis/index.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace patchwork::analysis {
@@ -47,6 +51,18 @@ FrameSizeResult analyze_frame_sizes_site(const std::vector<AcapFile>& files,
   FrameSizeResult result;
   for (const AcapFile& f : files) {
     if (f.site == site) add_frames(result, f);
+  }
+  return result;
+}
+
+FrameSizeResult analyze_frame_sizes_site(const std::vector<AcapFile>& files,
+                                         const ProfileIndex& index,
+                                         const std::string& site) {
+  FrameSizeResult result;
+  // Only the indexed positions are touched; the histogram and frame count
+  // are order-insensitive sums, so skipping files cannot change the result.
+  for (std::size_t pos : index.by_site(site)) {
+    add_frames(result, files[pos]);
   }
   return result;
 }
@@ -98,6 +114,33 @@ std::vector<SiteHeaderVariety> analyze_site_header_variety(
   return out;
 }
 
+std::vector<SiteHeaderVariety> analyze_site_header_variety(
+    const std::vector<AcapFile>& files, const ProfileIndex& index) {
+  std::vector<SiteHeaderVariety> out;
+  const std::vector<std::string> sites = index.sites();  // Name-sorted.
+  out.reserve(sites.size());
+  for (const std::string& site : sites) {
+    std::set<net::Protocol> protos;
+    std::size_t deepest = 0;
+    for (std::size_t pos : index.by_site(site)) {
+      for (const AcapRecord& r : files[pos].records) {
+        for (net::Protocol p : r.stack) {
+          switch (p) {
+            case net::Protocol::kTruncated:
+            case net::Protocol::kMalformed:
+              break;
+            default:
+              protos.insert(p);
+          }
+        }
+        deepest = std::max(deepest, r.header_depth());
+      }
+    }
+    out.push_back(SiteHeaderVariety{site, protos.size(), deepest});
+  }
+  return out;
+}
+
 std::vector<SampleFlowCount> analyze_flows_per_sample(
     const std::vector<AcapFile>& files) {
   std::vector<SampleFlowCount> out;
@@ -110,27 +153,103 @@ std::vector<SampleFlowCount> analyze_flows_per_sample(
   return out;
 }
 
+namespace {
+
+/// Fold one file's records into a flow map. Used by both the serial path
+/// and every parallel chunk task (each chunk owns whole files, so per-file
+/// sample counting needs no cross-task coordination).
+void accumulate_file(
+    const AcapFile& f,
+    std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash>& out) {
+  for (const AcapRecord& r : f.records) {
+    FlowAggregate& agg = out[r.flow];
+    if (agg.frames == 0) {
+      agg.first_seen = r.timestamp + f.start;
+      agg.last_seen = agg.first_seen;
+    } else {
+      agg.first_seen = std::min(agg.first_seen, r.timestamp + f.start);
+      agg.last_seen = std::max(agg.last_seen, r.timestamp + f.start);
+    }
+    ++agg.frames;
+    agg.wire_bytes += r.wire_length;
+    if (r.tcp_flags & net::tcp_flags::kRst) ++agg.rst_frames;
+  }
+  // Count distinct samples per flow.
+  std::set<FlowKey> in_sample;
+  for (const AcapRecord& r : f.records) in_sample.insert(r.flow);
+  for (const FlowKey& k : in_sample) ++out[k].samples;
+}
+
+/// Merge a partial aggregate into `dst`. Every field is a sum, min, or
+/// max, so the merged value is independent of merge order — the sharded
+/// path is content-identical to the single-map path by construction.
+void merge_aggregate(FlowAggregate& dst, const FlowAggregate& src) {
+  if (dst.frames == 0) {
+    dst = src;
+    return;
+  }
+  dst.first_seen = std::min(dst.first_seen, src.first_seen);
+  dst.last_seen = std::max(dst.last_seen, src.last_seen);
+  dst.frames += src.frames;
+  dst.wire_bytes += src.wire_bytes;
+  dst.rst_frames += src.rst_frames;
+  dst.samples += src.samples;
+}
+
+}  // namespace
+
 std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> aggregate_flows(
     const std::vector<AcapFile>& files) {
-  std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> out;
-  for (const AcapFile& f : files) {
-    for (const AcapRecord& r : f.records) {
-      FlowAggregate& agg = out[r.flow];
-      if (agg.frames == 0) {
-        agg.first_seen = r.timestamp + f.start;
-        agg.last_seen = agg.first_seen;
-      } else {
-        agg.first_seen = std::min(agg.first_seen, r.timestamp + f.start);
-        agg.last_seen = std::max(agg.last_seen, r.timestamp + f.start);
-      }
-      ++agg.frames;
-      agg.wire_bytes += r.wire_length;
-      if (r.tcp_flags & net::tcp_flags::kRst) ++agg.rst_frames;
+  const std::size_t threads = util::thread_count();
+  if (threads <= 1 || files.size() <= 1) {
+    std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> out;
+    for (const AcapFile& f : files) accumulate_file(f, out);
+    return out;
+  }
+
+  // Sharded two-phase aggregation. Phase 1 splits the files into
+  // contiguous chunks, one task each; every task buckets its flows into
+  // kFlowShards local maps keyed by FlowKeyHash % kFlowShards. Phase 2
+  // merges shard s across all chunks (chunk order, one task per shard —
+  // tasks never touch another task's shard, so no locks). The shard count
+  // is fixed so the shard a flow lands in, and therefore the merged
+  // content, is the same at any thread count; merge order cannot show in
+  // the result anyway because every FlowAggregate field merges
+  // commutatively.
+  constexpr std::size_t kFlowShards = 16;
+  const std::size_t chunks = std::min(threads, files.size());
+  std::vector<std::array<std::unordered_map<FlowKey, FlowAggregate,
+                                            FlowKeyHash>,
+                         kFlowShards>>
+      partial(chunks);
+  util::parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = files.size() * c / chunks;
+    const std::size_t hi = files.size() * (c + 1) / chunks;
+    std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> local;
+    for (std::size_t f = lo; f < hi; ++f) accumulate_file(files[f], local);
+    for (auto& [key, agg] : local) {
+      partial[c][FlowKeyHash{}(key) % kFlowShards].emplace(key,
+                                                          std::move(agg));
     }
-    // Count distinct samples per flow.
-    std::set<FlowKey> in_sample;
-    for (const AcapRecord& r : f.records) in_sample.insert(r.flow);
-    for (const FlowKey& k : in_sample) ++out[k].samples;
+  });
+
+  std::array<std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash>,
+             kFlowShards>
+      shards;
+  util::parallel_for(kFlowShards, [&](std::size_t s) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (auto& [key, agg] : partial[c][s]) {
+        merge_aggregate(shards[s][key], agg);
+      }
+    }
+  });
+
+  std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  out.reserve(total);
+  for (auto& shard : shards) {  // Shard order: deterministic assembly.
+    for (auto& [key, agg] : shard) out.emplace(key, agg);
   }
   return out;
 }

@@ -18,6 +18,8 @@
 
 namespace patchwork::analysis {
 
+class ProfileIndex;  // analysis/index.hpp
+
 // --- Frame sizes (Fig. 15 and the Section 8.2 aggregate) -----------------
 
 /// The paper's frame-size buckets. The final bucket extends to the jumbo
@@ -34,6 +36,12 @@ struct FrameSizeResult {
 
 FrameSizeResult analyze_frame_sizes(const std::vector<AcapFile>& files);
 FrameSizeResult analyze_frame_sizes_site(const std::vector<AcapFile>& files,
+                                         const std::string& site);
+/// Index-assisted variant: touches only the files the index lists for
+/// `site` instead of scanning the whole profile (the Section 6.2.4 point
+/// of the Index step). Result is identical to the scanning variant.
+FrameSizeResult analyze_frame_sizes_site(const std::vector<AcapFile>& files,
+                                         const ProfileIndex& index,
                                          const std::string& site);
 
 // --- Header occurrence (Fig. 12) -----------------------------------------
@@ -60,6 +68,11 @@ struct SiteHeaderVariety {
 
 std::vector<SiteHeaderVariety> analyze_site_header_variety(
     const std::vector<AcapFile>& files);
+/// Index-assisted variant: iterates sites via the index's site directory
+/// rather than re-grouping every file. Identical output (both orders are
+/// sorted by site name).
+std::vector<SiteHeaderVariety> analyze_site_header_variety(
+    const std::vector<AcapFile>& files, const ProfileIndex& index);
 
 // --- Flows (Fig. 13 and the flow-size aggregation) ------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -22,22 +23,26 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
   DigestedProfile digested;
   digested.files = digest_all(captures, &report.digest_stats);
 
-  // The index is built even though this whole-profile report touches every
-  // file — selective analyses (and tests) use it through digest_profile().
-  ProfileIndex index(digested.files);
-  (void)index;
-
   // Analyze step: the passes are independent and each writes a distinct
   // report field, so they fan out as one task each. Flow aggregation and
   // the distribution derived from it stay one task to keep the dependency
-  // inside a single thread.
+  // inside a single thread. The Index step rides in the pass array too:
+  // its task builds the ProfileIndex and immediately consumes it for the
+  // per-site header-variety analysis; the Process step below reuses it for
+  // the per-site frame-size CSV, so index construction overlaps the other
+  // passes instead of serializing in front of them.
   std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> flows;
+  std::optional<ProfileIndex> index;
   const std::array<std::function<void()>, 8> passes = {
       [&] { report.frame_sizes = analyze_frame_sizes(digested.files); },
       [&] {
         report.header_occurrence = analyze_header_occurrence(digested.files);
       },
-      [&] { report.site_variety = analyze_site_header_variety(digested.files); },
+      [&] {
+        index.emplace(digested.files);
+        report.site_variety =
+            analyze_site_header_variety(digested.files, *index);
+      },
       [&] { report.flows_per_sample = analyze_flows_per_sample(digested.files); },
       [&] { report.tcp_control = analyze_tcp_control(digested.files); },
       [&] { report.tagging = analyze_tagging(digested.files); },
@@ -58,7 +63,9 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
       {"frame_sizes.csv",
        [&](std::ostream& os) { write_frame_size_csv(os, report.frame_sizes); }},
       {"site_frame_sizes.csv",
-       [&](std::ostream& os) { write_site_frame_size_csv(os, digested.files); }},
+       [&](std::ostream& os) {
+         write_site_frame_size_csv(os, digested.files, *index);
+       }},
       {"header_occurrence.csv",
        [&](std::ostream& os) {
          write_header_occurrence_csv(os, report.header_occurrence);

@@ -13,6 +13,11 @@ namespace patchwork::analysis {
 void write_frame_size_csv(std::ostream& out, const FrameSizeResult& result);
 void write_site_frame_size_csv(std::ostream& out,
                                const std::vector<AcapFile>& files);
+/// Index-assisted variant: the per-site frame-size passes read only each
+/// site's indexed files. Byte-identical to the scanning variant.
+void write_site_frame_size_csv(std::ostream& out,
+                               const std::vector<AcapFile>& files,
+                               const ProfileIndex& index);
 void write_header_occurrence_csv(std::ostream& out,
                                  const HeaderOccurrenceResult& result);
 void write_site_variety_csv(std::ostream& out,

@@ -1,8 +1,10 @@
 #include "core/coordinator.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/compress.hpp"
+#include "util/parallel.hpp"
 
 namespace patchwork::core {
 
@@ -49,63 +51,105 @@ ProfileRun Coordinator::run_sites(
     const std::vector<testbed::GlobalPortId>* slice_ports) {
   ProfileRun out;
   out.mode = mode;
-  for (testbed::SiteId site : sites) {
-    ProfilerConfig config = config_;
+
+  // One data-plane seed for the whole run, drawn before any site touches
+  // the environment RNG: site i renders from split(site id), so its pcap
+  // bytes depend only on (run seed, site) — never on which worker thread
+  // renders it or in what order.
+  const util::Rng stream_root(env_.rng().bits());
+
+  struct SiteWork {
+    std::unique_ptr<SiteProfiler> profiler;
+    ProfilerConfig config;
+    SiteRunReport report;
+    std::vector<analysis::RawCapture> captures;
+    bool sampled = false;
+  };
+  std::vector<SiteWork> work(sites.size());
+
+  // Phase 1 — control plane, serial in site order. Allocation with
+  // back-off, port selection, mirror sessions, congestion handling, and
+  // the sampling decisions all mutate shared simulation state (clock,
+  // switches, telemetry, environment RNG), so they stay single-threaded
+  // and deterministic.
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const testbed::SiteId site = sites[i];
+    SiteWork& w = work[i];
+    w.config = config_;
     if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
       // Single-experiment mode can only monitor the slice's own ports.
-      config.plan.policy = PortPolicy::kFixed;
-      config.fixed_ports.clear();
+      w.config.plan.policy = PortPolicy::kFixed;
+      w.config.fixed_ports.clear();
       for (const testbed::GlobalPortId& p : *slice_ports) {
-        if (p.site == site) config.fixed_ports.push_back(p.port);
+        if (p.site == site) w.config.fixed_ports.push_back(p.port);
       }
     }
-    SiteProfiler profiler(env_, site, config);
-    SiteRunReport report;
-    report.site = site;
-    report.site_name = env_.federation().site(site).name();
+    w.profiler = std::make_unique<SiteProfiler>(env_, site, w.config);
+    w.report.site = site;
+    w.report.site_name = env_.federation().site(site).name();
 
-    const SetupResult setup = profiler.setup();
-    report.instances = setup.instances_granted;
-    report.backoffs = setup.backoffs_used;
-    report.error = setup.error;
+    const SetupResult setup = w.profiler->setup();
+    w.report.instances = setup.instances_granted;
+    w.report.backoffs = setup.backoffs_used;
+    w.report.error = setup.error;
     if (!setup.ok) {
-      report.outcome = RunOutcome::kFailed;
-      out.reports.push_back(std::move(report));
+      w.report.outcome = RunOutcome::kFailed;
       continue;
     }
-    report.outcome = profiler.run();
-    std::vector<analysis::RawCapture> captures = profiler.gather();
-    report.samples = captures.size();
-    for (analysis::RawCapture& c : captures) {
-      report.pcap_bytes += c.pcap.size();
-      if (config.compress_transfers) {
+    w.report.outcome = w.profiler->run();
+    w.sampled = true;
+  }
+
+  // Phase 2 — data plane, one task per site. Rendering (frame synthesis,
+  // capture serialization) and the transfer compression round-trip touch
+  // only the site's own pending samples plus immutable workload profiles,
+  // so sites fan out across the shared pool.
+  util::parallel_for(work.size(), [&](std::size_t i) {
+    SiteWork& w = work[i];
+    if (!w.sampled) return;
+    util::Rng site_rng = stream_root.split(sites[i].value);
+    w.profiler->render_pending(site_rng);
+    w.captures = w.profiler->gather();
+    w.report.samples = w.captures.size();
+    for (analysis::RawCapture& c : w.captures) {
+      w.report.pcap_bytes += c.pcap.size();
+      if (w.config.compress_transfers) {
         // The download path of Fig. 7 step 4: compress at the site,
         // transfer, decompress at the coordinator.
         const std::vector<std::uint8_t> wire = util::compress(c.pcap);
-        report.transferred_bytes += wire.size();
+        w.report.transferred_bytes += wire.size();
         auto restored = util::decompress(wire);
         if (restored.has_value()) {
           c.pcap = std::move(*restored);
         }
       } else {
-        report.transferred_bytes += c.pcap.size();
+        w.report.transferred_bytes += c.pcap.size();
       }
     }
-    if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
-      // Keep only captures of the slice's ports (access control:
-      // single-experiment users cannot see other users' traffic).
-      std::erase_if(captures, [&](const analysis::RawCapture& c) {
-        return std::none_of(slice_ports->begin(), slice_ports->end(),
-                            [&](const testbed::GlobalPortId& p) {
-                              return p.site == site &&
-                                     p.port.value == c.port;
-                            });
-      });
+  });
+
+  // Phase 3 — merge in site order; teardown mutates switch/allocator
+  // state, so it is serial again.
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const testbed::SiteId site = sites[i];
+    SiteWork& w = work[i];
+    if (w.sampled) {
+      if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
+        // Keep only captures of the slice's ports (access control:
+        // single-experiment users cannot see other users' traffic).
+        std::erase_if(w.captures, [&](const analysis::RawCapture& c) {
+          return std::none_of(slice_ports->begin(), slice_ports->end(),
+                              [&](const testbed::GlobalPortId& p) {
+                                return p.site == site &&
+                                       p.port.value == c.port;
+                              });
+        });
+      }
+      std::move(w.captures.begin(), w.captures.end(),
+                std::back_inserter(out.captures));
+      w.profiler->teardown();
     }
-    std::move(captures.begin(), captures.end(),
-              std::back_inserter(out.captures));
-    profiler.teardown();
-    out.reports.push_back(std::move(report));
+    out.reports.push_back(std::move(w.report));
   }
   return out;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "pcap/pcap.hpp"
+#include "traffic/flowgen.hpp"
+
 namespace patchwork::core {
 
 std::string_view to_string(RunOutcome o) {
@@ -307,48 +310,97 @@ bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
     }
   }
 
-  // Render the window the mirror would deliver, then apply the switch's
-  // egress-capacity rule: oversubscribed mirrors silently lose frames.
-  traffic::WindowTraffic window = env_.traffic().window_for_port(
-      {site_, *slot.source}, env_.clock().now(),
-      config_.plan.sample_duration, config_.plan.max_frames_per_sample,
-      session->directions);
-  const double delivery = site.tor().mirror_delivery_fraction(*session);
-  if (delivery < 1.0) {
-    std::vector<net::Frame> kept;
-    kept.reserve(window.frames.size());
-    for (net::Frame& f : window.frames) {
-      if (env_.rng().chance(delivery)) kept.push_back(std::move(f));
-    }
-    window.frames = std::move(kept);
-    window.offered_pps *= delivery;
+  // Snapshot the data-plane inputs instead of rendering here. The mirrored
+  // rate is read from the source port per the (post-mitigation) session
+  // directions — the same rule TrafficEngine::window_for_port applies — so
+  // rendering later needs no access to the live switch state.
+  const testbed::SwitchPort& source_port = site.tor().port(*slot.source);
+  PendingSample pending;
+  pending.source = *slot.source;
+  pending.cycle = cycle;
+  pending.run = run;
+  pending.sample = sample;
+  pending.start = env_.clock().now();
+  switch (session->directions) {
+    case testbed::MirrorDirections::kBoth:
+      pending.target_bps = source_port.tx_rate_bps() + source_port.rx_rate_bps();
+      break;
+    case testbed::MirrorDirections::kTxOnly:
+      pending.target_bps = source_port.tx_rate_bps();
+      break;
+    case testbed::MirrorDirections::kRxOnly:
+      pending.target_bps = source_port.rx_rate_bps();
+      break;
   }
+  pending.delivery = site.tor().mirror_delivery_fraction(*session);
+  pending.drop_fraction = verdict.estimated_drop_fraction;
 
-  // Capture through the configured method.
-  capture::CaptureSession capturer(config_.capture, host_, env_.rng());
-  capture::CaptureResult captured =
-      capturer.run(window.frames, window.offered_pps);
-
-  analysis::RawCapture raw;
-  raw.site = site.name();
-  raw.port = slot.source->value;
-  raw.start = env_.clock().now();
-  raw.duration = config_.plan.sample_duration;
-  raw.switch_drops_suspected =
-      verdict.estimated_drops(window.offered_pps, raw.duration);
-  raw.pcap = std::move(captured.pcap);
-  stored_bytes_ += raw.pcap.size();
+  // Storage admission: the pcap is not serialized yet, so the watchdog
+  // charges the format's upper bound for one sample.
+  storage_admitted_ +=
+      pcap::kGlobalHeaderSize +
+      static_cast<std::uint64_t>(config_.plan.max_frames_per_sample) *
+          (config_.capture.snaplen + pcap::kRecordHeaderSize);
 
   std::ostringstream msg;
-  msg << "sample c" << cycle << "/r" << run << "/s" << sample << " p"
-      << slot.source->value << ": offered=" << captured.stats.offered
-      << " captured=" << captured.stats.captured
-      << " capacity_loss=" << captured.stats.dropped_capacity
-      << " flows~" << window.flow_count;
+  msg << "sample c" << cycle << "/r" << run << "/s" << sample
+      << " p" << slot.source->value << " scheduled: target="
+      << pending.target_bps << "bps delivery=" << pending.delivery;
   log_.info(env_.clock().now(), component_, msg.str());
-  raw.logs.info(env_.clock().now(), component_, msg.str());
-  captures_.push_back(std::move(raw));
+  pending_.push_back(pending);
   return true;
+}
+
+void SiteProfiler::render_pending(util::Rng& rng) {
+  if (pending_.empty()) return;
+  const testbed::Site& site = env_.federation().site(site_);
+  const traffic::SiteWorkloadProfile& profile = env_.traffic().profile(site_);
+  for (const PendingSample& p : pending_) {
+    // Synthesize the window the mirror would deliver, then apply the
+    // switch's egress-capacity rule: oversubscribed mirrors silently lose
+    // frames.
+    traffic::WindowParams params;
+    params.duration = config_.plan.sample_duration;
+    params.target_bps = p.target_bps;
+    params.max_frames = config_.plan.max_frames_per_sample;
+    traffic::WindowTraffic window = traffic::generate_window(rng, profile,
+                                                             params);
+    if (p.delivery < 1.0) {
+      std::vector<net::Frame> kept;
+      kept.reserve(window.frames.size());
+      for (net::Frame& f : window.frames) {
+        if (rng.chance(p.delivery)) kept.push_back(std::move(f));
+      }
+      window.frames = std::move(kept);
+      window.offered_pps *= p.delivery;
+    }
+
+    // Capture through the configured method.
+    capture::CaptureSession capturer(config_.capture, host_, rng);
+    capture::CaptureResult captured =
+        capturer.run(window.frames, window.offered_pps);
+
+    analysis::RawCapture raw;
+    raw.site = site.name();
+    raw.port = p.source.value;
+    raw.start = p.start;
+    raw.duration = config_.plan.sample_duration;
+    raw.switch_drops_suspected = static_cast<std::uint64_t>(
+        p.drop_fraction * window.offered_pps *
+        util::to_seconds(raw.duration));
+    raw.pcap = std::move(captured.pcap);
+
+    std::ostringstream msg;
+    msg << "sample c" << p.cycle << "/r" << p.run << "/s" << p.sample
+        << " p" << p.source.value << ": offered=" << captured.stats.offered
+        << " captured=" << captured.stats.captured
+        << " capacity_loss=" << captured.stats.dropped_capacity
+        << " flows~" << window.flow_count;
+    log_.info(p.start, component_, msg.str());
+    raw.logs.info(p.start, component_, msg.str());
+    captures_.push_back(std::move(raw));
+  }
+  pending_.clear();
 }
 
 RunOutcome SiteProfiler::run() {
@@ -369,11 +421,12 @@ RunOutcome SiteProfiler::run() {
                    "watchdog: instance terminated unexpectedly");
         return RunOutcome::kIncomplete;
       }
-      if (storage_budget() > 0 && stored_bytes_ > storage_budget()) {
+      if (storage_budget() > 0 && storage_admitted_ > storage_budget()) {
         crashed_ = true;
         log_.error(env_.clock().now(), component_,
                    "watchdog: storage budget exhausted (" +
-                       std::to_string(stored_bytes_) + " bytes)");
+                       std::to_string(storage_admitted_) +
+                       " bytes admitted)");
         return RunOutcome::kIncomplete;
       }
       for (std::uint32_t s = 0; s < plan.samples_per_run; ++s) {
@@ -387,6 +440,14 @@ RunOutcome SiteProfiler::run() {
 }
 
 std::vector<analysis::RawCapture> SiteProfiler::gather() {
+  // Standalone callers (tests, benches) may gather without an explicit
+  // render pass; fall back to a stream forked off the environment RNG. The
+  // coordinator always renders first — with a per-site child of the run
+  // seed — so this draw never happens on its path.
+  if (!pending_.empty()) {
+    util::Rng fallback = env_.rng().fork();
+    render_pending(fallback);
+  }
   // Instance logs travel with the captures (Section 6.2.2); attach the
   // profiler's own log to the first capture of the bundle.
   if (!captures_.empty()) captures_.front().logs.merge(log_);

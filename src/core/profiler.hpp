@@ -53,10 +53,31 @@ class SiteProfiler {
 
   /// Sampling phase (Section 6.2.2): cycles x runs x samples, with port
   /// cycling, congestion detection, watchdog, and instance logging.
+  ///
+  /// Control/data split: run() executes only the control plane — port
+  /// cycling, mirror (re)configuration, congestion detection and
+  /// mitigation, the watchdog — and snapshots every sampling decision as a
+  /// PendingSample. The data plane (traffic synthesis, capture, pcap
+  /// serialization) is rendered later by render_pending(), so the
+  /// coordinator can fan sites out across worker threads while the shared
+  /// simulation state is only ever touched serially.
   RunOutcome run();
 
+  /// Render the data plane for every sample run() decided to take: frame
+  /// synthesis from the snapshotted port rates, mirror-delivery thinning,
+  /// and the configured capture path. All stochastic draws come from
+  /// `rng`, so a caller that pins the stream (the coordinator splits one
+  /// child stream per site off the run seed) gets byte-identical pcaps
+  /// regardless of which thread renders which site. Touches no shared
+  /// simulation state — safe to run concurrently across SiteProfilers.
+  void render_pending(util::Rng& rng);
+
+  /// Samples recorded by run() and not yet rendered.
+  std::size_t pending_sample_count() const { return pending_.size(); }
+
   /// Gathering phase (Section 6.2.3): hand the pcaps + logs over. The
-  /// profiler keeps nothing.
+  /// profiler keeps nothing. Standalone callers may skip render_pending();
+  /// gather() then renders with a stream forked from the environment RNG.
   std::vector<analysis::RawCapture> gather();
 
   /// Yield resources back to the testbed (Fig. 7, step 5).
@@ -99,6 +120,20 @@ class SiteProfiler {
   bool take_sample(MirrorSlot& slot, std::uint32_t cycle, std::uint32_t run,
                    std::uint32_t sample);
 
+  /// One control-plane sampling decision, snapshotted by take_sample() and
+  /// rendered later by render_pending(). Holds everything the data plane
+  /// needs so rendering reads no mutable simulation state.
+  struct PendingSample {
+    testbed::PortId source;
+    std::uint32_t cycle = 0;
+    std::uint32_t run = 0;
+    std::uint32_t sample = 0;
+    util::Nanos start = 0;           ///< Clock time of the decision.
+    double target_bps = 0.0;         ///< Mirrored rate per session directions.
+    double delivery = 1.0;           ///< Mirror delivery fraction.
+    double drop_fraction = 0.0;      ///< Congestion-estimated drop fraction.
+  };
+
   Environment& env_;
   testbed::SiteId site_;
   ProfilerConfig config_;
@@ -111,8 +146,13 @@ class SiteProfiler {
   std::optional<testbed::SliceGrant> grant_;
   std::vector<testbed::SliceGrant> extra_grants_;  ///< Runtime scale-ups.
   std::vector<MirrorSlot> slots_;
+  std::vector<PendingSample> pending_;
   std::vector<analysis::RawCapture> captures_;
-  std::uint64_t stored_bytes_ = 0;
+  /// Worst-case storage admitted by the watchdog. Rendering is deferred, so
+  /// admission charges the pcap-format upper bound per sample instead of
+  /// the realized size: global header + max_frames * (snaplen + record
+  /// header).
+  std::uint64_t storage_admitted_ = 0;
   std::uint32_t scale_ups_ = 0;
   std::uint32_t scale_downs_ = 0;
   std::uint64_t lifetime_cycles_ = 0;

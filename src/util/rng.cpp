@@ -5,6 +5,25 @@
 
 namespace patchwork::util {
 
+namespace {
+
+/// SplitMix64 output function — one bijective avalanche step, used to turn
+/// (seed, stream_id) into a well-mixed child seed.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Two chained SplitMix64 steps decorrelate nearby (seed, id) pairs;
+  // nothing is drawn from engine_, so the parent sequence is untouched.
+  return Rng(splitmix64(splitmix64(seed_) ^ splitmix64(stream_id)));
+}
+
 std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
   assert(lo <= hi);
   std::uniform_int_distribution<std::uint64_t> d(lo, hi);

@@ -16,11 +16,21 @@ namespace patchwork::util {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Derive an independent generator; the child stream does not perturb the
   /// parent beyond the single draw used to seed it.
   Rng fork() { return Rng(engine_()); }
+
+  /// Derive the `stream_id`-th child stream of this generator's *seed*.
+  /// Unlike fork(), split() consumes nothing from the parent: it depends
+  /// only on the construction seed and the stream id, so existing
+  /// single-stream draw sequences are unchanged by adding split() calls,
+  /// and split(id) yields the same child no matter when (or from which
+  /// thread ordering) it is invoked. Distinct stream ids give streams that
+  /// are independent for practical purposes (seeds are mixed through
+  /// SplitMix64, the recommended seeder for mt19937_64).
+  Rng split(std::uint64_t stream_id) const;
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
@@ -66,6 +76,7 @@ class Rng {
   std::uint64_t bits() { return engine_(); }
 
  private:
+  std::uint64_t seed_;  ///< Construction seed; the root of split() streams.
   std::mt19937_64 engine_;
 };
 

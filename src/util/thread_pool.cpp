@@ -12,6 +12,11 @@ namespace {
 // deadlocking on a pool that is busy running the caller itself.
 thread_local bool t_on_worker = false;
 
+// Incremented while a thread executes the body of its own parallel_for
+// region (caller threads participate in their region's strand loop, so
+// nesting can occur off pool workers too).
+thread_local std::size_t t_region_depth = 0;
+
 std::optional<std::size_t>& thread_count_override() {
   static std::optional<std::size_t> value;
   return value;
@@ -35,18 +40,31 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure_size(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return;
+  while (workers_.size() < threads) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> future = wrapped.get_future();
-  if (workers_.empty()) {
-    wrapped();  // Serial mode: run inline; the future still carries throws.
-    return future;
-  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(wrapped));
+    if (!workers_.empty()) {
+      queue_.push_back(std::move(wrapped));
+      cv_.notify_one();
+      return future;
+    }
   }
-  cv_.notify_one();
+  wrapped();  // Serial mode: run inline; the future still carries throws.
   return future;
 }
 
@@ -66,6 +84,22 @@ void ThreadPool::worker_loop() {
     task();  // packaged_task stores any exception in its future.
   }
 }
+
+ThreadPool& shared_pool() {
+  // Meyers singleton: created empty on first use, grown on demand by
+  // parallel_for(), joined during static destruction. Workers are only
+  // ever added, so thread IDs observed by one call remain valid pool
+  // workers for every later call.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+std::size_t parallel_region_depth() { return t_region_depth; }
+
+namespace detail {
+ParallelRegionScope::ParallelRegionScope() { ++t_region_depth; }
+ParallelRegionScope::~ParallelRegionScope() { --t_region_depth; }
+}  // namespace detail
 
 std::size_t thread_count() {
   if (thread_count_override().has_value()) return *thread_count_override();

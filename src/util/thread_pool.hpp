@@ -1,6 +1,7 @@
-// A small fixed-size thread pool — the concurrency substrate for the
-// offline analysis pipeline (Fig. 9: Digest -> Index -> Analyze -> Process)
-// and any future subsystem that wants multi-core fan-out.
+// A small thread pool — the concurrency substrate for the offline
+// analysis pipeline (Fig. 9: Digest -> Index -> Analyze -> Process), the
+// online per-site profiling path, and any future subsystem that wants
+// multi-core fan-out.
 //
 // Design rules, in priority order:
 //   1. Determinism first. The pool never reorders *results*: callers own
@@ -11,6 +12,12 @@
 //      output against, and the mode `PATCHWORK_THREADS=0` selects.
 //   3. Exceptions propagate. A task that throws surfaces its exception to
 //      the caller through the returned future, never to std::terminate.
+//
+// Lifecycle: the parallel primitives (util/parallel.hpp) no longer build a
+// pool per call. They route through shared_pool(), a lazily-initialized
+// process-lifetime pool that grows on demand (workers are spawned once and
+// reused; the pool never shrinks). Per-call pools remain constructible for
+// tests and special cases.
 #pragma once
 
 #include <condition_variable>
@@ -36,10 +43,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  std::size_t size() const;
+
+  /// Grow the pool to at least `threads` workers. Existing workers keep
+  /// running (and keep their thread IDs); only the shortfall is spawned.
+  /// Never shrinks. Safe to call concurrently with submit().
+  void ensure_size(std::size_t threads);
 
   /// Enqueue one task. The future completes when the task returns and
-  /// carries any exception the task threw.
+  /// carries any exception the task threw. When the pool has no workers
+  /// the task runs inline on the calling thread.
   std::future<void> submit(std::function<void()> task);
 
   /// True when called from inside one of this pool's workers.
@@ -48,12 +61,32 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// The process-lifetime pool the parallel primitives fan out on. Created
+/// empty on first use and grown on demand by parallel_for(); workers
+/// persist until process exit, so a hot loop calling parallel_for at high
+/// frequency pays no per-call thread churn.
+ThreadPool& shared_pool();
+
+/// Depth of parallel_for() regions the calling thread is currently inside
+/// (on either a pool worker or a caller thread participating in its own
+/// region). Nested parallel_for calls see depth > 0 and degrade to serial
+/// instead of re-entering the shared pool.
+std::size_t parallel_region_depth();
+
+namespace detail {
+/// RAII marker for one parallel_for region on the current thread.
+struct ParallelRegionScope {
+  ParallelRegionScope();
+  ~ParallelRegionScope();
+};
+}  // namespace detail
 
 /// Worker-thread count the parallel primitives use:
 /// explicit set_thread_count() override, else the `PATCHWORK_THREADS`

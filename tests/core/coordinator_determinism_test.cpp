@@ -1,0 +1,148 @@
+// The parallel online path's contract: a coordinator run over a same-seed
+// world produces byte-identical results for every thread count. The control
+// plane is serial by construction; the data plane renders each site from a
+// child RNG stream split off the run seed by site id, so pcap bytes depend
+// only on (seed, site) — never on which worker rendered the site or in
+// what order the strands interleaved.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "core/coordinator.hpp"
+#include "testing/env_fixture.hpp"
+#include "util/parallel.hpp"
+
+namespace patchwork::core {
+namespace {
+
+using patchwork::testing::World;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(std::nullopt); }
+};
+
+ProfilerConfig multi_sample_config() {
+  ProfilerConfig config;
+  config.plan.cycles = 2;
+  config.plan.samples_per_run = 2;
+  config.plan.runs_per_cycle = 1;
+  config.plan.max_frames_per_sample = 300;
+  config.crash_probability = 0.0;
+  config.desired_instances = 1;
+  config.compress_transfers = true;
+  return config;
+}
+
+testbed::FederationSpec wide_spec() {
+  testbed::FederationSpec spec;
+  spec.sites = 8;
+  return spec;
+}
+
+/// One full same-seed run: fresh world, warm telemetry, all-experiment
+/// profile. The World is rebuilt per call so every thread count starts
+/// from an identical simulation state.
+ProfileRun run_world(std::uint64_t seed) {
+  World world(seed, wide_spec());
+  world.warm_up_telemetry();
+  Coordinator coordinator(world.env, multi_sample_config());
+  return coordinator.run_all_experiment();
+}
+
+void expect_runs_identical(const ProfileRun& a, const ProfileRun& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.reports.size(), b.reports.size()) << label;
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const SiteRunReport& ra = a.reports[i];
+    const SiteRunReport& rb = b.reports[i];
+    EXPECT_EQ(ra.site.value, rb.site.value) << label << " report " << i;
+    EXPECT_EQ(ra.site_name, rb.site_name) << label << " report " << i;
+    EXPECT_EQ(ra.outcome, rb.outcome) << label << " report " << i;
+    EXPECT_EQ(ra.instances, rb.instances) << label << " report " << i;
+    EXPECT_EQ(ra.backoffs, rb.backoffs) << label << " report " << i;
+    EXPECT_EQ(ra.samples, rb.samples) << label << " report " << i;
+    EXPECT_EQ(ra.pcap_bytes, rb.pcap_bytes) << label << " report " << i;
+    EXPECT_EQ(ra.transferred_bytes, rb.transferred_bytes)
+        << label << " report " << i;
+  }
+  ASSERT_EQ(a.captures.size(), b.captures.size()) << label;
+  for (std::size_t i = 0; i < a.captures.size(); ++i) {
+    const analysis::RawCapture& ca = a.captures[i];
+    const analysis::RawCapture& cb = b.captures[i];
+    EXPECT_EQ(ca.site, cb.site) << label << " capture " << i;
+    EXPECT_EQ(ca.port, cb.port) << label << " capture " << i;
+    EXPECT_EQ(ca.start, cb.start) << label << " capture " << i;
+    EXPECT_EQ(ca.switch_drops_suspected, cb.switch_drops_suspected)
+        << label << " capture " << i;
+    // The strong claim: the pcap BYTES are identical, not just the sizes.
+    ASSERT_EQ(ca.pcap.size(), cb.pcap.size()) << label << " capture " << i;
+    EXPECT_TRUE(ca.pcap == cb.pcap)
+        << label << " capture " << i << " pcap bytes differ";
+  }
+}
+
+TEST(CoordinatorDeterminism, IdenticalRunsAcrossThreadCounts) {
+  ThreadCountGuard guard;
+
+  util::set_thread_count(0);  // Serial reference.
+  const ProfileRun reference = run_world(/*seed=*/11);
+  ASSERT_FALSE(reference.captures.empty());
+
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::set_thread_count(threads);
+    const ProfileRun parallel = run_world(/*seed=*/11);
+    expect_runs_identical(reference, parallel,
+                          "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(CoordinatorDeterminism, PipelineCsvsIdenticalAcrossThreadCounts) {
+  // End to end: the whole online + offline path at 0 vs 8 workers must
+  // emit byte-identical CSVs.
+  ThreadCountGuard guard;
+
+  util::set_thread_count(0);
+  const ProfileRun serial_run = run_world(/*seed=*/23);
+  const analysis::ProfileReport serial =
+      analysis::run_pipeline(serial_run.captures);
+
+  util::set_thread_count(8);
+  const ProfileRun parallel_run = run_world(/*seed=*/23);
+  const analysis::ProfileReport parallel =
+      analysis::run_pipeline(parallel_run.captures);
+
+  EXPECT_EQ(serial.digest_stats.frames, parallel.digest_stats.frames);
+  EXPECT_EQ(serial.distinct_flows, parallel.distinct_flows);
+  ASSERT_EQ(serial.csv_files.size(), parallel.csv_files.size());
+  for (const auto& [name, bytes] : serial.csv_files) {
+    ASSERT_TRUE(parallel.csv_files.count(name)) << name;
+    EXPECT_EQ(bytes, parallel.csv_files.at(name)) << name << " differs";
+  }
+}
+
+TEST(CoordinatorDeterminism, SingleExperimentIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const std::vector<testbed::GlobalPortId> slice_ports = {
+      {testbed::SiteId{1}, testbed::PortId{4}},
+      {testbed::SiteId{2}, testbed::PortId{5}},
+  };
+  auto run_single = [&] {
+    World world(/*seed=*/31, wide_spec());
+    world.warm_up_telemetry();
+    Coordinator coordinator(world.env, multi_sample_config());
+    return coordinator.run_single_experiment(slice_ports);
+  };
+
+  util::set_thread_count(0);
+  const ProfileRun reference = run_single();
+  util::set_thread_count(8);
+  const ProfileRun parallel = run_single();
+  expect_runs_identical(reference, parallel, "single-experiment");
+}
+
+}  // namespace
+}  // namespace patchwork::core

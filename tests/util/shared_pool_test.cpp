@@ -1,0 +1,136 @@
+// The shared process-lifetime pool's contract: one pool per process, grown
+// on demand and never torn down between parallel regions, safe to drive
+// from several threads at once (the caller always participates, so no
+// combination of concurrent parallel_for calls can deadlock), and worker
+// threads keep stable identities — parallel_for must NOT construct a pool
+// per call.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace patchwork::util {
+namespace {
+
+TEST(SharedPool, IsOneProcessWideInstance) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(SharedPool, GrowsOnDemandAndNeverShrinks) {
+  ThreadPool& pool = shared_pool();
+  pool.ensure_size(2);
+  EXPECT_GE(pool.size(), 2u);
+  const std::size_t grown = pool.size();
+  pool.ensure_size(1);  // Smaller request: no-op.
+  EXPECT_EQ(pool.size(), grown);
+  pool.ensure_size(grown + 1);
+  EXPECT_EQ(pool.size(), grown + 1);
+}
+
+TEST(SharedPool, WorkerThreadsAreStableAcrossParallelForCalls) {
+  // Run many parallel regions and record which OS threads executed loop
+  // bodies on pool workers. If parallel_for spun up a fresh pool per call,
+  // every round would mint new thread ids and the union would keep
+  // growing; with the shared pool it is bounded by the pool size.
+  std::mutex mu;
+  std::set<std::thread::id> worker_ids;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    parallel_for(
+        64,
+        [&](std::size_t) {
+          if (ThreadPool::on_worker_thread()) {
+            std::lock_guard<std::mutex> lock(mu);
+            worker_ids.insert(std::this_thread::get_id());
+          }
+        },
+        4);
+  }
+  EXPECT_LE(worker_ids.size(), shared_pool().size());
+}
+
+TEST(SharedPool, ConcurrentParallelForFromManyThreads) {
+  // Several client threads each drive their own parallel_for through the
+  // one shared pool. Caller participation guarantees forward progress even
+  // when every pool worker is busy serving someone else.
+  constexpr int kClients = 4;
+  constexpr std::size_t kItems = 2000;
+  std::vector<std::vector<std::atomic<int>>> hits(kClients);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kItems);
+    for (auto& x : h) x.store(0);
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      parallel_for(
+          kItems, [&](std::size_t i) { ++hits[c][i]; }, 4);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 1) << "client " << c << " index " << i;
+    }
+  }
+}
+
+TEST(SharedPool, NestedCallsFromClientThreadsDegradeToSerial) {
+  // Depth guard: a parallel_for issued from inside a parallel region runs
+  // serially on the issuing thread instead of re-entering the pool.
+  std::atomic<int> total{0};
+  parallel_for(
+      4,
+      [&](std::size_t) {
+        EXPECT_GT(parallel_region_depth(), 0u);
+        parallel_for(16, [&](std::size_t) { ++total; }, 4);
+      },
+      2);
+  EXPECT_EQ(total.load(), 64);
+  EXPECT_EQ(parallel_region_depth(), 0u);
+}
+
+TEST(SharedPool, ReusableAfterIdlePeriod) {
+  std::atomic<int> first{0};
+  parallel_for(128, [&](std::size_t) { ++first; }, 4);
+  EXPECT_EQ(first.load(), 128);
+  // Workers idle on the condition variable; a later region must reuse
+  // them without hiccups.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::atomic<int> second{0};
+  parallel_for(128, [&](std::size_t) { ++second; }, 4);
+  EXPECT_EQ(second.load(), 128);
+}
+
+TEST(SharedPool, SubmitAndFuturesFromMultipleThreads) {
+  ThreadPool& pool = shared_pool();
+  pool.ensure_size(2);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(50);
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ran.load(), 150);
+}
+
+}  // namespace
+}  // namespace patchwork::util
