@@ -113,6 +113,7 @@ int main() {
   std::string rows;
   bool all_identical = true;
   double speedup_at_4 = 0.0;
+  double best_speedup = 0.0;
   for (std::size_t threads : counts) {
     util::set_thread_count(threads);
     const RunResult parallel = time_run();
@@ -120,6 +121,7 @@ int main() {
     all_identical = all_identical && identical;
     const double speedup = serial.ms / parallel.ms;
     if (threads == 4) speedup_at_4 = speedup;
+    if (speedup > best_speedup) best_speedup = speedup;
     std::cout << "workers=" << threads << ":  " << parallel.ms
               << " ms  (speedup " << speedup << "x, output "
               << (identical ? "identical" : "DIFFERS") << ")\n";
@@ -146,9 +148,15 @@ int main() {
               << " hardware thread(s) < 4)\n";
   }
 
+  const std::string note =
+      judged ? "Recorded with 4+ hardware threads; speedups are meaningful."
+             : "Recorded on a <4-hardware-thread host: ratios measure "
+               "scheduling overhead only. Re-record on real hardware with "
+               "./build/bench/bench_online_profile.";
   std::cout << "\nJSON:\n"
             << "{\n"
             << "  \"bench\": \"online_profile\",\n"
+            << "  \"note\": \"" << note << "\",\n"
             << "  \"sites\": " << kSites << ",\n"
             << "  \"samples\": " << total_samples << ",\n"
             << "  \"pcap_bytes\": " << total_pcap << ",\n"
@@ -156,6 +164,7 @@ int main() {
             << "  \"serial_ms\": " << serial.ms << ",\n"
             << "  \"runs\": [\n"
             << rows << "\n  ],\n"
+            << "  \"best_speedup\": " << best_speedup << ",\n"
             << "  \"speedup_at_4\": " << speedup_at_4 << ",\n"
             << "  \"speedup_judged\": " << (judged ? "true" : "false") << ",\n"
             << "  \"outputs_identical\": " << (all_identical ? "true" : "false")

@@ -2,18 +2,20 @@
 # Full correctness gate: release build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (shared
 # pool, parallel_for, parallel pipeline/coordinator determinism, sharded
-# aggregation).
+# aggregation, sharded metrics registry), then an AddressSanitizer+UBSan
+# build running the full suite.
 #
-# Usage: scripts/check.sh [--tsan-only | --release-only]
+# Usage: scripts/check.sh [--tsan-only | --asan-only | --release-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="all"
 case "${1:-}" in
   --tsan-only) mode="tsan" ;;
+  --asan-only) mode="asan" ;;
   --release-only) mode="release" ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tsan-only | --release-only]" >&2
+  *) echo "usage: scripts/check.sh [--tsan-only | --asan-only | --release-only]" >&2
      exit 2 ;;
 esac
 
@@ -28,9 +30,17 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   echo "== tsan: configure + build + concurrency tests =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" --target patchwork_tests
-  # The concurrency surface: shared pool stress, parallel primitives, and
-  # every determinism suite that fans out across the pool.
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*'
+  # The concurrency surface: shared pool stress, parallel primitives,
+  # every determinism suite that fans out across the pool, and the
+  # sharded metrics registry (concurrent add/observe/registration).
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:ObsRegistry.*:ObsDeterminism.*'
+fi
+
+if [[ "$mode" == "all" || "$mode" == "asan" ]]; then
+  echo "== asan: configure + build + full test suite =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)" --target patchwork_tests
+  ./build-asan/tests/patchwork_tests
 fi
 
 echo "OK"

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "analysis/report.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace patchwork::analysis {
@@ -21,7 +22,10 @@ DigestedProfile digest_profile(const std::vector<RawCapture>& captures) {
 ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
   ProfileReport report;
   DigestedProfile digested;
-  digested.files = digest_all(captures, &report.digest_stats);
+  {
+    OBS_SPAN("pipeline/digest_all");
+    digested.files = digest_all(captures, &report.digest_stats);
+  }
 
   // Analyze step: the passes are independent and each writes a distinct
   // report field, so they fan out as one task each. Flow aggregation and
@@ -54,7 +58,10 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
         report.largest_flow_bytes = report.flow_distribution.largest_flow_bytes;
       },
   };
-  util::parallel_for(passes.size(), [&](std::size_t i) { passes[i](); });
+  {
+    OBS_SPAN("pipeline/analyze");
+    util::parallel_for(passes.size(), [&](std::size_t i) { passes[i](); });
+  }
 
   // Process step: render every CSV, one parallel task per file, each into
   // its own slot; the name->bytes map is assembled afterwards in order.
@@ -92,11 +99,14 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
        }},
   }};
   std::array<std::string, emitters.size()> rendered;
-  util::parallel_for(emitters.size(), [&](std::size_t i) {
-    std::ostringstream os;
-    emitters[i].second(os);
-    rendered[i] = os.str();
-  });
+  {
+    OBS_SPAN("pipeline/process_csv");
+    util::parallel_for(emitters.size(), [&](std::size_t i) {
+      std::ostringstream os;
+      emitters[i].second(os);
+      rendered[i] = os.str();
+    });
+  }
   for (std::size_t i = 0; i < emitters.size(); ++i) {
     report.csv_files[emitters[i].first] = std::move(rendered[i]);
   }

@@ -3,8 +3,47 @@
 #include <algorithm>
 
 #include "net/parser.hpp"
+#include "obs/metrics.hpp"
 
 namespace patchwork::capture {
+
+namespace {
+
+// Cached handles: registered once, updated lock-free per sample window.
+// All are deterministic-class — frame counts are per-frame sums and the
+// ring high-water is a max-fold, both schedule-independent.
+struct CaptureMetrics {
+  obs::Counter& offered = obs::registry().counter(
+      "patchwork_capture_frames_total", "Frames handled by capture sessions",
+      {{"disposition", "offered"}});
+  obs::Counter& captured = obs::registry().counter(
+      "patchwork_capture_frames_total", "Frames handled by capture sessions",
+      {{"disposition", "captured"}});
+  obs::Counter& dropped_ring = obs::registry().counter(
+      "patchwork_capture_dropped_frames_total",
+      "Frames lost inside capture sessions, by cause",
+      {{"cause", "ring_capacity"}});
+  obs::Counter& dropped_filter = obs::registry().counter(
+      "patchwork_capture_dropped_frames_total",
+      "Frames lost inside capture sessions, by cause", {{"cause", "filter"}});
+  obs::Counter& dropped_sampler = obs::registry().counter(
+      "patchwork_capture_dropped_frames_total",
+      "Frames lost inside capture sessions, by cause",
+      {{"cause", "sampler"}});
+  obs::LatencyHistogram& burst_frames = obs::registry().histogram(
+      "patchwork_capture_burst_frames",
+      "Frames delivered to a session per sample window");
+  obs::Gauge& ring_high_water = obs::registry().gauge(
+      "patchwork_capture_ring_occupancy_high_water_frames",
+      "Worst modeled capture-ring backlog across all sessions (frames)");
+};
+
+CaptureMetrics& capture_metrics() {
+  static CaptureMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::string_view to_string(CaptureMethod m) {
   switch (m) {
@@ -105,6 +144,36 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
   stats.sampled_out = pipeline.stats().sampled_out;
   stats.bytes_stored = writer.bytes_written();
   result.pcap = writer.take_buffer();
+
+  CaptureMetrics& metrics = capture_metrics();
+  metrics.offered.add(stats.offered);
+  metrics.captured.add(stats.captured);
+  if (stats.dropped_capacity > 0) {
+    metrics.dropped_ring.add(stats.dropped_capacity);
+  }
+  if (stats.filtered_out > 0) metrics.dropped_filter.add(stats.filtered_out);
+  if (stats.sampled_out > 0) metrics.dropped_sampler.add(stats.sampled_out);
+  metrics.burst_frames.observe(stats.offered);
+
+  // Modeled ring occupancy: frames that arrive above drain capacity pile up
+  // in the RX ring (DPDK rx_queue_depth) or the kernel capture buffer
+  // (tcpdump_buffer_bytes worth of snapped records) until it clips. A pure
+  // function of config + offered load, so the max-fold stays deterministic.
+  if (offered_pps > 0.0 && stats.offered > 0) {
+    const double ring_slots =
+        config_.method == CaptureMethod::kTcpdump
+            ? static_cast<double>(config_.tcpdump_buffer_bytes) /
+                  static_cast<double>(config_.snaplen +
+                                      pcap::kRecordHeaderSize)
+            : static_cast<double>(config_.rx_queue_depth);
+    const double window_secs =
+        static_cast<double>(stats.offered) / offered_pps;
+    const double host_pps = offload ? offered_pps * pass_fraction
+                                    : offered_pps;
+    const double backlog =
+        std::max(0.0, host_pps - stats.capacity_pps) * window_secs;
+    metrics.ring_high_water.observe_max(std::min(ring_slots, backlog));
+  }
   return result;
 }
 

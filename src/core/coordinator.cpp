@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/compress.hpp"
 #include "util/parallel.hpp"
 
@@ -72,67 +75,79 @@ ProfileRun Coordinator::run_sites(
   // the sampling decisions all mutate shared simulation state (clock,
   // switches, telemetry, environment RNG), so they stay single-threaded
   // and deterministic.
-  for (std::size_t i = 0; i < sites.size(); ++i) {
-    const testbed::SiteId site = sites[i];
-    SiteWork& w = work[i];
-    w.config = config_;
-    if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
-      // Single-experiment mode can only monitor the slice's own ports.
-      w.config.plan.policy = PortPolicy::kFixed;
-      w.config.fixed_ports.clear();
-      for (const testbed::GlobalPortId& p : *slice_ports) {
-        if (p.site == site) w.config.fixed_ports.push_back(p.port);
+  {
+    OBS_SPAN_SIM("run_sites/control", &env_.clock());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const testbed::SiteId site = sites[i];
+      SiteWork& w = work[i];
+      w.config = config_;
+      if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
+        // Single-experiment mode can only monitor the slice's own ports.
+        w.config.plan.policy = PortPolicy::kFixed;
+        w.config.fixed_ports.clear();
+        for (const testbed::GlobalPortId& p : *slice_ports) {
+          if (p.site == site) w.config.fixed_ports.push_back(p.port);
+        }
       }
-    }
-    w.profiler = std::make_unique<SiteProfiler>(env_, site, w.config);
-    w.report.site = site;
-    w.report.site_name = env_.federation().site(site).name();
+      w.profiler = std::make_unique<SiteProfiler>(env_, site, w.config);
+      w.report.site = site;
+      w.report.site_name = env_.federation().site(site).name();
 
-    const SetupResult setup = w.profiler->setup();
-    w.report.instances = setup.instances_granted;
-    w.report.backoffs = setup.backoffs_used;
-    w.report.error = setup.error;
-    if (!setup.ok) {
-      w.report.outcome = RunOutcome::kFailed;
-      continue;
+      const SetupResult setup = w.profiler->setup();
+      w.report.instances = setup.instances_granted;
+      w.report.backoffs = setup.backoffs_used;
+      w.report.error = setup.error;
+      if (!setup.ok) {
+        w.report.outcome = RunOutcome::kFailed;
+        continue;
+      }
+      w.report.outcome = w.profiler->run();
+      w.sampled = true;
     }
-    w.report.outcome = w.profiler->run();
-    w.sampled = true;
   }
 
   // Phase 2 — data plane, one task per site. Rendering (frame synthesis,
   // capture serialization) and the transfer compression round-trip touch
   // only the site's own pending samples plus immutable workload profiles,
   // so sites fan out across the shared pool.
-  util::parallel_for(work.size(), [&](std::size_t i) {
-    SiteWork& w = work[i];
-    if (!w.sampled) return;
-    util::Rng site_rng = stream_root.split(sites[i].value);
-    w.profiler->render_pending(site_rng);
-    w.captures = w.profiler->gather();
-    w.report.samples = w.captures.size();
-    for (analysis::RawCapture& c : w.captures) {
-      w.report.pcap_bytes += c.pcap.size();
-      if (w.config.compress_transfers) {
-        // The download path of Fig. 7 step 4: compress at the site,
-        // transfer, decompress at the coordinator.
-        const std::vector<std::uint8_t> wire = util::compress(c.pcap);
-        w.report.transferred_bytes += wire.size();
-        auto restored = util::decompress(wire);
-        if (restored.has_value()) {
-          c.pcap = std::move(*restored);
+  {
+    OBS_SPAN("run_sites/render");
+    util::parallel_for(work.size(), [&](std::size_t i) {
+      SiteWork& w = work[i];
+      if (!w.sampled) return;
+      util::Rng site_rng = stream_root.split(sites[i].value);
+      w.profiler->render_pending(site_rng);
+      w.captures = w.profiler->gather();
+      w.report.samples = w.captures.size();
+      for (analysis::RawCapture& c : w.captures) {
+        w.report.pcap_bytes += c.pcap.size();
+        if (w.config.compress_transfers) {
+          // The download path of Fig. 7 step 4: compress at the site,
+          // transfer, decompress at the coordinator.
+          const std::vector<std::uint8_t> wire = util::compress(c.pcap);
+          w.report.transferred_bytes += wire.size();
+          auto restored = util::decompress(wire);
+          if (restored.has_value()) {
+            c.pcap = std::move(*restored);
+          }
+        } else {
+          w.report.transferred_bytes += c.pcap.size();
         }
-      } else {
-        w.report.transferred_bytes += c.pcap.size();
       }
-    }
-  });
+    });
+  }
 
   // Phase 3 — merge in site order; teardown mutates switch/allocator
   // state, so it is serial again.
+  OBS_SPAN("run_sites/merge");
   for (std::size_t i = 0; i < sites.size(); ++i) {
     const testbed::SiteId site = sites[i];
     SiteWork& w = work[i];
+    obs::registry()
+        .counter("patchwork_coordinator_site_runs_total",
+                 "Per-site profiling outcomes",
+                 {{"outcome", std::string(to_string(w.report.outcome))}})
+        .add();
     if (w.sampled) {
       if (mode == ProfileMode::kSingleExperiment && slice_ports != nullptr) {
         // Keep only captures of the slice's ports (access control:

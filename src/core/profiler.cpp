@@ -3,10 +3,57 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "pcap/pcap.hpp"
 #include "traffic/flowgen.hpp"
 
 namespace patchwork::core {
+
+namespace {
+
+// Control-plane events. Everything here runs on the serial coordinator
+// thread (Phase 1 of run_sites), so the counts are trivially deterministic.
+struct ProfilerMetrics {
+  obs::Counter& backoffs = obs::registry().counter(
+      "patchwork_profiler_backoffs_total",
+      "Allocation back-off steps taken during setup");
+  obs::Counter& port_cycles = obs::registry().counter(
+      "patchwork_profiler_port_cycles_total",
+      "Mirror-source changes applied by port cycling");
+  obs::Counter& congestion_detections = obs::registry().counter(
+      "patchwork_profiler_congestion_events_total",
+      "Congestion-detector verdicts and responses",
+      {{"event", "detected"}});
+  obs::Counter& congestion_mitigations = obs::registry().counter(
+      "patchwork_profiler_congestion_events_total",
+      "Congestion-detector verdicts and responses",
+      {{"event", "mitigated_tx_only"}});
+  obs::Counter& storage_admissions = obs::registry().counter(
+      "patchwork_profiler_storage_admissions_total",
+      "Samples admitted by the storage watchdog");
+  obs::Counter& storage_admitted_bytes = obs::registry().counter(
+      "patchwork_profiler_storage_admitted_bytes_total",
+      "Worst-case bytes charged against storage budgets");
+  obs::Counter& watchdog_storage = obs::registry().counter(
+      "patchwork_profiler_watchdog_terminations_total",
+      "Runs the watchdog cut short, by cause", {{"cause", "storage"}});
+  obs::Counter& watchdog_crash = obs::registry().counter(
+      "patchwork_profiler_watchdog_terminations_total",
+      "Runs the watchdog cut short, by cause", {{"cause", "crash"}});
+  obs::Counter& scale_ups = obs::registry().counter(
+      "patchwork_profiler_scale_events_total",
+      "Dynamic-scaling footprint changes", {{"direction", "up"}});
+  obs::Counter& scale_downs = obs::registry().counter(
+      "patchwork_profiler_scale_events_total",
+      "Dynamic-scaling footprint changes", {{"direction", "down"}});
+};
+
+ProfilerMetrics& profiler_metrics() {
+  static ProfilerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::string_view to_string(RunOutcome o) {
   switch (o) {
@@ -70,6 +117,7 @@ SetupResult SiteProfiler::setup() {
       if (want > 1 && backoffs < config_.max_backoffs) {
         ++backoffs;
         --want;
+        profiler_metrics().backoffs.add();
         log_.warn(env_.clock().now(), component_,
                   "setup: back-off to " + std::to_string(want) +
                       " instance(s): " + std::string(to_string(*err)));
@@ -197,6 +245,7 @@ void SiteProfiler::rescale() {
     add_slots_for_grant(extra_grants_.back(),
                         static_cast<int>(extra_grants_.size()) - 1);
     ++scale_ups_;
+    profiler_metrics().scale_ups.add();
     log_.info(env_.clock().now(), component_,
               "scale-up: now " + std::to_string(current_instances()) +
                   " instance(s) (pressure " +
@@ -214,6 +263,7 @@ void SiteProfiler::rescale() {
     allocator_.release(extra_grants_.back());
     extra_grants_.pop_back();
     ++scale_downs_;
+    profiler_metrics().scale_downs.add();
     log_.info(env_.clock().now(), component_,
               "scale-down (nice): now " +
                   std::to_string(current_instances()) +
@@ -269,6 +319,7 @@ void SiteProfiler::cycle_ports() {
       }
     }
     slot.source = chosen;
+    profiler_metrics().port_cycles.add();
     log_.info(env_.clock().now(), component_,
               "cycle: mirroring p" + std::to_string(chosen->value) +
                   " -> p" + std::to_string(slot.destination.value));
@@ -288,6 +339,7 @@ bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
       site_, *session,
       site.tor().port(slot.destination).line_rate_bps());
   if (verdict.likely_dropping) {
+    profiler_metrics().congestion_detections.add();
     log_.warn(env_.clock().now(), component_,
               "congestion: mirror on p" +
                   std::to_string(slot.source->value) +
@@ -303,6 +355,7 @@ bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
       verdict = detector.assess(
           site_, *session,
           site.tor().port(slot.destination).line_rate_bps());
+      profiler_metrics().congestion_mitigations.add();
       log_.info(env_.clock().now(), component_,
                 "congestion: mitigated by dropping p" +
                     std::to_string(slot.source->value) +
@@ -337,10 +390,13 @@ bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
 
   // Storage admission: the pcap is not serialized yet, so the watchdog
   // charges the format's upper bound for one sample.
-  storage_admitted_ +=
+  const std::uint64_t admitted_bytes =
       pcap::kGlobalHeaderSize +
       static_cast<std::uint64_t>(config_.plan.max_frames_per_sample) *
           (config_.capture.snaplen + pcap::kRecordHeaderSize);
+  storage_admitted_ += admitted_bytes;
+  profiler_metrics().storage_admissions.add();
+  profiler_metrics().storage_admitted_bytes.add(admitted_bytes);
 
   std::ostringstream msg;
   msg << "sample c" << cycle << "/r" << run << "/s" << sample
@@ -417,12 +473,14 @@ RunOutcome SiteProfiler::run() {
       // ran out of storage, or the since-fixed crash bug.
       if (env_.rng().chance(config_.crash_probability)) {
         crashed_ = true;
+        profiler_metrics().watchdog_crash.add();
         log_.error(env_.clock().now(), component_,
                    "watchdog: instance terminated unexpectedly");
         return RunOutcome::kIncomplete;
       }
       if (storage_budget() > 0 && storage_admitted_ > storage_budget()) {
         crashed_ = true;
+        profiler_metrics().watchdog_storage.add();
         log_.error(env_.clock().now(), component_,
                    "watchdog: storage budget exhausted (" +
                        std::to_string(storage_admitted_) +

@@ -1,0 +1,51 @@
+// Per-run manifest: a JSON artifact written next to the profile output that
+// makes a run reproducible-on-paper — seed, config, build identity, thread
+// count, per-stage timings, and the final metric values.
+//
+// Layout contract:
+//   {
+//     "patchwork_manifest_version": 1,
+//     "git_describe": "...",           // build identity (constant per build)
+//     "deterministic": { ... },        // byte-identical at any thread count
+//     "wall_clock": { ... }            // everything schedule-dependent
+//   }
+// The deterministic object holds the seed, the caller's config key/values,
+// notes, and every kDeterministic metric series (counters, max-fold gauges,
+// and sim-time histograms as count+sum). The wall_clock object holds the
+// thread count, hardware concurrency, and every kWallClock series. The
+// deterministic object is rendered by manifest_deterministic_section() and
+// embedded verbatim, so tests can compare that exact byte range across
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace patchwork::obs {
+
+struct ManifestInfo {
+  std::uint64_t seed = 0;
+  /// Config key/values, emitted in the order given (callers pass a fixed
+  /// order, keeping the render deterministic).
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::string> notes;
+};
+
+/// The "deterministic" JSON object: seed, config, notes, and every
+/// kDeterministic series currently in the process registry.
+std::string manifest_deterministic_section(const ManifestInfo& info);
+
+/// The full manifest JSON (embeds manifest_deterministic_section verbatim).
+std::string render_manifest(const ManifestInfo& info);
+
+/// Write render_manifest() to `path`. Returns false on I/O failure.
+bool write_manifest(const std::string& path, const ManifestInfo& info);
+
+/// The git-describe string baked in at configure time ("unknown" when the
+/// build saw no git metadata).
+std::string_view build_git_describe();
+
+}  // namespace patchwork::obs

@@ -1,0 +1,37 @@
+#include "obs/span.hpp"
+
+namespace patchwork::obs {
+
+StageSpan::StageSpan(std::string_view stage, const sim::Clock* clock)
+    : runs_(registry().counter("patchwork_stage_runs_total",
+                               "Completed stage span scopes",
+                               {{"stage", std::string(stage)}},
+                               Determinism::kDeterministic)),
+      wall_ns_(registry().histogram("patchwork_stage_wall_ns",
+                                    "Wall-clock stage duration (ns)",
+                                    {{"stage", std::string(stage)}},
+                                    Determinism::kWallClock)),
+      clock_(clock),
+      wall_start_(std::chrono::steady_clock::now()) {
+  if (clock_ != nullptr) {
+    sim_ns_ = &registry().histogram("patchwork_stage_sim_ns",
+                                    "Simulated stage duration (ns)",
+                                    {{"stage", std::string(stage)}},
+                                    Determinism::kDeterministic);
+    sim_start_ = clock_->now();
+  }
+}
+
+StageSpan::~StageSpan() {
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_start_)
+                           .count();
+  wall_ns_.observe(static_cast<std::uint64_t>(wall_ns));
+  if (sim_ns_ != nullptr && clock_ != nullptr) {
+    const util::Nanos elapsed = clock_->now() - sim_start_;
+    sim_ns_->observe(elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
+  }
+  runs_.add();
+}
+
+}  // namespace patchwork::obs

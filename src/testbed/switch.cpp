@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace patchwork::testbed {
+
+namespace {
+
+// The silent failure §6.2.2 is about: a mirror source faster than its
+// destination port drops the overflow inside the switch with no host-side
+// symptom. Surface the estimate the simulation already computes.
+struct MirrorMetrics {
+  obs::Counter& dropped_frames = obs::registry().counter(
+      "patchwork_mirror_dropped_frames_total",
+      "Frames the switch dropped on oversubscribed mirror destinations");
+  obs::Counter& dropped_bytes = obs::registry().counter(
+      "patchwork_mirror_dropped_bytes_total",
+      "Bytes the switch dropped on oversubscribed mirror destinations");
+  obs::Counter& oversubscribed_intervals = obs::registry().counter(
+      "patchwork_mirror_oversubscribed_intervals_total",
+      "Mirror-session advance intervals with offered rate above the "
+      "destination line rate");
+};
+
+MirrorMetrics& mirror_metrics() {
+  static MirrorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<PortId> ToRSwitch::ports_of_kind(PortKind kind) const {
   std::vector<PortId> out;
@@ -126,8 +153,17 @@ void ToRSwitch::advance(util::Nanos dt) {
     if (mfs > 0.0) {
       dest.mutable_counters().tx_frames +=
           static_cast<std::uint64_t>(delivered_bytes / mfs);
-      dest.mutable_counters().mirror_drops +=
+      const auto dropped_frames =
           static_cast<std::uint64_t>(dropped_bytes / mfs);
+      dest.mutable_counters().mirror_drops += dropped_frames;
+      if (dropped_frames > 0) {
+        mirror_metrics().dropped_frames.add(dropped_frames);
+      }
+    }
+    if (dropped_bytes > 0.0) {
+      mirror_metrics().dropped_bytes.add(
+          static_cast<std::uint64_t>(dropped_bytes));
+      mirror_metrics().oversubscribed_intervals.add();
     }
   }
 }

@@ -1,9 +1,64 @@
 #include "util/logging.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
 #include <sstream>
 
 namespace patchwork::util {
+
+namespace {
+
+std::atomic<std::uint64_t> g_dropped_total{0};
+
+// Live-sink state. Loggers live on many threads (one per site in the
+// parallel render path), so the sink is guarded by one global mutex — the
+// live mirror is an operator convenience, not a hot path.
+struct LiveSinkState {
+  std::mutex mutex;
+  bool resolved = false;  ///< Env consulted / set_live_sink() called.
+  std::optional<LiveSinkSpec> spec;
+  std::ofstream file;     ///< Open iff spec && !spec->path.empty().
+};
+
+LiveSinkState& live_sink_state() {
+  static LiveSinkState* state = new LiveSinkState();  // Leaked: see obs.
+  return *state;
+}
+
+void open_sink_file_locked(LiveSinkState& state) {
+  state.file = std::ofstream();
+  if (state.spec && !state.spec->path.empty()) {
+    state.file.open(state.spec->path, std::ios::app);
+    if (!state.file) state.spec->path.clear();  // Fall back to stderr.
+  }
+}
+
+void live_emit(Nanos time, LogLevel level, std::string_view component,
+               std::string_view message) {
+  LiveSinkState& state = live_sink_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.resolved) {
+    state.resolved = true;
+    if (const char* env = std::getenv("PATCHWORK_LOG")) {
+      state.spec = parse_live_sink_spec(env);
+      open_sink_file_locked(state);
+    }
+  }
+  if (!state.spec || level < state.spec->min_level) return;
+  std::ostream& out = state.spec->path.empty()
+                          ? static_cast<std::ostream&>(std::cerr)
+                          : state.file;
+  out << "t=" << to_seconds(time) << "s " << to_string(level) << " ["
+      << component << "] " << message << '\n';
+  out.flush();
+}
+
+}  // namespace
 
 std::string_view to_string(LogLevel level) {
   switch (level) {
@@ -15,11 +70,61 @@ std::string_view to_string(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+std::optional<LiveSinkSpec> parse_live_sink_spec(std::string_view spec) {
+  LiveSinkSpec out;
+  const std::size_t colon = spec.find(':');
+  const std::string_view level_text =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  const std::optional<LogLevel> level = parse_log_level(level_text);
+  if (!level) return std::nullopt;
+  out.min_level = *level;
+  if (colon != std::string_view::npos) {
+    out.path = std::string(spec.substr(colon + 1));
+  }
+  return out;
+}
+
+void set_live_sink(std::optional<LiveSinkSpec> spec) {
+  LiveSinkState& state = live_sink_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.resolved = true;
+  state.spec = std::move(spec);
+  open_sink_file_locked(state);
+}
+
+std::uint64_t logger_dropped_total() {
+  return g_dropped_total.load(std::memory_order_relaxed);
+}
+
 void Logger::log(Nanos time, LogLevel level, std::string_view component,
                  std::string_view message) {
   if (level < min_level_) return;
+  live_emit(time, level, component, message);
   records_.push_back(LogRecord{time, level, std::string(component),
                                std::string(message)});
+  if (capacity_ != 0 && records_.size() > capacity_) {
+    // Evict oldest-first. The eviction count depends only on this logger's
+    // own record sequence, so the process-wide total stays deterministic.
+    const std::size_t excess = records_.size() - capacity_;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_ += excess;
+    g_dropped_total.fetch_add(excess, std::memory_order_relaxed);
+  }
 }
 
 std::vector<LogRecord> Logger::at_least(LogLevel level) const {

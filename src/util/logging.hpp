@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,30 @@ namespace patchwork::util {
 enum class LogLevel : std::uint8_t { kDebug, kInfo, kWarn, kError };
 
 std::string_view to_string(LogLevel level);
+
+/// Parse "debug"/"info"/"warn"/"error" (case-insensitive).
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// A live mirror for log records: everything at or above min_level is also
+/// written, as it happens, to stderr (path empty) or appended to a file.
+/// Configured process-wide from the PATCHWORK_LOG=level[:path] environment
+/// knob, or explicitly via set_live_sink().
+struct LiveSinkSpec {
+  LogLevel min_level = LogLevel::kInfo;
+  std::string path;  ///< Empty = stderr.
+};
+
+/// Parse a PATCHWORK_LOG value ("warn", "debug:/tmp/run.log", ...).
+/// Returns nullopt on an unrecognized level.
+std::optional<LiveSinkSpec> parse_live_sink_spec(std::string_view spec);
+
+/// Override the live sink (tests, CLIs). nullopt disables it and restores
+/// nothing — the env variable is only consulted once at first log.
+void set_live_sink(std::optional<LiveSinkSpec> spec);
+
+/// Total records evicted by bounded-buffer loggers, process-wide. Read by
+/// the obs registry as patchwork_log_dropped_records_total.
+std::uint64_t logger_dropped_total();
 
 struct LogRecord {
   Nanos time = 0;           ///< Simulated time of the event.
@@ -69,8 +94,20 @@ class Logger {
 
   void clear() { records_.clear(); }
 
+  /// Bound the in-memory buffer: once more than `cap` records are held the
+  /// oldest is evicted (and counted in dropped()). 0 restores the unbounded
+  /// default. Long-lived instances use this so a chatty run cannot grow the
+  /// log without limit before post-run retrieval.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records evicted by the bounded-buffer mode since construction.
+  std::uint64_t dropped() const { return dropped_; }
+
  private:
   LogLevel min_level_ = LogLevel::kDebug;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded.
+  std::uint64_t dropped_ = 0;
   std::vector<LogRecord> records_;
 };
 

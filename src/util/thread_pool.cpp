@@ -56,19 +56,62 @@ void ThreadPool::ensure_size(std::size_t threads) {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> future = wrapped.get_future();
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!workers_.empty()) {
-      queue_.push_back(std::move(wrapped));
+      queue_.push_back(
+          QueuedTask{std::move(wrapped), std::chrono::steady_clock::now()});
+      // Sample the high-water mark after the increment: any task that had
+      // to queue behind a worker leaves a mark >= 1.
+      const std::uint64_t depth =
+          queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::uint64_t seen =
+          queue_depth_high_water_.load(std::memory_order_relaxed);
+      while (depth > seen && !queue_depth_high_water_.compare_exchange_weak(
+                                 seen, depth, std::memory_order_relaxed)) {
+      }
       cv_.notify_one();
       return future;
     }
   }
-  wrapped();  // Serial mode: run inline; the future still carries throws.
+  run_task(wrapped);  // Serial mode: run inline; the future carries throws.
   return future;
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.queue_depth_high_water =
+      queue_depth_high_water_.load(std::memory_order_relaxed);
+  s.task_wait_ns_total = task_wait_ns_total_.load(std::memory_order_relaxed);
+  s.task_run_ns_total = task_run_ns_total_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  tasks_submitted_.store(0, std::memory_order_relaxed);
+  tasks_executed_.store(0, std::memory_order_relaxed);
+  // queue_depth_ is live bookkeeping, not a counter: leave it alone.
+  queue_depth_high_water_.store(0, std::memory_order_relaxed);
+  task_wait_ns_total_.store(0, std::memory_order_relaxed);
+  task_run_ns_total_.store(0, std::memory_order_relaxed);
+}
+
+void ThreadPool::run_task(std::packaged_task<void()>& task) {
+  const auto start = std::chrono::steady_clock::now();
+  task();  // packaged_task stores any exception in its future.
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  task_run_ns_total_.fetch_add(static_cast<std::uint64_t>(ns),
+                               std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
 
 void ThreadPool::worker_loop() {
   t_on_worker = true;
@@ -78,10 +121,18 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained.
-      task = std::move(queue_.front());
+      QueuedTask queued = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      const auto wait_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - queued.enqueued)
+              .count();
+      task_wait_ns_total_.fetch_add(static_cast<std::uint64_t>(wait_ns),
+                                    std::memory_order_relaxed);
+      task = std::move(queued.task);
     }
-    task();  // packaged_task stores any exception in its future.
+    run_task(task);
   }
 }
 

@@ -20,8 +20,11 @@
 // tests and special cases.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -31,6 +34,19 @@
 #include <vector>
 
 namespace patchwork::util {
+
+/// Scheduling telemetry folded from a pool's internal counters. All values
+/// are schedule-dependent (wall-clock class in obs terms) except that
+/// queue_depth_high_water is guaranteed >= 1 whenever any task was queued
+/// behind a worker — it is sampled at enqueue time, after the increment.
+struct PoolStats {
+  std::uint64_t tasks_submitted = 0;  ///< submit() calls (inline ones too).
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t queue_depth = 0;      ///< Currently enqueued, not yet started.
+  std::uint64_t queue_depth_high_water = 0;
+  std::uint64_t task_wait_ns_total = 0;  ///< Enqueue -> dequeue, summed.
+  std::uint64_t task_run_ns_total = 0;   ///< Task body execution, summed.
+};
 
 class ThreadPool {
  public:
@@ -58,14 +74,36 @@ class ThreadPool {
   /// True when called from inside one of this pool's workers.
   static bool on_worker_thread();
 
+  /// Snapshot of the scheduling counters (relaxed reads; exact once the
+  /// pool is quiescent).
+  PoolStats stats() const;
+
+  /// Zero every stats counter (including the high-water mark). Telemetry
+  /// resets between runs go through here because max-folded marks cannot be
+  /// re-baselined by subtraction.
+  void reset_stats();
+
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void run_task(std::packaged_task<void()>& task);
   void worker_loop();
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> queue_depth_high_water_{0};
+  std::atomic<std::uint64_t> task_wait_ns_total_{0};
+  std::atomic<std::uint64_t> task_run_ns_total_{0};
 };
 
 /// The process-lifetime pool the parallel primitives fan out on. Created

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace patchwork::util {
 namespace {
 
@@ -64,6 +68,78 @@ TEST(Logger, RenderContainsLevelAndComponent) {
   EXPECT_NE(text.find("ERROR"), std::string::npos);
   EXPECT_NE(text.find("dpdk-writer"), std::string::npos);
   EXPECT_NE(text.find("ring overflow"), std::string::npos);
+}
+
+TEST(Logger, BoundedBufferEvictsOldestAndCountsDrops) {
+  const std::uint64_t before = logger_dropped_total();
+  Logger log;
+  log.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    log.info(i, "x", "msg" + std::to_string(i));
+  }
+  ASSERT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.records()[0].message, "msg2");  // msg0/msg1 evicted.
+  EXPECT_EQ(log.records()[2].message, "msg4");
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(logger_dropped_total() - before, 2u);
+}
+
+TEST(Logger, ZeroCapacityMeansUnbounded) {
+  Logger log;
+  log.set_capacity(0);
+  for (int i = 0; i < 100; ++i) log.info(i, "x", "m");
+  EXPECT_EQ(log.records().size(), 100u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(LogLevelParse, NamesAndCase) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
+TEST(LiveSinkSpecParse, LevelOnlyMeansStderr) {
+  const auto spec = parse_live_sink_spec("warn");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->min_level, LogLevel::kWarn);
+  EXPECT_TRUE(spec->path.empty());
+}
+
+TEST(LiveSinkSpecParse, LevelColonPath) {
+  const auto spec = parse_live_sink_spec("debug:/tmp/run.log");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->min_level, LogLevel::kDebug);
+  EXPECT_EQ(spec->path, "/tmp/run.log");
+}
+
+TEST(LiveSinkSpecParse, BadLevelRejected) {
+  EXPECT_FALSE(parse_live_sink_spec("chatty").has_value());
+  EXPECT_FALSE(parse_live_sink_spec("chatty:/tmp/x").has_value());
+}
+
+TEST(LiveSink, MirrorsRecordsToFileAboveThreshold) {
+  const std::string path = ::testing::TempDir() + "/patchwork_live_sink.log";
+  std::remove(path.c_str());
+  set_live_sink(LiveSinkSpec{LogLevel::kWarn, path});
+
+  Logger log;
+  log.info(1 * kSecond, "quiet", "below threshold");
+  log.warn(2 * kSecond, "profiler/S1", "setup: back-off to 2 instance(s)");
+  set_live_sink(std::nullopt);  // Disable before reading.
+  log.error(3 * kSecond, "x", "not mirrored after disable");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_EQ(content.find("below threshold"), std::string::npos);
+  EXPECT_NE(content.find("back-off to 2"), std::string::npos);
+  EXPECT_NE(content.find("WARN"), std::string::npos);
+  EXPECT_EQ(content.find("not mirrored"), std::string::npos);
 }
 
 }  // namespace
