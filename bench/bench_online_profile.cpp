@@ -2,11 +2,16 @@
 // wide federation, 1 worker against N workers.
 //
 // The control plane (allocation, port selection, mirror sessions) is serial
-// either way; what fans out is the per-site data plane — traffic window
+// either way; what fans out is the per-sample data plane — traffic window
 // synthesis, the capture path, pcap serialization, and the transfer
-// compression round-trip. Each timed run rebuilds a same-seed world so
-// every configuration profiles an identical federation, and the reports
-// are cross-checked for byte-level agreement.
+// compression round-trip, one pool task per (site, sample). Each timed run
+// rebuilds a same-seed world so every configuration profiles an identical
+// federation, and the reports are cross-checked for byte-level agreement.
+//
+// Two scenarios: "wide" spreads samples across 10 sites; "skewed" squeezes
+// all but one dedicated NIC out of every site except one, so a single hot
+// site holds the bulk of the samples — the workload where per-site task
+// granularity used to serialize behind the slowest site.
 //
 // Prints a JSON summary suitable for recording as BENCH_online_profile.json.
 // On hosts with fewer than 4 hardware threads the speedup is reported but
@@ -48,19 +53,41 @@ testbed::FederationSpec wide_spec() {
   return spec;
 }
 
+/// One scenario = a world recipe plus a profiler config; time_run rebuilds
+/// the same-seed world per rep so repetitions are identical work.
+struct Scenario {
+  std::uint64_t seed = 77;
+  testbed::FederationSpec spec;
+  core::ProfilerConfig config;
+  /// Squeeze every site except site 0 down to one dedicated NIC, leaving
+  /// one hot site with the full complement (the skewed workload).
+  bool squeeze_to_hot_site = false;
+};
+
+void squeeze_cold_sites(bench::BenchWorld& world) {
+  for (testbed::SiteId id : world.fed.site_ids()) {
+    if (id.value == 0) continue;
+    testbed::Site& site = world.fed.site(id);
+    auto nics = site.available_nics(testbed::NicKind::kDedicatedConnectX);
+    for (std::size_t i = 0; i + 1 < nics.size(); ++i) {
+      site.mutable_nic(nics[i]).allocated_to = testbed::SliceId{999};
+    }
+  }
+}
+
 struct RunResult {
   double ms = 0.0;
   core::ProfileRun run;
 };
 
-/// Best-of-kReps wall time for one full all-experiment profile. Each rep
-/// rebuilds the same-seed world so repetitions are identical work.
-RunResult time_run() {
+/// Best-of-kReps wall time for one full all-experiment profile.
+RunResult time_run(const Scenario& scenario) {
   RunResult result;
   for (int rep = 0; rep < kReps; ++rep) {
-    bench::BenchWorld world(/*seed=*/77, wide_spec());
+    bench::BenchWorld world(scenario.seed, scenario.spec);
+    if (scenario.squeeze_to_hot_site) squeeze_cold_sites(world);
     world.warm_up_telemetry();
-    core::Coordinator coordinator(world.env, bench_config());
+    core::Coordinator coordinator(world.env, scenario.config);
     const auto t0 = std::chrono::steady_clock::now();
     core::ProfileRun run = coordinator.run_all_experiment();
     const auto t1 = std::chrono::steady_clock::now();
@@ -89,60 +116,106 @@ bool runs_identical(const core::ProfileRun& a, const core::ProfileRun& b) {
   return true;
 }
 
+/// Serial reference + the 2/4/8-worker sweep for one scenario. Prints the
+/// console rows and fills in the JSON rows / speedup summary.
+struct ScenarioResult {
+  double serial_ms = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t pcap_bytes = 0;
+  double hot_fraction = 0.0;  ///< Largest site's share of samples.
+  std::string rows;           ///< JSON rows, one per worker count.
+  bool all_identical = true;
+  double speedup_at_4 = 0.0;
+  double best_speedup = 0.0;
+};
+
+ScenarioResult sweep(const std::string& name, const Scenario& scenario) {
+  ScenarioResult out;
+  std::cout << "\n[" << name << "]\n";
+
+  util::set_thread_count(1);
+  const RunResult serial = time_run(scenario);
+  out.serial_ms = serial.ms;
+  std::uint64_t hot = 0;
+  for (const core::SiteRunReport& r : serial.run.reports) {
+    out.pcap_bytes += r.pcap_bytes;
+    out.samples += r.samples;
+    if (r.samples > hot) hot = r.samples;
+  }
+  if (out.samples > 0) {
+    out.hot_fraction =
+        static_cast<double>(hot) / static_cast<double>(out.samples);
+  }
+  std::cout << "workers=1:  " << serial.ms << " ms  (" << out.samples
+            << " samples, " << out.pcap_bytes << " pcap bytes, hottest site "
+            << hot << " samples)\n";
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    util::set_thread_count(threads);
+    const RunResult parallel = time_run(scenario);
+    const bool identical = runs_identical(serial.run, parallel.run);
+    out.all_identical = out.all_identical && identical;
+    const double speedup = serial.ms / parallel.ms;
+    if (threads == 4) out.speedup_at_4 = speedup;
+    if (speedup > out.best_speedup) out.best_speedup = speedup;
+    std::cout << "workers=" << threads << ":  " << parallel.ms
+              << " ms  (speedup " << speedup << "x, output "
+              << (identical ? "identical" : "DIFFERS") << ")\n";
+    if (!out.rows.empty()) out.rows += ",\n";
+    out.rows += "    {\"workers\": " + std::to_string(threads) +
+                ", \"ms\": " + std::to_string(parallel.ms) +
+                ", \"speedup\": " + std::to_string(speedup) +
+                ", \"identical\": " + (identical ? "true" : "false") + "}";
+  }
+  util::set_thread_count(std::nullopt);
+  return out;
+}
+
 }  // namespace
 
 int main() {
   bench::banner("Parallel online profiling: 1 worker vs. N",
-                "Section 6.2.2 sampling phase, per-site data-plane fan-out");
+                "Section 6.2.2 sampling phase, per-sample data-plane fan-out");
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "profile: " << kSites << " sites; host reports " << hw
-            << " hardware thread(s)\n\n";
+            << " hardware thread(s)\n";
 
-  util::set_thread_count(1);
-  const RunResult serial = time_run();
-  std::uint64_t total_pcap = 0, total_samples = 0;
-  for (const core::SiteRunReport& r : serial.run.reports) {
-    total_pcap += r.pcap_bytes;
-    total_samples += r.samples;
-  }
-  std::cout << "workers=1:  " << serial.ms << " ms  (" << total_samples
-            << " samples, " << total_pcap << " pcap bytes)\n";
+  Scenario wide;
+  wide.spec = wide_spec();
+  wide.config = bench_config();
+  const ScenarioResult wide_result = sweep("wide: 10 balanced sites", wide);
 
-  std::vector<std::size_t> counts{2, 4, 8};
-  std::string rows;
-  bool all_identical = true;
-  double speedup_at_4 = 0.0;
-  double best_speedup = 0.0;
-  for (std::size_t threads : counts) {
-    util::set_thread_count(threads);
-    const RunResult parallel = time_run();
-    const bool identical = runs_identical(serial.run, parallel.run);
-    all_identical = all_identical && identical;
-    const double speedup = serial.ms / parallel.ms;
-    if (threads == 4) speedup_at_4 = speedup;
-    if (speedup > best_speedup) best_speedup = speedup;
-    std::cout << "workers=" << threads << ":  " << parallel.ms
-              << " ms  (speedup " << speedup << "x, output "
-              << (identical ? "identical" : "DIFFERS") << ")\n";
-    if (!rows.empty()) rows += ",\n";
-    rows += "    {\"workers\": " + std::to_string(threads) +
-            ", \"ms\": " + std::to_string(parallel.ms) +
-            ", \"speedup\": " + std::to_string(speedup) +
-            ", \"identical\": " + (identical ? "true" : "false") + "}";
-  }
-  util::set_thread_count(std::nullopt);
+  // The skewed workload: three sites, six dedicated NICs each, but every
+  // site except site 0 loses all but one NIC to a foreign slice. Site 0
+  // then renders ~6x the samples of each cold site, so per-site task
+  // granularity would leave the pool idle behind it.
+  Scenario skewed;
+  skewed.spec = wide_spec();
+  skewed.spec.sites = 3;
+  skewed.spec.min_dedicated_nics = 6;
+  skewed.spec.max_dedicated_nics = 6;
+  skewed.spec.min_downlinks = 40;
+  skewed.spec.max_downlinks = 40;
+  skewed.config = bench_config();
+  skewed.config.desired_instances = 0;  // One instance per free NIC.
+  skewed.squeeze_to_hot_site = true;
+  const ScenarioResult skewed_result =
+      sweep("skewed: one hot site", skewed);
 
   // The acceptance bar — >= 1.5x at 4 workers — only applies where the
   // host can actually run 4 workers.
   const bool judged = hw >= 4;
-  const bool speedup_ok = !judged || speedup_at_4 >= 1.5;
+  const bool all_identical =
+      wide_result.all_identical && skewed_result.all_identical;
+  const bool speedup_ok = !judged || wide_result.speedup_at_4 >= 1.5;
   std::cout << "\n"
             << (all_identical ? "PASS: all outputs byte-identical\n"
                               : "FAIL: parallel output diverged\n");
   if (judged) {
     std::cout << (speedup_ok ? "PASS" : "FAIL") << ": speedup at 4 workers = "
-              << speedup_at_4 << "x (bar: 1.5x)\n";
+              << wide_result.speedup_at_4 << "x (bar: 1.5x); skewed scenario "
+              << skewed_result.speedup_at_4 << "x\n";
   } else {
     std::cout << "SKIP: speedup bar not judged (" << hw
               << " hardware thread(s) < 4)\n";
@@ -158,14 +231,23 @@ int main() {
             << "  \"bench\": \"online_profile\",\n"
             << "  \"note\": \"" << note << "\",\n"
             << "  \"sites\": " << kSites << ",\n"
-            << "  \"samples\": " << total_samples << ",\n"
-            << "  \"pcap_bytes\": " << total_pcap << ",\n"
+            << "  \"samples\": " << wide_result.samples << ",\n"
+            << "  \"pcap_bytes\": " << wide_result.pcap_bytes << ",\n"
             << "  \"hardware_threads\": " << hw << ",\n"
-            << "  \"serial_ms\": " << serial.ms << ",\n"
+            << "  \"serial_ms\": " << wide_result.serial_ms << ",\n"
             << "  \"runs\": [\n"
-            << rows << "\n  ],\n"
-            << "  \"best_speedup\": " << best_speedup << ",\n"
-            << "  \"speedup_at_4\": " << speedup_at_4 << ",\n"
+            << wide_result.rows << "\n  ],\n"
+            << "  \"skewed\": {\n"
+            << "    \"sites\": 3,\n"
+            << "    \"samples\": " << skewed_result.samples << ",\n"
+            << "    \"hot_fraction\": " << skewed_result.hot_fraction << ",\n"
+            << "    \"serial_ms\": " << skewed_result.serial_ms << ",\n"
+            << "    \"runs\": [\n"
+            << skewed_result.rows << "\n    ],\n"
+            << "    \"best_speedup\": " << skewed_result.best_speedup << "\n"
+            << "  },\n"
+            << "  \"best_speedup\": " << wide_result.best_speedup << ",\n"
+            << "  \"speedup_at_4\": " << wide_result.speedup_at_4 << ",\n"
             << "  \"speedup_judged\": " << (judged ? "true" : "false") << ",\n"
             << "  \"outputs_identical\": " << (all_identical ? "true" : "false")
             << "\n}\n";

@@ -31,9 +31,10 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" --target patchwork_tests
   # The concurrency surface: shared pool stress, parallel primitives,
-  # every determinism suite that fans out across the pool, and the
-  # sharded metrics registry (concurrent add/observe/registration).
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:ObsRegistry.*:ObsDeterminism.*'
+  # every determinism suite that fans out across the pool (including the
+  # per-(site, sample) render split), and the sharded metrics registry
+  # (concurrent add/observe/registration).
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "asan" ]]; then

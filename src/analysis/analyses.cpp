@@ -269,7 +269,11 @@ FlowDistributionResult analyze_flow_distribution(
     sizes.push_back(static_cast<double>(agg.wire_bytes));
   }
   if (!sizes.empty()) {
-    result.median_flow_bytes = util::percentile(sizes, 50.0);
+    const double ps[] = {50.0, 95.0, 99.0};
+    const std::vector<double> qs = util::percentiles(sizes, ps);
+    result.median_flow_bytes = qs[0];
+    result.p95_flow_bytes = qs[1];
+    result.p99_flow_bytes = qs[2];
   }
   return result;
 }

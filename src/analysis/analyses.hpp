@@ -112,7 +112,11 @@ struct FlowDistributionResult {
   util::Histogram duration_histogram =
       util::Histogram({0, 1, 5, 20, 60, 300, 1800, 7200, 86400});
   std::uint64_t largest_flow_bytes = 0;
+  // Size quantiles, computed with one sort via util::percentiles (the
+  // flow-size tail is what Section 4 calls heavy; p95/p99 locate it).
   double median_flow_bytes = 0.0;
+  double p95_flow_bytes = 0.0;
+  double p99_flow_bytes = 0.0;
 };
 
 FlowDistributionResult analyze_flow_distribution(

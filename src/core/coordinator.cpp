@@ -106,35 +106,76 @@ ProfileRun Coordinator::run_sites(
     }
   }
 
-  // Phase 2 — data plane, one task per site. Rendering (frame synthesis,
-  // capture serialization) and the transfer compression round-trip touch
-  // only the site's own pending samples plus immutable workload profiles,
-  // so sites fan out across the shared pool.
+  // Phase 2 — data plane, one task per (site, sample). Rendering (frame
+  // synthesis, capture serialization) and the transfer compression
+  // round-trip touch only the sample's own snapshot plus immutable
+  // workload profiles, so every pending sample across every site fans out
+  // across the shared pool as its own subtask. A testbed-wide profile
+  // dominated by one hot site therefore still fills the pool: wall-clock
+  // scales with total samples, not with the slowest site.
   {
     OBS_SPAN("run_sites/render");
-    util::parallel_for(work.size(), [&](std::size_t i) {
-      SiteWork& w = work[i];
-      if (!w.sampled) return;
-      util::Rng site_rng = stream_root.split(sites[i].value);
-      w.profiler->render_pending(site_rng);
-      w.captures = w.profiler->gather();
-      w.report.samples = w.captures.size();
-      for (analysis::RawCapture& c : w.captures) {
-        w.report.pcap_bytes += c.pcap.size();
-        if (w.config.compress_transfers) {
-          // The download path of Fig. 7 step 4: compress at the site,
-          // transfer, decompress at the coordinator.
-          const std::vector<std::uint8_t> wire = util::compress(c.pcap);
-          w.report.transferred_bytes += wire.size();
-          auto restored = util::decompress(wire);
-          if (restored.has_value()) {
-            c.pcap = std::move(*restored);
-          }
-        } else {
-          w.report.transferred_bytes += c.pcap.size();
+
+    // Flatten the work-list. Sample k of site i renders from
+    // Rng(run_seed).split(site).split(k), so its bytes depend only on
+    // (run seed, site, k) — independent of scheduling.
+    struct RenderTask {
+      std::size_t site_index = 0;
+      std::size_t sample = 0;
+    };
+    struct RenderedSample {
+      analysis::RawCapture capture;
+      std::uint64_t pcap_bytes = 0;
+      std::uint64_t transferred_bytes = 0;
+    };
+    std::vector<RenderTask> tasks;
+    std::vector<std::vector<RenderedSample>> rendered(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (!work[i].sampled) continue;
+      const std::size_t n = work[i].profiler->pending_sample_count();
+      rendered[i].resize(n);
+      for (std::size_t k = 0; k < n; ++k) tasks.push_back({i, k});
+    }
+
+    util::parallel_for(tasks.size(), [&](std::size_t t) {
+      const RenderTask& task = tasks[t];
+      SiteWork& w = work[task.site_index];
+      RenderedSample& slot = rendered[task.site_index][task.sample];
+      util::Rng rng =
+          stream_root.split(sites[task.site_index].value, task.sample);
+      slot.capture = w.profiler->render_sample(task.sample, rng);
+      slot.pcap_bytes = slot.capture.pcap.size();
+      if (w.config.compress_transfers) {
+        // The download path of Fig. 7 step 4: compress at the site,
+        // transfer, decompress at the coordinator.
+        const std::vector<std::uint8_t> wire =
+            util::compress(slot.capture.pcap);
+        slot.transferred_bytes = wire.size();
+        auto restored = util::decompress(wire);
+        if (restored.has_value()) {
+          slot.capture.pcap = std::move(*restored);
         }
+      } else {
+        slot.transferred_bytes = slot.capture.pcap.size();
       }
     });
+
+    // Hand each site its captures back in sample order; the per-sample
+    // byte accounting sums in the same order the per-site loop used to.
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      SiteWork& w = work[i];
+      if (!w.sampled) continue;
+      std::vector<analysis::RawCapture> captures;
+      captures.reserve(rendered[i].size());
+      for (RenderedSample& r : rendered[i]) {
+        w.report.pcap_bytes += r.pcap_bytes;
+        w.report.transferred_bytes += r.transferred_bytes;
+        captures.push_back(std::move(r.capture));
+      }
+      w.profiler->commit_rendered(std::move(captures));
+      w.captures = w.profiler->gather();
+      w.report.samples = w.captures.size();
+    }
   }
 
   // Phase 3 — merge in site order; teardown mutates switch/allocator

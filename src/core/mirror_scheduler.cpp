@@ -22,7 +22,7 @@ MirrorRequestId MirrorScheduler::submit(MirrorRequest request) {
   return id;
 }
 
-bool MirrorScheduler::cancel(MirrorRequestId id) {
+bool MirrorScheduler::cancel(MirrorRequestId id, util::Nanos now) {
   const auto it = std::find_if(
       pending_.begin(), pending_.end(),
       [id](const Pending& p) { return p.id == id; });
@@ -34,6 +34,10 @@ bool MirrorScheduler::cancel(MirrorRequestId id) {
       active_.begin(), active_.end(),
       [id](const MirrorLease& l) { return l.request == id; });
   if (lease != active_.end()) {
+    // Credit the elapsed quantum, clamped to the lease window: the user
+    // held the port for that long even though the lease never expired.
+    const util::Nanos end = std::clamp(now, lease->started, lease->expires);
+    served_[lease->user] += end - lease->started;
     tor_.remove_mirror(lease->source);
     active_remaining_.erase(id);
     active_.erase(lease);

@@ -60,8 +60,12 @@ class MirrorScheduler {
   /// destination slot and its source port are free.
   MirrorRequestId submit(MirrorRequest request);
 
-  /// Cancel a pending request or revoke an active lease.
-  bool cancel(MirrorRequestId id);
+  /// Cancel a pending request or revoke an active lease as of `now`.
+  /// Revoking an active lease credits the user's service time with the
+  /// quantum consumed so far — otherwise a cancel-and-resubmit loop would
+  /// accrue zero service and permanently win the least-served arbitration,
+  /// starving every other user.
+  bool cancel(MirrorRequestId id, util::Nanos now);
 
   /// Advance to `now`: expire leases whose quantum ended (requeueing
   /// unfinished requests with their remaining time) and install new

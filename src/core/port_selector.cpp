@@ -30,8 +30,25 @@ bool PortSelector::sampled_recently(testbed::PortId port,
   return false;
 }
 
+std::uint32_t PortSelector::max_lookback() const {
+  // The only consumer of history_ is sampled_recently(), whose largest
+  // lookback is busiest_bias's n (floored at 2 like busiest_bias itself).
+  return std::max<std::uint32_t>(2, plan_->busiest_bias_n);
+}
+
 void PortSelector::record(testbed::PortId port) {
   history_.emplace_back(port, cycle_);
+  // Prune entries that have aged out of every lookback window. Entries are
+  // appended in cycle order, so the stale prefix is contiguous; without
+  // this, a 13-month deployment grows history_ by one entry per cycle and
+  // sampled_recently() degrades to an O(lifetime) scan.
+  const std::uint32_t lookback = max_lookback();
+  const std::uint32_t floor = cycle_ >= lookback ? cycle_ - lookback : 0;
+  auto first_live = history_.begin();
+  while (first_live != history_.end() && first_live->second < floor) {
+    ++first_live;
+  }
+  history_.erase(history_.begin(), first_live);
 }
 
 std::optional<testbed::PortId> PortSelector::busiest_bias(

@@ -42,7 +42,9 @@ class PortSelector {
 
   std::uint32_t cycles_run() const { return cycle_; }
 
-  /// Cycles since each port was last sampled (for fairness analyses).
+  /// Recent (port, cycle) picks, pruned to the largest lookback window any
+  /// policy consults — bounded regardless of run length, so fairness
+  /// analyses see only the live window.
   const std::vector<std::pair<testbed::PortId, std::uint32_t>>&
   sample_history() const {
     return history_;
@@ -53,6 +55,7 @@ class PortSelector {
       const std::vector<telemetry::PortRate>& rates);
   bool sampled_recently(testbed::PortId port, std::uint32_t lookback) const;
   void record(testbed::PortId port);
+  std::uint32_t max_lookback() const;
 
   // Pointers (not references) so selectors are assignable and can live in
   // resizable slot containers. Never null.

@@ -1,9 +1,11 @@
 #include "core/profiler.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pcap/pcap.hpp"
 #include "traffic/flowgen.hpp"
 
@@ -407,56 +409,81 @@ bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
   return true;
 }
 
-void SiteProfiler::render_pending(util::Rng& rng) {
-  if (pending_.empty()) return;
+analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
+                                                 util::Rng& rng) const {
+  // Per-sample wall latency (kWallClock) plus a deterministic render count.
+  OBS_SPAN("profiler/render_sample");
+  const PendingSample& p = pending_.at(k);
   const testbed::Site& site = env_.federation().site(site_);
   const traffic::SiteWorkloadProfile& profile = env_.traffic().profile(site_);
-  for (const PendingSample& p : pending_) {
-    // Synthesize the window the mirror would deliver, then apply the
-    // switch's egress-capacity rule: oversubscribed mirrors silently lose
-    // frames.
-    traffic::WindowParams params;
-    params.duration = config_.plan.sample_duration;
-    params.target_bps = p.target_bps;
-    params.max_frames = config_.plan.max_frames_per_sample;
-    traffic::WindowTraffic window = traffic::generate_window(rng, profile,
-                                                             params);
-    if (p.delivery < 1.0) {
-      std::vector<net::Frame> kept;
-      kept.reserve(window.frames.size());
-      for (net::Frame& f : window.frames) {
-        if (rng.chance(p.delivery)) kept.push_back(std::move(f));
-      }
-      window.frames = std::move(kept);
-      window.offered_pps *= p.delivery;
+
+  // Synthesize the window the mirror would deliver, then apply the
+  // switch's egress-capacity rule: oversubscribed mirrors silently lose
+  // frames.
+  traffic::WindowParams params;
+  params.duration = config_.plan.sample_duration;
+  params.target_bps = p.target_bps;
+  params.max_frames = config_.plan.max_frames_per_sample;
+  traffic::WindowTraffic window = traffic::generate_window(rng, profile,
+                                                           params);
+  if (p.delivery < 1.0) {
+    std::vector<net::Frame> kept;
+    kept.reserve(window.frames.size());
+    for (net::Frame& f : window.frames) {
+      if (rng.chance(p.delivery)) kept.push_back(std::move(f));
     }
+    window.frames = std::move(kept);
+    window.offered_pps *= p.delivery;
+  }
 
-    // Capture through the configured method.
-    capture::CaptureSession capturer(config_.capture, host_, rng);
-    capture::CaptureResult captured =
-        capturer.run(window.frames, window.offered_pps);
+  // Capture through the configured method.
+  capture::CaptureSession capturer(config_.capture, host_, rng);
+  capture::CaptureResult captured =
+      capturer.run(window.frames, window.offered_pps);
 
-    analysis::RawCapture raw;
-    raw.site = site.name();
-    raw.port = p.source.value;
-    raw.start = p.start;
-    raw.duration = config_.plan.sample_duration;
-    raw.switch_drops_suspected = static_cast<std::uint64_t>(
-        p.drop_fraction * window.offered_pps *
-        util::to_seconds(raw.duration));
-    raw.pcap = std::move(captured.pcap);
+  analysis::RawCapture raw;
+  raw.site = site.name();
+  raw.port = p.source.value;
+  raw.start = p.start;
+  raw.duration = config_.plan.sample_duration;
+  raw.switch_drops_suspected = static_cast<std::uint64_t>(
+      p.drop_fraction * window.offered_pps *
+      util::to_seconds(raw.duration));
+  raw.pcap = std::move(captured.pcap);
 
-    std::ostringstream msg;
-    msg << "sample c" << p.cycle << "/r" << p.run << "/s" << p.sample
-        << " p" << p.source.value << ": offered=" << captured.stats.offered
-        << " captured=" << captured.stats.captured
-        << " capacity_loss=" << captured.stats.dropped_capacity
-        << " flows~" << window.flow_count;
-    log_.info(p.start, component_, msg.str());
-    raw.logs.info(p.start, component_, msg.str());
+  std::ostringstream msg;
+  msg << "sample c" << p.cycle << "/r" << p.run << "/s" << p.sample
+      << " p" << p.source.value << ": offered=" << captured.stats.offered
+      << " captured=" << captured.stats.captured
+      << " capacity_loss=" << captured.stats.dropped_capacity
+      << " flows~" << window.flow_count;
+  raw.logs.info(p.start, component_, msg.str());
+  return raw;
+}
+
+void SiteProfiler::commit_rendered(
+    std::vector<analysis::RawCapture> rendered) {
+  assert(rendered.size() == pending_.size());
+  captures_.reserve(captures_.size() + rendered.size());
+  for (analysis::RawCapture& raw : rendered) {
+    // Replay the sample's render summary into the instance log, exactly as
+    // the serial path used to write it — sample order keeps the site log
+    // deterministic no matter which workers rendered which samples.
+    log_.merge(raw.logs);
     captures_.push_back(std::move(raw));
   }
   pending_.clear();
+}
+
+void SiteProfiler::render_pending(util::Rng& rng) {
+  if (pending_.empty()) return;
+  std::vector<analysis::RawCapture> rendered;
+  rendered.reserve(pending_.size());
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    util::Rng sample_rng = rng.split(k);
+    rendered.push_back(render_sample(k, sample_rng));
+  }
+  commit_rendered(std::move(rendered));
 }
 
 RunOutcome SiteProfiler::run() {

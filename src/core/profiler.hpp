@@ -65,12 +65,28 @@ class SiteProfiler {
 
   /// Render the data plane for every sample run() decided to take: frame
   /// synthesis from the snapshotted port rates, mirror-delivery thinning,
-  /// and the configured capture path. All stochastic draws come from
-  /// `rng`, so a caller that pins the stream (the coordinator splits one
-  /// child stream per site off the run seed) gets byte-identical pcaps
-  /// regardless of which thread renders which site. Touches no shared
-  /// simulation state — safe to run concurrently across SiteProfilers.
+  /// and the configured capture path. Sample k renders from `rng.split(k)`
+  /// (see render_sample), so a caller that pins the stream (the coordinator
+  /// splits one child stream per site off the run seed) gets byte-identical
+  /// pcaps regardless of which thread renders which sample. Touches no
+  /// shared simulation state — safe to run concurrently across
+  /// SiteProfilers. Equivalent to render_sample over every k followed by
+  /// commit_rendered.
   void render_pending(util::Rng& rng);
+
+  /// Render ONE pending sample (index k into the run() snapshot order) from
+  /// its own RNG substream. Const and free of shared mutable state — the
+  /// coordinator schedules every (site, sample) pair as an independent pool
+  /// task, so wall-clock scales with total samples rather than with the
+  /// slowest site. The per-sample log line lands in the returned capture's
+  /// log bundle; commit_rendered replays it into the instance log.
+  analysis::RawCapture render_sample(std::size_t k, util::Rng& rng) const;
+
+  /// Accept the rendered captures back, in sample order (rendered[k] must
+  /// come from render_sample(k)): appends them to the gather() bundle,
+  /// replays their log lines into the instance log, and clears the pending
+  /// snapshot. Serial — call from one thread after all renders complete.
+  void commit_rendered(std::vector<analysis::RawCapture> rendered);
 
   /// Samples recorded by run() and not yet rendered.
   std::size_t pending_sample_count() const { return pending_.size(); }

@@ -1,6 +1,7 @@
 #include "telemetry/netflow.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/byte_io.hpp"
 
@@ -30,10 +31,22 @@ bool NetflowCache::observe(const net::ParsedFrame& frame, util::Nanos now) {
     entry.record.dst_port = key.dport;
     entry.record.protocol = key.proto;
     entry.first = now;
+  } else if (entry.octets + frame.wire_length >
+             std::numeric_limits<std::uint32_t>::max()) {
+    // Emit-and-reset: the v5 wire format caps octets at 2^32 - 1, so
+    // export the flow as-is and restart it at this packet rather than
+    // silently wrapping the counter.
+    expired_.push_back(entry.record);
+    const NetflowRecord fresh{key.src, key.dst, 0, 0, 0, 0,
+                              key.sport, key.dport, 0, key.proto};
+    entry.record = fresh;
+    entry.octets = 0;
+    entry.first = now;
   }
   entry.last = now;
   entry.record.packets += 1;
-  entry.record.octets += static_cast<std::uint32_t>(frame.wire_length);
+  entry.octets += frame.wire_length;
+  entry.record.octets = static_cast<std::uint32_t>(entry.octets);
   if (frame.tcp) entry.record.tcp_flags |= frame.tcp->flags;
   entry.record.first_ms =
       static_cast<std::uint32_t>(entry.first / util::kMillisecond);

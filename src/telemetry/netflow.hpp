@@ -79,6 +79,12 @@ class NetflowCache {
   };
   struct Entry {
     NetflowRecord record;
+    /// Octets accumulate in 64 bits: a long-lived flow used to wrap the
+    /// record's uint32 silently before the active timeout exported it. The
+    /// 32-bit wire field is refreshed from this on every observation, and
+    /// a flow about to exceed it is exported and restarted (emit-and-reset)
+    /// so no octet is ever lost to truncation.
+    std::uint64_t octets = 0;
     util::Nanos first = 0;
     util::Nanos last = 0;
   };

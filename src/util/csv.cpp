@@ -1,7 +1,8 @@
 #include "util/csv.hpp"
 
 #include <cassert>
-#include <sstream>
+#include <charconv>
+#include <system_error>
 
 namespace patchwork::util {
 
@@ -28,9 +29,14 @@ void write_row(std::ostream& out, const std::vector<std::string>& cells) {
 }
 
 std::string format_double(double v) {
-  std::ostringstream os;
-  os << v;
-  return os.str();
+  // Shortest round-trip form: the default ostream precision (6 significant
+  // digits) silently rounded analysis output, so distinct values could
+  // collide in the CSVs. to_chars emits exactly the digits needed for the
+  // value to parse back bit-identical.
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  return std::string(buf, end);
 }
 }  // namespace
 

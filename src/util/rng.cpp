@@ -24,6 +24,10 @@ Rng Rng::split(std::uint64_t stream_id) const {
   return Rng(splitmix64(splitmix64(seed_) ^ splitmix64(stream_id)));
 }
 
+Rng Rng::split(std::uint64_t stream_id, std::uint64_t substream_id) const {
+  return split(stream_id).split(substream_id);
+}
+
 std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
   assert(lo <= hi);
   std::uniform_int_distribution<std::uint64_t> d(lo, hi);

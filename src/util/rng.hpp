@@ -32,6 +32,13 @@ class Rng {
   /// SplitMix64, the recommended seeder for mt19937_64).
   Rng split(std::uint64_t stream_id) const;
 
+  /// Two-level substream: split(a, b) == split(a).split(b), without
+  /// materializing the intermediate generator. The coordinator addresses
+  /// per-sample render streams as split(site_id, sample_index), so the
+  /// bytes of sample k at site s depend only on (run seed, s, k) — never
+  /// on which worker renders them or in what order.
+  Rng split(std::uint64_t stream_id, std::uint64_t substream_id) const;
+
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
   std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);

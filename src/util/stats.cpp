@@ -27,17 +27,37 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double percentile(std::span<const double> values, double p) {
-  assert(!values.empty());
+namespace {
+
+/// Shared interpolation kernel over an already-sorted sample vector.
+double percentile_of_sorted(const std::vector<double>& v, double p) {
   assert(p >= 0.0 && p <= 100.0);
-  std::vector<double> v(values.begin(), values.end());
-  std::sort(v.begin(), v.end());
   if (v.size() == 1) return v[0];
   const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> values, double p) {
+  assert(!values.empty());
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  return percentile_of_sorted(v, p);
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  assert(!values.empty());
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_of_sorted(v, p));
+  return out;
 }
 
 double ecdf_at(std::span<const double> sorted_values, double x) {

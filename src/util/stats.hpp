@@ -34,6 +34,13 @@ class RunningStats {
 /// Copies and sorts; fine for analysis-sized data.
 double percentile(std::span<const double> values, double p);
 
+/// Several percentiles of one sample set, sorting the copy only once.
+/// Result order matches `ps`; each entry equals percentile(values, p)
+/// exactly. Use this instead of repeated percentile() calls when an
+/// analysis reads p50/p95/p99 off the same data.
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps);
+
 /// Empirical CDF evaluated at `x`: fraction of samples <= x.
 double ecdf_at(std::span<const double> sorted_values, double x);
 

@@ -5,6 +5,7 @@
 #include "analysis/digest.hpp"
 #include "net/frame_builder.hpp"
 #include "testing/fixtures.hpp"
+#include "util/stats.hpp"
 
 namespace patchwork::analysis {
 namespace {
@@ -170,12 +171,20 @@ TEST(FlowDistribution, BucketsSizesAndDurations) {
   EXPECT_EQ(result.duration_histogram.bucket(5), 1u);
   EXPECT_EQ(result.duration_histogram.bucket(0), 1u);
   EXPECT_DOUBLE_EQ(result.median_flow_bytes, 635.0);
+  // Two flows of 70 and 1200 bytes: the tail quantiles interpolate along
+  // the same rank rule as util::percentile.
+  EXPECT_DOUBLE_EQ(result.p95_flow_bytes,
+                   util::percentile(std::vector<double>{70.0, 1200.0}, 95.0));
+  EXPECT_DOUBLE_EQ(result.p99_flow_bytes,
+                   util::percentile(std::vector<double>{70.0, 1200.0}, 99.0));
 }
 
 TEST(FlowDistribution, EmptyInput) {
   const auto result = analyze_flow_distribution({});
   EXPECT_EQ(result.flows, 0u);
   EXPECT_DOUBLE_EQ(result.median_flow_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(result.p95_flow_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(result.p99_flow_bytes, 0.0);
 }
 
 TEST(TopStacks, OrdersByFrequencyAndReportsFractions) {

@@ -12,6 +12,7 @@
 
 #include "analysis/pipeline.hpp"
 #include "core/coordinator.hpp"
+#include "obs/metrics.hpp"
 #include "testing/env_fixture.hpp"
 #include "util/parallel.hpp"
 
@@ -121,6 +122,75 @@ TEST(CoordinatorDeterminism, PipelineCsvsIdenticalAcrossThreadCounts) {
   for (const auto& [name, bytes] : serial.csv_files) {
     ASSERT_TRUE(parallel.csv_files.count(name)) << name;
     EXPECT_EQ(bytes, parallel.csv_files.at(name)) << name << " differs";
+  }
+}
+
+/// The per-sample split's motivating workload: one hot site holds >80% of
+/// all pending samples. Site 0 keeps its full complement of six dedicated
+/// NICs while site 1 is squeezed down to one by a foreign slice, so the
+/// hot site renders 12 mirror slots against the cold site's 2. Per-site
+/// task granularity would serialize behind site 0; per-sample granularity
+/// still fills the pool — and must stay byte-identical while doing so.
+struct SkewedArtifacts {
+  ProfileRun run;
+  std::string expose_deterministic;
+};
+
+SkewedArtifacts run_skewed_world(std::uint64_t seed) {
+  obs::registry().reset();
+  testbed::FederationSpec spec;
+  spec.sites = 3;  // Sites 0 and 1 profile; site 2 is the teaching site.
+  spec.min_dedicated_nics = 6;
+  spec.max_dedicated_nics = 6;
+  spec.min_downlinks = 40;  // Plenty of switch ports for all six NICs.
+  spec.max_downlinks = 40;
+  World world(seed, spec);
+
+  testbed::Site& cold = world.fed.site(testbed::SiteId{1});
+  auto nics = cold.available_nics(testbed::NicKind::kDedicatedConnectX);
+  EXPECT_EQ(nics.size(), 6u);
+  for (std::size_t i = 0; i + 1 < nics.size(); ++i) {
+    cold.mutable_nic(nics[i]).allocated_to = testbed::SliceId{999};
+  }
+
+  world.warm_up_telemetry();
+  ProfilerConfig config = multi_sample_config();
+  config.desired_instances = 0;  // One instance per free NIC: 6 vs 1.
+  Coordinator coordinator(world.env, config);
+  SkewedArtifacts out;
+  out.run = coordinator.run_all_experiment();
+  out.expose_deterministic = obs::expose_text(/*deterministic_only=*/true);
+  return out;
+}
+
+TEST(CoordinatorDeterminism, SkewedHotSiteIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+
+  util::set_thread_count(0);  // Serial reference.
+  const SkewedArtifacts reference = run_skewed_world(/*seed=*/47);
+  ASSERT_FALSE(reference.run.captures.empty());
+
+  // Confirm the workload really is skewed: the hot site must hold more
+  // than 80% of all samples, with the cold site still contributing.
+  std::size_t hot = 0, total = 0;
+  for (const SiteRunReport& r : reference.run.reports) {
+    total += r.samples;
+    if (r.site.value == 0) hot = r.samples;
+  }
+  ASSERT_GT(total, 0u);
+  ASSERT_LT(hot, total) << "cold site contributed no samples";
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.8)
+      << "hot site holds " << hot << "/" << total
+      << " samples — workload not skewed enough to exercise the split";
+
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::set_thread_count(threads);
+    const SkewedArtifacts parallel = run_skewed_world(/*seed=*/47);
+    const std::string label = "skewed threads=" + std::to_string(threads);
+    expect_runs_identical(reference.run, parallel.run, label);
+    EXPECT_EQ(reference.expose_deterministic, parallel.expose_deterministic)
+        << label << ": deterministic exposition differs";
   }
 }
 

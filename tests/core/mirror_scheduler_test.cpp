@@ -128,12 +128,42 @@ TEST(MirrorScheduler, CancelPendingAndActive) {
                                testbed::MirrorDirections::kBoth,
                                util::kHour});
   sched.tick(0);
-  EXPECT_TRUE(sched.cancel(b));  // Pending.
+  EXPECT_TRUE(sched.cancel(b, util::kMinute));  // Pending.
   EXPECT_EQ(sched.pending_count(), 0u);
-  EXPECT_TRUE(sched.cancel(a));  // Active: hardware mirror torn down.
+  // Active: hardware mirror torn down, elapsed quantum credited.
+  EXPECT_TRUE(sched.cancel(a, util::kMinute));
   EXPECT_TRUE(sched.active().empty());
   EXPECT_FALSE(tor.mirror_for_source(testbed::PortId{3}).has_value());
-  EXPECT_FALSE(sched.cancel(a));  // Gone.
+  EXPECT_EQ(sched.service_time().at("alice"), util::kMinute);
+  EXPECT_FALSE(sched.cancel(a, util::kMinute));  // Gone.
+}
+
+TEST(MirrorScheduler, CancelResubmitLoopCannotStarveOthers) {
+  // Regression: cancel() used to release an active lease without crediting
+  // the elapsed quantum, so a user who cancelled and resubmitted mid-quantum
+  // kept zero accumulated service and won every least-served arbitration.
+  testbed::ToRSwitch tor = make_switch();
+  MirrorScheduler sched(tor, {testbed::PortId{10}},
+                        quantum(10 * util::kMinute));
+  auto alice = sched.submit({"alice", testbed::PortId{3},
+                             testbed::MirrorDirections::kBoth, util::kHour});
+  sched.tick(0);
+  ASSERT_EQ(sched.active().size(), 1u);
+  // Mid-quantum, alice cancels and resubmits; bob (never served) then asks
+  // for a different port.
+  EXPECT_TRUE(sched.cancel(alice, 5 * util::kMinute));
+  alice = sched.submit({"alice", testbed::PortId{3},
+                        testbed::MirrorDirections::kBoth, util::kHour});
+  sched.submit({"bob", testbed::PortId{4},
+                testbed::MirrorDirections::kBoth, 10 * util::kMinute});
+  EXPECT_EQ(sched.service_time().at("alice"), 5 * util::kMinute);
+  // The freed slot must go to bob: alice already consumed 5 minutes even
+  // though her lease never expired. (Pre-fix, alice's credit was 0 and her
+  // earlier sequence number won the tie.)
+  sched.tick(5 * util::kMinute);
+  ASSERT_EQ(sched.active().size(), 1u);
+  EXPECT_EQ(sched.active()[0].user, "bob");
+  EXPECT_TRUE(sched.is_pending(alice));
 }
 
 TEST(MirrorScheduler, RespectsExternallyBusyPorts) {

@@ -137,6 +137,43 @@ TEST(PortSelector, CustomHeuristicIsInvoked) {
   EXPECT_EQ(selector.next(rates)->value, 1u);
 }
 
+TEST(PortSelector, HistoryStaysBoundedOverLongRuns) {
+  // Regression: history_ used to grow one entry per cycle forever — a
+  // 13-month-style deployment leaked memory and sampled_recently() scanned
+  // the whole lifetime. record() now prunes everything older than the
+  // largest lookback window.
+  SamplingPlan plan;
+  plan.policy = PortPolicy::kFixed;
+  plan.busiest_bias_n = 4;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng, {testbed::PortId{3}, testbed::PortId{5}});
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(selector.next({}).has_value());
+    // One live entry per cycle inside the window, plus the entry recorded
+    // this cycle: never more than lookback + 1.
+    ASSERT_LE(selector.sample_history().size(), 5u) << "cycle " << i;
+  }
+  EXPECT_EQ(selector.cycles_run(), 10000u);
+}
+
+TEST(PortSelector, PrunedHistoryKeepsExactlyTheLookbackWindow) {
+  // Pruning must retain every entry sampled_recently() could consult: all
+  // cycles within the largest lookback (busiest_bias_n, floored at 2).
+  SamplingPlan plan;
+  plan.busiest_bias_n = 4;
+  util::Rng rng(1);
+  PortSelector selector(plan, rng);
+  const auto rates = make_rates({{1, 1e9}, {2, 50e9}, {3, 10e9}});
+  for (int i = 0; i < 100; ++i) selector.next(rates);
+  ASSERT_FALSE(selector.sample_history().empty());
+  for (const auto& [port, cycle] : selector.sample_history()) {
+    // The last record happened at cycle 99 with floor 99 - 4 = 95: older
+    // entries are gone, everything a lookback-4 query needs is present.
+    EXPECT_GE(cycle, 95u);
+    EXPECT_LT(cycle, 100u);
+  }
+}
+
 TEST(PortSelector, HistoryRecordsChoices) {
   SamplingPlan plan;
   plan.policy = PortPolicy::kFixed;

@@ -45,7 +45,7 @@ TEST_P(SchedulerProperty, InvariantsHoldUnderRandomWorkload) {
       live.push_back(id);
     } else if (roll < 0.45 && !live.empty()) {
       const std::size_t idx = rng.uniform_u64(0, live.size() - 1);
-      scheduler.cancel(live[idx]);
+      scheduler.cancel(live[idx], now);
       last_remaining.erase(live[idx]);
       live.erase(live.begin() + static_cast<long>(idx));
     } else {

@@ -97,6 +97,40 @@ TEST(NetflowCache, ActiveTimeoutExpiresLongFlows) {
   EXPECT_EQ(cache.active_flows(), 0u);  // Cut despite being active.
 }
 
+TEST(NetflowCache, OctetCounterCrossing32BitsEmitsAndResets) {
+  // Regression: octets accumulated in a uint32, so a long-lived flow
+  // silently wrapped before the active timeout exported it. The cache now
+  // accumulates in 64 bits and exports-and-restarts the flow just before
+  // the v5 wire field would overflow.
+  NetflowCache::Config config;
+  config.active_timeout = util::kHour;  // Never fires in this test.
+  config.idle_timeout = util::kHour;
+  NetflowCache cache(config);
+  // One parsed frame, re-observed with an inflated wire length so the flow
+  // crosses 2^32 octets in a handful of packets: 5 x 1 GiB.
+  net::ParsedFrame frame = tcp_frame(1, 2, 1000, 443);
+  frame.wire_length = 1ull << 30;
+  for (int i = 0; i < 5; ++i) {
+    cache.observe(frame, static_cast<util::Nanos>(i) * util::kSecond);
+  }
+  // The 4th packet would land on 4 GiB = 2^32, one past the wire field's
+  // max, so the first three packets were exported as one record and the
+  // flow restarted; packets 4 and 5 accumulate in the successor flow.
+  auto exported = cache.drain();
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].packets, 3u);
+  EXPECT_EQ(exported[0].octets, 3u * (1u << 30));
+  EXPECT_EQ(cache.active_flows(), 1u);
+  cache.flush(10 * util::kSecond);
+  const auto rest = cache.drain();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].packets, 2u);
+  EXPECT_EQ(rest[0].octets, 2u << 30);
+  // Totals preserved across the reset: 5 GiB in all.
+  EXPECT_EQ(static_cast<std::uint64_t>(exported[0].octets) + rest[0].octets,
+            5ull << 30);
+}
+
 TEST(NetflowCache, IgnoresNonIpv4) {
   net::FrameBuilder arp;
   arp.ethernet(net::MacAddress::from_id(1), net::MacAddress::from_id(2))

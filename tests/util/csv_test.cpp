@@ -41,6 +41,31 @@ TEST(CsvWriter, MixedTypesRow) {
   EXPECT_EQ(csv.rows_written(), 1u);
 }
 
+TEST(CsvWriter, DoublesRoundTripExactly) {
+  // Regression: doubles used to be written at default ostream precision
+  // (6 significant digits), so 0.123456789 became "0.123457". The writer
+  // now emits the shortest string that parses back to the identical bits.
+  const double values[] = {0.123456789, 1234567.891, 1.0 / 3.0,
+                           8589934592.25, 1e-9};
+  std::ostringstream os;
+  CsvWriter csv(os, {"v"});
+  for (double v : values) csv.begin_row().add(v).end_row();
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);  // Header.
+  for (double v : values) {
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(std::stod(line), v) << line;
+  }
+}
+
+TEST(CsvWriter, DoubleFormattingStaysHumanReadableForSimpleValues) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b", "c"});
+  csv.begin_row().add(0.5).add(42.0).add(-3.25).end_row();
+  EXPECT_EQ(os.str(), "a,b,c\n0.5,42,-3.25\n");
+}
+
 TEST(CsvWriter, RowConvenience) {
   std::ostringstream os;
   CsvWriter csv(os, {"a", "b"});

@@ -34,6 +34,43 @@ TEST(Rng, ForkIsIndependentOfParentDraws) {
   EXPECT_EQ(child.bits(), child2.bits());  // Same lineage, same stream.
 }
 
+TEST(Rng, TwoLevelSplitMatchesChainedSplit) {
+  const Rng root(99);
+  for (std::uint64_t site : {0ull, 1ull, 7ull, 1000ull}) {
+    for (std::uint64_t k : {0ull, 1ull, 63ull}) {
+      Rng chained = root.split(site).split(k);
+      Rng direct = root.split(site, k);
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_EQ(chained.bits(), direct.bits())
+            << "site " << site << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(Rng, TwoLevelSplitStreamsAreDistinct) {
+  // Nearby (stream, substream) addresses must not collide or alias:
+  // (0,1) != (1,0), and substreams of one site differ from each other.
+  const Rng root(4242);
+  Rng a = root.split(0, 1);
+  Rng b = root.split(1, 0);
+  Rng c = root.split(0, 2);
+  int ab = 0, ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t xa = a.bits();
+    if (xa == b.bits()) ++ab;
+    if (xa == c.bits()) ++ac;
+  }
+  EXPECT_LT(ab, 2);
+  EXPECT_LT(ac, 2);
+}
+
+TEST(Rng, SplitConsumesNothingFromParent) {
+  Rng a(31), b(31);
+  (void)a.split(5, 9);  // Must not perturb a's own sequence.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
 TEST(Rng, UniformU64RespectsBounds) {
   Rng rng(3);
   for (int i = 0; i < 1000; ++i) {

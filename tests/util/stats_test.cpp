@@ -49,6 +49,26 @@ TEST(Percentile, Extremes) {
   EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
 }
 
+TEST(Percentiles, MatchesSingleCallPathExactly) {
+  // The multi-percentile variant sorts once; every entry must equal the
+  // copy-and-sort-per-call path bit-for-bit, including edge percentiles.
+  std::vector<double> v = {7.5, 1.0, 3.25, 9.0, 2.0, 2.0, 100.5, 0.125};
+  const std::vector<double> ps = {0.0, 25.0, 50.0, 95.0, 99.0, 100.0};
+  const std::vector<double> multi = percentiles(v, ps);
+  ASSERT_EQ(multi.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(multi[i], percentile(v, ps[i])) << "p" << ps[i];
+  }
+}
+
+TEST(Percentiles, SingleElementAndSinglePercentile) {
+  std::vector<double> v = {42.0};
+  const std::vector<double> ps = {50.0};
+  const std::vector<double> multi = percentiles(v, ps);
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_DOUBLE_EQ(multi[0], 42.0);
+}
+
 TEST(Ecdf, AtValues) {
   std::vector<double> sorted = {1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(ecdf_at(sorted, 0.5), 0.0);
