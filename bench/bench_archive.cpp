@@ -1,0 +1,212 @@
+// Archive throughput: encode/append, whole-archive trend queries, and
+// rollup compaction (serial vs. pooled — the group folds run through
+// util::parallel_map) over a pile of synthetic epoch records.
+//
+// Verifies the compacted archive image is byte-identical at every worker
+// count and prints a JSON summary suitable for recording as
+// BENCH_archive.json.
+//
+// Build & run:  ./build/bench/bench_archive
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/compactor.hpp"
+#include "archive/query.hpp"
+#include "archive/record.hpp"
+#include "archive/writer.hpp"
+#include "bench_util.hpp"
+#include "net/protocol.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+constexpr std::size_t kRecords = 256;    // Raw epochs in the pile.
+constexpr std::size_t kFlowsPerEpoch = 600;
+constexpr std::size_t kFlowUniverse = 4096;
+constexpr std::size_t kSketchCapacity = 256;
+constexpr int kReps = 5;
+
+/// One synthetic raw epoch, sized like a real weekly record: a dozen
+/// frame-size buckets, eight site loads, and a sketch over a flow universe
+/// wide enough that merges truncate (the expensive path).
+archive::EpochRecord synthetic_epoch(std::uint64_t n, util::Rng& rng) {
+  archive::EpochRecord r;
+  r.first_epoch = r.last_epoch = n;
+  r.label = "epoch" + std::to_string(n);
+  r.start_nanos = n * util::kDay;
+  r.duration_nanos = util::kDay;
+  r.offered_bps_sum = 1e12 + 1e9 * static_cast<double>(n % 97);
+  r.samples = 48;
+  r.frames = 100000 + n;
+  r.frame_sizes.edges = {0, 65, 128, 256, 512, 1024, 1519, 2048, 4096, 9217};
+  r.frame_sizes.counts.assign(r.frame_sizes.edges.size() - 1, 0);
+  for (std::size_t b = 0; b < r.frame_sizes.counts.size(); ++b) {
+    r.frame_sizes.counts[b] = rng.uniform_u64(100, 20000);
+  }
+  r.protocol_occurrences.assign(net::kProtocolCount, 0);
+  for (auto& count : r.protocol_occurrences) {
+    count = rng.uniform_u64(0, r.frames);
+  }
+  r.occurrence_frames = r.frames;
+  r.tcp_frames = r.frames * 9 / 10;
+  r.flow_snippets = kFlowsPerEpoch;
+  for (int site = 0; site < 8; ++site) {
+    archive::SiteEpochLoad load;
+    load.site = "S" + std::to_string(site);
+    load.samples = 6;
+    load.frames = r.frames / 8;
+    load.wire_bytes = rng.uniform_u64(1 << 20, 1 << 28);
+    load.pcap_bytes = load.wire_bytes / 6;
+    load.frame_sizes = r.frame_sizes;
+    r.site_loads.push_back(std::move(load));
+  }
+  archive::TopFlowSketch sketch(kSketchCapacity);
+  for (std::size_t f = 0; f < kFlowsPerEpoch; ++f) {
+    const std::uint64_t key = rng.uniform_u64(0, kFlowUniverse - 1);
+    sketch.insert("flow" + std::to_string(key),
+                  rng.uniform_u64(1000, 5000000));
+  }
+  r.top_flows = std::move(sketch);
+  return r;
+}
+
+double best_of(int reps, const auto& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Archive: append, trend queries, rollup compaction",
+                "Longitudinal epoch store under the storage-budget model");
+
+  util::Rng rng(20260805);
+  std::vector<archive::EpochRecord> records;
+  records.reserve(kRecords);
+  for (std::size_t n = 0; n < kRecords; ++n) {
+    records.push_back(synthetic_epoch(n, rng));
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<std::uint8_t> image;
+  const double append_ms =
+      best_of(kReps, [&] { image = archive::render_archive(records); });
+  const double append_mbps =
+      static_cast<double>(image.size()) / 1e6 / (append_ms / 1e3);
+  std::cout << "pile: " << kRecords << " epochs, " << image.size()
+            << " archive bytes; host reports " << hw
+            << " hardware thread(s)\n\n"
+            << "encode+frame:  " << append_ms << " ms  (" << append_mbps
+            << " MB/s)\n";
+
+  double query_ms = best_of(kReps, [&] {
+    archive::ArchiveQuery query(records);
+    volatile std::size_t sink = 0;
+    sink += query.jumbo_share().size();
+    sink += query.ipv6_share().size();
+    sink += query.tcp_share().size();
+    sink += query.offered_bps().size();
+    sink += query.site_wire_bytes("S3").size();
+    sink += query.top_flows(10).size();
+    (void)sink;
+  });
+  std::cout << "query (fold+trends+topK):  " << query_ms << " ms\n\n";
+
+  // Compaction: fold the whole pile down hard so several passes run and
+  // the parallel_map group folds dominate.
+  archive::CompactionOptions options;
+  options.storage_budget_bytes = image.size() / 16;
+  options.group_size = 4;
+
+  util::set_thread_count(0);
+  std::vector<archive::EpochRecord> serial_out;
+  const double serial_ms = best_of(kReps, [&] {
+    serial_out = archive::compact_records(records, options);
+  });
+  const std::vector<std::uint8_t> serial_image =
+      archive::render_archive(serial_out);
+  std::cout << "compact serial:  " << serial_ms << " ms  (" << kRecords
+            << " -> " << serial_out.size() << " records, "
+            << serial_image.size() << " bytes)\n";
+
+  std::vector<std::size_t> counts{1, 2, 4, 8};
+  std::string rows;
+  bool all_identical = true;
+  double best_parallel_ms = serial_ms;
+  std::size_t best_threads = 0;
+  double speedup_at_4 = 0.0;
+  for (std::size_t threads : counts) {
+    util::set_thread_count(threads);
+    std::vector<archive::EpochRecord> out;
+    const double ms = best_of(
+        kReps, [&] { out = archive::compact_records(records, options); });
+    const bool identical = archive::render_archive(out) == serial_image;
+    all_identical = all_identical && identical;
+    if (ms < best_parallel_ms) {
+      best_parallel_ms = ms;
+      best_threads = threads;
+    }
+    if (threads == 4) speedup_at_4 = serial_ms / ms;
+    std::cout << "workers=" << threads << ":  " << ms << " ms  (speedup "
+              << serial_ms / ms << "x, archive "
+              << (identical ? "identical" : "DIFFERS") << ")\n";
+    if (!rows.empty()) rows += ",\n";
+    rows += "    {\"workers\": " + std::to_string(threads) +
+            ", \"ms\": " + std::to_string(ms) +
+            ", \"speedup\": " + std::to_string(serial_ms / ms) +
+            ", \"identical\": " + (identical ? "true" : "false") + "}";
+  }
+  util::set_thread_count(std::nullopt);
+
+  const bool judged = hw >= 4;
+  std::cout << "\nbest: workers=" << best_threads << " at "
+            << serial_ms / best_parallel_ms << "x over serial\n"
+            << (all_identical ? "PASS: compacted archives byte-identical\n"
+                              : "FAIL: compacted archive diverged\n");
+  if (!judged) {
+    std::cout << "SKIP: speedup not judged (" << hw
+              << " hardware thread(s) < 4)\n";
+  }
+
+  const std::string note =
+      judged ? "Recorded with 4+ hardware threads; speedups are meaningful."
+             : "Recorded on a <4-hardware-thread host: ratios measure "
+               "scheduling overhead only. Re-record on real hardware with "
+               "./build/bench/bench_archive.";
+  std::cout << "\nJSON:\n"
+            << "{\n"
+            << "  \"bench\": \"archive\",\n"
+            << "  \"note\": \"" << note << "\",\n"
+            << "  \"records\": " << kRecords << ",\n"
+            << "  \"archive_bytes\": " << image.size() << ",\n"
+            << "  \"hardware_threads\": " << hw << ",\n"
+            << "  \"append_ms\": " << append_ms << ",\n"
+            << "  \"append_mb_per_sec\": " << append_mbps << ",\n"
+            << "  \"query_ms\": " << query_ms << ",\n"
+            << "  \"serial_ms\": " << serial_ms << ",\n"
+            << "  \"runs\": [\n"
+            << rows << "\n  ],\n"
+            << "  \"best_speedup\": " << serial_ms / best_parallel_ms << ",\n"
+            << "  \"speedup_at_4\": " << speedup_at_4 << ",\n"
+            << "  \"speedup_judged\": " << (judged ? "true" : "false") << ",\n"
+            << "  \"outputs_identical\": " << (all_identical ? "true" : "false")
+            << "\n}\n";
+  return all_identical ? 0 : 1;
+}

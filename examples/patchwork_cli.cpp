@@ -2,7 +2,9 @@
 //
 // The closest thing in this repository to the tool FABRIC users invoke:
 // every knob of requirement R5 (Tunable Fidelity) is a flag, and the
-// Process step's CSV reports are written to disk.
+// Process step's CSV reports are written to disk. Every run also writes
+// patchwork_manifest.json (seed, config, build identity, metric values)
+// and patchwork_metrics.prom (Prometheus exposition) next to the CSVs.
 //
 //   patchwork_cli [options]
 //     --seed N            RNG seed for the simulated federation (default 1)
@@ -18,16 +20,35 @@
 //     --nice X            enable dynamic scaling with this nice factor
 //     --out DIR           write CSV reports to DIR (default ".")
 //
+// Longitudinal archive subcommands (see src/archive):
+//   patchwork_cli archive append --archive F [--label L] [run options]
+//       profile once and append the epoch record to archive F
+//   patchwork_cli archive compact --archive F --budget BYTES [--group N]
+//       merge the oldest records into rollups until F fits BYTES
+//   patchwork_cli archive query --archive F [--site NAME] [--top K]
+//       print the jumbo/IPv6/TCP trend table, per-site loads, top flows
+//   patchwork_cli archive stat --archive F
+//       record/epoch counts, span, damage counters
+//
 // Example:
 //   ./build/examples/patchwork_cli --sites 5 --filter "ip and tcp"
 //       --anonymize --out /tmp/profile
+//   ./build/examples/patchwork_cli archive append --archive prof.pwar \
+//       --label week1 --sites 5
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "analysis/epoch_extract.hpp"
 #include "analysis/pipeline.hpp"
+#include "archive/compactor.hpp"
+#include "archive/query.hpp"
+#include "archive/writer.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "core/coordinator.hpp"
 #include "sim/clock.hpp"
@@ -50,6 +71,13 @@ struct Options {
   std::size_t sites = 0;  // 0 = all production sites.
   core::ProfilerConfig config;
   std::string out_dir = ".";
+  std::string archive_cmd;  // "" = plain profile run.
+  std::string archive_path;
+  std::string label;
+  std::string site_filter;
+  std::uint64_t budget_bytes = 256 * 1024;
+  std::size_t group_size = 4;
+  std::size_t top_k = 10;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -62,11 +90,22 @@ Options parse_args(int argc, char** argv) {
   options.config.capture.cores = 5;
   options.config.capture.snaplen = 200;
 
+  int first = 1;
+  if (argc >= 2 && std::string(argv[1]) == "archive") {
+    if (argc < 3) usage_error("archive needs a subcommand");
+    options.archive_cmd = argv[2];
+    if (options.archive_cmd != "append" && options.archive_cmd != "compact" &&
+        options.archive_cmd != "query" && options.archive_cmd != "stat") {
+      usage_error("unknown archive subcommand '" + options.archive_cmd + "'");
+    }
+    first = 3;
+  }
+
   auto next_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help") {
       std::cout << "See the comment at the top of examples/patchwork_cli.cpp "
@@ -123,17 +162,137 @@ Options parse_args(int argc, char** argv) {
       options.config.scaling.nice = std::stod(next_value(i));
     } else if (arg == "--out") {
       options.out_dir = next_value(i);
+    } else if (arg == "--archive") {
+      options.archive_path = next_value(i);
+    } else if (arg == "--label") {
+      options.label = next_value(i);
+    } else if (arg == "--site") {
+      options.site_filter = next_value(i);
+    } else if (arg == "--budget") {
+      options.budget_bytes = std::stoull(next_value(i));
+    } else if (arg == "--group") {
+      options.group_size = std::stoul(next_value(i));
+    } else if (arg == "--top") {
+      options.top_k = std::stoul(next_value(i));
     } else {
       usage_error("unknown option '" + arg + "'");
     }
   }
+  if (!options.archive_cmd.empty() && options.archive_path.empty()) {
+    usage_error("archive " + options.archive_cmd + " needs --archive FILE");
+  }
   return options;
+}
+
+int archive_compact(const Options& options) {
+  archive::CompactionOptions compaction;
+  compaction.storage_budget_bytes = options.budget_bytes;
+  compaction.group_size = options.group_size;
+  const archive::CompactionResult result =
+      archive::compact_archive(options.archive_path, compaction);
+  if (!result.ok()) {
+    std::cerr << "compact failed: " << archive::to_string(result.error)
+              << "\n";
+    return 1;
+  }
+  std::cout << options.archive_path << ": " << result.bytes_before << " -> "
+            << result.bytes_after << " bytes, " << result.records_before
+            << " -> " << result.records_after << " records ("
+            << result.passes << " pass(es)"
+            << (result.changed ? ")" : ", no rewrite needed)") << "\n";
+  return 0;
+}
+
+int archive_query(const Options& options) {
+  archive::OpenError error = archive::OpenError::kNone;
+  const archive::ArchiveQuery query =
+      archive::ArchiveQuery::from_file(options.archive_path, &error);
+  if (error != archive::OpenError::kNone) {
+    std::cerr << "query failed: " << archive::to_string(error) << "\n";
+    return 1;
+  }
+  if (query.record_count() == 0) {
+    std::cout << "archive is empty\n";
+    return 0;
+  }
+
+  const auto jumbo = query.jumbo_share();
+  const auto ipv6 = query.ipv6_share();
+  const auto tcp = query.tcp_share();
+  const auto offered = query.offered_bps();
+  const auto flows = query.flow_snippets();
+  util::TextTable trend({"Record", "Epochs", "Avg Gbps", "Jumbo share",
+                         "IPv6 share", "TCP %", "Flow snippets"});
+  for (std::size_t i = 0; i < jumbo.size(); ++i) {
+    trend.add_row({jumbo[i].label, std::to_string(jumbo[i].epoch_count),
+                   util::fmt_double(offered[i].value / 1e9, 2),
+                   util::fmt_percent(jumbo[i].value, 1),
+                   util::fmt_double(ipv6[i].value * 100.0, 2),
+                   util::fmt_double(tcp[i].value * 100.0, 1),
+                   std::to_string(
+                       static_cast<std::uint64_t>(flows[i].value))});
+  }
+  trend.print(std::cout);
+
+  if (!options.site_filter.empty()) {
+    const auto wire = query.site_wire_bytes(options.site_filter);
+    const auto drops = query.site_switch_drops(options.site_filter);
+    util::TextTable site({"Record", "Wire bytes", "Suspected switch drops"});
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+      site.add_row({wire[i].label,
+                    std::to_string(
+                        static_cast<std::uint64_t>(wire[i].value)),
+                    std::to_string(
+                        static_cast<std::uint64_t>(drops[i].value))});
+    }
+    std::cout << "\nSite " << options.site_filter << ":\n";
+    site.print(std::cout);
+  }
+
+  std::cout << "\nTop flows (true bytes in [count-error, count]):\n";
+  for (const auto& entry : query.top_flows(options.top_k)) {
+    std::cout << "  " << entry.key << "  <= " << entry.count
+              << " bytes (overcount <= " << entry.error << ")\n";
+  }
+  return 0;
+}
+
+int archive_stat(const Options& options) {
+  archive::ArchiveReader reader;
+  const archive::OpenError error = reader.open(options.archive_path);
+  if (error != archive::OpenError::kNone) {
+    std::cerr << "stat failed: " << archive::to_string(error) << "\n";
+    return 1;
+  }
+  std::uint64_t epochs = 0, rollups = 0;
+  for (const auto& record : reader.records()) {
+    epochs += record.epoch_count;
+    rollups += record.is_rollup() ? 1 : 0;
+  }
+  std::cout << options.archive_path << ":\n"
+            << "  records:        " << reader.records().size() << " ("
+            << rollups << " rollup(s))\n"
+            << "  epochs covered: " << epochs << "\n"
+            << "  file bytes:     " << reader.valid_bytes() << "\n"
+            << "  corrupt blocks: " << reader.corrupt_blocks() << "\n"
+            << "  damaged tail:   " << (reader.damaged_tail() ? "yes" : "no")
+            << "\n";
+  if (!reader.records().empty()) {
+    const auto& first = reader.records().front();
+    const auto& last = reader.records().back();
+    std::cout << "  span:           " << first.label << " .. " << last.label
+              << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
+  if (options.archive_cmd == "compact") return archive_compact(options);
+  if (options.archive_cmd == "query") return archive_query(options);
+  if (options.archive_cmd == "stat") return archive_stat(options);
 
   // Simulated FABRIC world.
   util::Rng rng(options.seed);
@@ -147,6 +306,7 @@ int main(int argc, char** argv) {
   core::Environment env(clock, fed, mflib, traffic, rng);
   env.advance(11 * util::kMinute);
 
+  const util::Nanos run_start = env.clock().now();
   core::Coordinator coordinator(env, options.config);
   core::ProfileRun run;
   if (options.sites == 0) {
@@ -187,6 +347,57 @@ int main(int argc, char** argv) {
     out << csv;
     std::cout << "wrote " << path.string() << " (" << csv.size()
               << " bytes)\n";
+  }
+
+  // Every run leaves its identity next to the outputs: the manifest ties
+  // the CSVs to seed/config/build, the exposition snapshots final metrics.
+  obs::ManifestInfo info;
+  info.seed = options.seed;
+  info.config = {
+      {"sites", std::to_string(options.sites)},
+      {"cycles", std::to_string(options.config.plan.cycles)},
+      {"samples_per_run",
+       std::to_string(options.config.plan.samples_per_run)},
+      {"snaplen", std::to_string(options.config.capture.snaplen)},
+  };
+  const std::string manifest_path =
+      (std::filesystem::path(options.out_dir) / "patchwork_manifest.json")
+          .string();
+  const std::string metrics_path =
+      (std::filesystem::path(options.out_dir) / "patchwork_metrics.prom")
+          .string();
+  if (!obs::write_manifest(manifest_path, info) ||
+      !obs::expose_to_file(metrics_path)) {
+    std::cerr << "cannot write run manifest/metrics\n";
+    return 1;
+  }
+  std::cout << "wrote " << manifest_path << "\nwrote " << metrics_path
+            << "\n";
+
+  if (options.archive_cmd == "append") {
+    archive::ArchiveWriter writer;
+    const archive::OpenError error = writer.open(options.archive_path);
+    if (error != archive::OpenError::kNone) {
+      std::cerr << "archive open failed: " << archive::to_string(error)
+                << "\n";
+      return 1;
+    }
+    analysis::EpochMeta meta;
+    meta.label = options.label.empty()
+                     ? "epoch" + std::to_string(writer.next_epoch_index())
+                     : options.label;
+    meta.start = run_start;
+    meta.duration = env.clock().now() - run_start;
+    meta.offered_bps = env.mflib().testbed_total_tx_bps(30 * util::kMinute);
+    // The epoch embeds the manifest's deterministic section (the full
+    // manifest's wall_clock half would differ run to run).
+    meta.manifest_json = obs::manifest_deterministic_section(info);
+    if (!writer.append(analysis::extract_epoch_record(report, meta))) {
+      std::cerr << "archive append failed\n";
+      return 1;
+    }
+    std::cout << "appended " << meta.label << " to " << options.archive_path
+              << " (next epoch index " << writer.next_epoch_index() << ")\n";
   }
   return 0;
 }

@@ -2,8 +2,9 @@
 # Full correctness gate: release build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (shared
 # pool, parallel_for, parallel pipeline/coordinator determinism, sharded
-# aggregation, sharded metrics registry), then an AddressSanitizer+UBSan
-# build running the full suite.
+# aggregation, sharded metrics registry, archive compaction, metrics file
+# exporter), then an AddressSanitizer+UBSan build running the archive
+# corrupt-file suites followed by the full suite.
 #
 # Usage: scripts/check.sh [--tsan-only | --asan-only | --release-only]
 set -euo pipefail
@@ -32,15 +33,21 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   cmake --build --preset tsan -j "$(nproc)" --target patchwork_tests
   # The concurrency surface: shared pool stress, parallel primitives,
   # every determinism suite that fans out across the pool (including the
-  # per-(site, sample) render split), and the sharded metrics registry
-  # (concurrent add/observe/registration).
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*'
+  # per-(site, sample) render split), the sharded metrics registry
+  # (concurrent add/observe/registration), and the archive's concurrent
+  # code — the rollup compactor (parallel_map group folds) and the
+  # background metrics file exporter.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "asan" ]]; then
   echo "== asan: configure + build + full test suite =="
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)" --target patchwork_tests
+  # The corrupt-file surface first: the archive reader/writer walking
+  # truncated, bit-flipped, and version-skewed files is where a bounds bug
+  # would hide, so it gets an explicit leg before the full sweep.
+  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:EpochRecord.Decode*:TopFlowSketch.*'
   ./build-asan/tests/patchwork_tests
 fi
 

@@ -1,0 +1,34 @@
+// Bridge from one profiling run's report to the archive's epoch record.
+//
+// This is the only place that knows both shapes: it boils a ProfileReport
+// down to the sums, histograms, and the top-flow summary the longitudinal
+// archive stores, leaving the full-fidelity CSVs and pcaps behind.
+// Extraction is deterministic: flows enter the sketch in FlowKey order, so
+// the encoded record is byte-identical for any analysis thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/pipeline.hpp"
+#include "archive/record.hpp"
+#include "util/units.hpp"
+
+namespace patchwork::analysis {
+
+struct EpochMeta {
+  std::string label;             ///< e.g. "week38".
+  util::Nanos start = 0;         ///< Epoch start on the simulated clock.
+  util::Nanos duration = 0;
+  double offered_bps = 0.0;      ///< Testbed offered load during the epoch.
+  std::string manifest_json;     ///< Manifest deterministic section,
+                                 ///< embedded verbatim in the record.
+  std::size_t top_flow_capacity = 256;
+};
+
+/// Reduce `report` to an archive record. The record's epoch indices are
+/// left unset — ArchiveWriter::append stamps them.
+archive::EpochRecord extract_epoch_record(const ProfileReport& report,
+                                          const EpochMeta& meta);
+
+}  // namespace patchwork::analysis

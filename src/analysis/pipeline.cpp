@@ -35,7 +35,6 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
   // per-site header-variety analysis; the Process step below reuses it for
   // the per-site frame-size CSV, so index construction overlaps the other
   // passes instead of serializing in front of them.
-  std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> flows;
   std::optional<ProfileIndex> index;
   const std::array<std::function<void()>, 8> passes = {
       [&] { report.frame_sizes = analyze_frame_sizes(digested.files); },
@@ -52,15 +51,47 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
       [&] { report.tagging = analyze_tagging(digested.files); },
       [&] { report.top_stacks = analyze_top_stacks(digested.files); },
       [&] {
-        flows = aggregate_flows(digested.files);
-        report.distinct_flows = flows.size();
-        report.flow_distribution = analyze_flow_distribution(flows);
+        report.flow_aggregates = aggregate_flows(digested.files);
+        report.distinct_flows = report.flow_aggregates.size();
+        report.flow_distribution =
+            analyze_flow_distribution(report.flow_aggregates);
         report.largest_flow_bytes = report.flow_distribution.largest_flow_bytes;
       },
   };
   {
     OBS_SPAN("pipeline/analyze");
     util::parallel_for(passes.size(), [&](std::size_t i) { passes[i](); });
+  }
+
+  // Per-site accounting rides after the analyze barrier because it needs
+  // the index (built in the pass array above). Each site is one task;
+  // digest_all preserves input order, so files[pos] pairs with
+  // captures[pos] and pcap byte counts attribute to the right sample.
+  {
+    OBS_SPAN("pipeline/site_profile");
+    const std::vector<std::string> sites = index->sites();
+    std::vector<SiteLoad> loads(sites.size());
+    std::vector<FrameSizeResult> sizes(sites.size());
+    util::parallel_for(sites.size(), [&](std::size_t i) {
+      sizes[i] = analyze_frame_sizes_site(digested.files, *index, sites[i]);
+      SiteLoad load;
+      load.site = sites[i];
+      for (std::size_t pos : index->by_site(sites[i])) {
+        const AcapFile& file = digested.files[pos];
+        ++load.samples;
+        load.frames += file.records.size();
+        for (const AcapRecord& record : file.records) {
+          load.wire_bytes += record.wire_length;
+        }
+        load.pcap_bytes += captures[pos].pcap.size();
+        load.switch_drops_suspected += file.switch_drops_suspected;
+      }
+      loads[i] = std::move(load);
+    });
+    report.site_loads = std::move(loads);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      report.site_frame_sizes.emplace(sites[i], std::move(sizes[i]));
+    }
   }
 
   // Process step: render every CSV, one parallel task per file, each into
@@ -86,7 +117,9 @@ ProfileReport run_pipeline(const std::vector<RawCapture>& captures) {
          write_flows_per_sample_csv(os, report.flows_per_sample);
        }},
       {"flow_aggregate.csv",
-       [&](std::ostream& os) { write_flow_aggregate_csv(os, flows); }},
+       [&](std::ostream& os) {
+         write_flow_aggregate_csv(os, report.flow_aggregates);
+       }},
       {"tcp_control.csv",
        [&](std::ostream& os) { write_tcp_control_csv(os, report.tcp_control); }},
       {"tagging.csv",

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/analyses.hpp"
@@ -14,6 +15,17 @@
 #include "analysis/index.hpp"
 
 namespace patchwork::analysis {
+
+/// One site's capture-volume accounting for a run: how many sample
+/// windows it contributed, what hit the wire, and what survived to pcap.
+struct SiteLoad {
+  std::string site;
+  std::uint64_t samples = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t pcap_bytes = 0;
+  std::uint64_t switch_drops_suspected = 0;
+};
 
 struct ProfileReport {
   DigestStats digest_stats;
@@ -27,6 +39,13 @@ struct ProfileReport {
   FlowDistributionResult flow_distribution;
   std::uint64_t distinct_flows = 0;
   std::uint64_t largest_flow_bytes = 0;
+  /// Stitched cross-sample flow aggregates (the flow_aggregate.csv data,
+  /// kept for consumers like the archive's top-flow summary).
+  std::unordered_map<FlowKey, FlowAggregate, FlowKeyHash> flow_aggregates;
+  /// Per-site accounting, sorted by site name.
+  std::vector<SiteLoad> site_loads;
+  /// Per-site frame-size distributions (index-assisted), keyed by site.
+  std::map<std::string, FrameSizeResult> site_frame_sizes;
   /// CSV outputs of the Process step, keyed by file name.
   std::map<std::string, std::string> csv_files;
 };

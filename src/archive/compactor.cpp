@@ -1,0 +1,135 @@
+#include "archive/compactor.hpp"
+
+#include <numeric>
+
+#include "archive/writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/file_io.hpp"
+#include "util/parallel.hpp"
+
+namespace patchwork::archive {
+
+namespace {
+
+std::uint64_t block_bytes(const EpochRecord& record) {
+  return kBlockHeaderSize + encode_record(record).size();
+}
+
+std::uint64_t image_bytes(const std::vector<std::uint64_t>& sizes) {
+  return std::accumulate(sizes.begin(), sizes.end(),
+                         std::uint64_t{kFileHeaderSize});
+}
+
+}  // namespace
+
+std::vector<EpochRecord> compact_records(std::vector<EpochRecord> records,
+                                         const CompactionOptions& options,
+                                         std::size_t* passes_out) {
+  const std::size_t group_size = options.group_size < 2 ? 2
+                                                        : options.group_size;
+  std::size_t passes = 0;
+  std::vector<std::uint64_t> sizes = util::parallel_map(
+      records, [](const EpochRecord& r) { return block_bytes(r); });
+
+  while (records.size() > 1 &&
+         image_bytes(sizes) > options.storage_budget_bytes) {
+    ++passes;
+
+    // Group consecutive records from the oldest end and fold each group
+    // left-to-right. The folds are independent, so they run in parallel;
+    // each group's result depends only on its members and order, never on
+    // the schedule.
+    std::vector<std::pair<std::size_t, std::size_t>> groups;  // [begin, end)
+    for (std::size_t begin = 0; begin < records.size();
+         begin += group_size) {
+      groups.push_back({begin, std::min(begin + group_size, records.size())});
+    }
+    struct Merged {
+      EpochRecord record;
+      std::uint64_t bytes = 0;
+    };
+    const std::vector<Merged> merged = util::parallel_map(
+        groups, [&](const std::pair<std::size_t, std::size_t>& g) {
+          EpochRecord fold = records[g.first];
+          for (std::size_t i = g.first + 1; i < g.second; ++i) {
+            fold.merge_from(records[i]);
+          }
+          return Merged{std::move(fold), 0};
+        });
+    std::vector<std::uint64_t> merged_sizes = util::parallel_map(
+        merged, [](const Merged& m) { return block_bytes(m.record); });
+
+    // Accept merges greedily oldest-first: newer epochs keep raw fidelity
+    // whenever the budget allows. `projected` starts as the current image
+    // and swaps one group's members for its rollup at a time.
+    std::uint64_t projected = image_bytes(sizes);
+    std::size_t accepted = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (projected <= options.storage_budget_bytes) break;
+      std::uint64_t members = 0;
+      for (std::size_t i = groups[g].first; i < groups[g].second; ++i) {
+        members += sizes[i];
+      }
+      projected = projected - members + merged_sizes[g];
+      ++accepted;
+    }
+    if (accepted == 0) break;
+
+    std::vector<EpochRecord> next;
+    std::vector<std::uint64_t> next_sizes;
+    for (std::size_t g = 0; g < accepted; ++g) {
+      next.push_back(merged[g].record);
+      next_sizes.push_back(merged_sizes[g]);
+    }
+    const std::size_t tail_begin = groups[accepted - 1].second;
+    for (std::size_t i = tail_begin; i < records.size(); ++i) {
+      next.push_back(std::move(records[i]));
+      next_sizes.push_back(sizes[i]);
+    }
+    if (next.size() >= records.size()) break;  // No shrink: cannot converge.
+    records = std::move(next);
+    sizes = std::move(next_sizes);
+  }
+
+  if (passes_out != nullptr) *passes_out = passes;
+  return records;
+}
+
+CompactionResult compact_archive(const std::string& path,
+                                 const CompactionOptions& options) {
+  OBS_SPAN("archive/compact");
+  CompactionResult result;
+
+  ArchiveReader reader;
+  result.error = reader.open(path);
+  if (!result.ok()) return result;
+  result.bytes_before = util::file_size_bytes(path).value_or(0);
+  result.records_before = reader.records().size();
+
+  std::vector<EpochRecord> compacted =
+      compact_records(reader.take_records(), options, &result.passes);
+  result.records_after = compacted.size();
+
+  if (result.passes == 0 && !reader.damaged_tail() &&
+      reader.corrupt_blocks() == 0) {
+    result.bytes_after = result.bytes_before;
+    return result;  // Already under budget and clean: leave bytes untouched.
+  }
+
+  // Commit by atomic replace; rewriting also sheds any corrupt blocks or
+  // damaged tail the reader skipped.
+  if (!write_all(path, compacted)) {
+    result.error = OpenError::kIo;
+    return result;
+  }
+  result.changed = true;
+  result.bytes_after = util::file_size_bytes(path).value_or(0);
+  obs::registry()
+      .counter("patchwork_archive_compactions_total",
+               "Archive compactions that rewrote the file")
+      .add(1);
+  return result;
+}
+
+}  // namespace patchwork::archive

@@ -1,0 +1,62 @@
+// Rollup compaction: keep the archive under a storage budget by merging
+// the oldest records into summary rollups.
+//
+// One compaction pass groups consecutive records from the oldest end into
+// runs of `group_size` and folds each group left-to-right (oldest first)
+// into a single rollup. Group merges are independent, so they run through
+// util::parallel_map — the output depends only on the grouping, never the
+// schedule, so compaction is deterministic at any worker count. Passes
+// repeat (rollups merging into higher-level rollups) until the projected
+// file fits the budget or a single record remains; the result is committed
+// by atomically rewriting the file (write_all), so a crash mid-compaction
+// leaves the previous archive intact.
+//
+// Compaction preserves every sum-derived query answer exactly (the merges
+// are commutative-sum folds) and keeps top-K flow answers within the
+// sketch's error bound; see record.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/reader.hpp"
+#include "archive/record.hpp"
+
+namespace patchwork::archive {
+
+struct CompactionOptions {
+  /// Target upper bound for the archive file, in bytes. The compactor
+  /// stops merging once the projected image fits (or one record remains —
+  /// a single rollup cannot shrink further).
+  std::uint64_t storage_budget_bytes = 256 * 1024;
+  /// Consecutive records folded into one rollup per pass.
+  std::size_t group_size = 4;
+};
+
+struct CompactionResult {
+  OpenError error = OpenError::kNone;
+  bool changed = false;  ///< False when already under budget (a no-op).
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  std::size_t records_before = 0;
+  std::size_t records_after = 0;
+  std::size_t passes = 0;
+
+  bool ok() const { return error == OpenError::kNone; }
+};
+
+/// Pure form: fold `records` (file order, oldest first) under the options.
+/// Returns the compacted sequence; input is returned unchanged when it
+/// already fits. Used by compact_archive and directly testable.
+std::vector<EpochRecord> compact_records(std::vector<EpochRecord> records,
+                                         const CompactionOptions& options,
+                                         std::size_t* passes_out = nullptr);
+
+/// Read `path`, compact, and atomically rewrite it if anything merged.
+/// Idempotent: a second run over a compacted archive is a byte-level
+/// no-op as long as the file still fits the budget.
+CompactionResult compact_archive(const std::string& path,
+                                 const CompactionOptions& options);
+
+}  // namespace patchwork::archive

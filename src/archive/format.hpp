@@ -1,0 +1,57 @@
+// The on-disk archive format.
+//
+//   file   := header block*
+//   header := magic "PWAR" | format_version u16 BE | flags u16 BE (0)
+//   block  := payload_len u32 BE
+//           | type u8 | payload_version u8 | reserved u16 BE (0)
+//           | crc32 u32 BE              (over type..reserved + payload)
+//           | payload bytes
+//
+// Properties the readers rely on:
+//   - Append-only: a crash mid-append leaves a truncated tail block, which
+//     open() detects (header or payload runs past EOF) and drops; the
+//     writer then truncates the file back to the last complete block.
+//   - Self-verifying: the CRC covers the type/version bytes and the whole
+//     payload, so a flipped byte skips exactly that block (the length field
+//     still frames it) instead of poisoning the scan. A corrupted *length*
+//     field cannot be reframed, so everything from that point is treated
+//     as a damaged tail.
+//   - Versioned twice: the file header version gates the framing; each
+//     block carries the payload codec version. A reader refuses files (or
+//     blocks) newer than it understands rather than misparsing them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace patchwork::archive {
+
+inline constexpr std::array<std::uint8_t, 4> kMagic = {'P', 'W', 'A', 'R'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint8_t kPayloadVersion = 1;
+
+inline constexpr std::size_t kFileHeaderSize = 8;
+inline constexpr std::size_t kBlockHeaderSize = 12;
+
+/// Largest payload a scan will accept. A length field above this bound is
+/// treated as tail corruption, bounding memory against flipped bits.
+inline constexpr std::uint64_t kMaxBlockPayload = 64ull << 20;
+
+/// Largest archive file the bounded readers will load.
+inline constexpr std::uint64_t kMaxArchiveBytes = 1ull << 30;
+
+enum class BlockType : std::uint8_t {
+  kEpoch = 1,   ///< One raw profiling run.
+  kRollup = 2,  ///< A compacted merge of consecutive epochs.
+};
+
+/// The 8-byte file header for a fresh archive.
+std::vector<std::uint8_t> encode_file_header();
+
+/// Frame one payload as a block (header + CRC + payload appended to `out`).
+void append_block(std::vector<std::uint8_t>& out, BlockType type,
+                  std::span<const std::uint8_t> payload);
+
+}  // namespace patchwork::archive

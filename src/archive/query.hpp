@@ -1,0 +1,85 @@
+// Trend queries over an archive's record sequence.
+//
+// ArchiveQuery answers longitudinal questions from the archive alone — no
+// pcaps, no re-profiling: how the jumbo/IPv6/TCP shares move over time,
+// how each site's load trends, and which flows stay heavy across epochs.
+// Records are consumed in file order (oldest first); trend methods emit
+// one point per stored record (a rollup contributes one aggregated point
+// covering its span), and whole-archive totals are a left fold in the same
+// order the compactor uses, so totals and top-K agree with record.hpp's
+// compaction guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/reader.hpp"
+#include "archive/record.hpp"
+#include "archive/sketch.hpp"
+#include "net/protocol.hpp"
+
+namespace patchwork::archive {
+
+class ArchiveQuery {
+ public:
+  explicit ArchiveQuery(std::vector<EpochRecord> records);
+
+  /// Load `path` via ArchiveReader. On failure returns an empty query and
+  /// stores the reason in *error (when non-null).
+  static ArchiveQuery from_file(const std::string& path,
+                                OpenError* error = nullptr);
+
+  /// One trend sample: a stored record reduced to a single value.
+  struct TrendPoint {
+    std::string label;
+    std::uint64_t first_epoch = 0;
+    std::uint64_t last_epoch = 0;
+    std::uint32_t epoch_count = 1;
+    std::uint64_t start_nanos = 0;
+    bool rollup = false;
+    double value = 0.0;
+  };
+
+  const std::vector<EpochRecord>& records() const { return records_; }
+  std::size_t record_count() const { return records_.size(); }
+  /// Raw epochs covered (rollups count their whole span).
+  std::uint64_t epochs_covered() const;
+
+  // --- per-record trends --------------------------------------------------
+  /// Fraction of frames at or above the paper's 1519-byte jumbo edge.
+  std::vector<TrendPoint> jumbo_share() const;
+  /// Fraction of frames whose stack carries the protocol.
+  std::vector<TrendPoint> protocol_share(net::Protocol protocol) const;
+  std::vector<TrendPoint> ipv6_share() const;
+  std::vector<TrendPoint> tcp_share() const;
+  /// Mean offered load per epoch within each record, bits/second.
+  std::vector<TrendPoint> offered_bps() const;
+  /// Distinct-flow snippets per record (per-epoch distinct counts summed).
+  std::vector<TrendPoint> flow_snippets() const;
+  /// Captured wire bytes for one site per record (0 where absent).
+  std::vector<TrendPoint> site_wire_bytes(const std::string& site) const;
+  /// Suspected switch-side drops for one site per record.
+  std::vector<TrendPoint> site_switch_drops(const std::string& site) const;
+
+  /// Every site name appearing anywhere in the archive, sorted.
+  std::vector<std::string> sites() const;
+
+  // --- whole-archive aggregates -------------------------------------------
+  /// Left fold of all records, oldest first (empty record when no data).
+  const EpochRecord& totals() const { return totals_; }
+  /// The k heaviest flows across the whole archive, with error bounds.
+  std::vector<TopFlowSketch::Entry> top_flows(std::size_t k) const;
+
+  /// The paper's jumbo lower edge (1519: above the 1518 standard max).
+  static constexpr double kJumboEdgeBytes = 1519.0;
+
+ private:
+  template <typename Fn>
+  std::vector<TrendPoint> trend(Fn&& value_of) const;
+
+  std::vector<EpochRecord> records_;
+  EpochRecord totals_;
+};
+
+}  // namespace patchwork::archive

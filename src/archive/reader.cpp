@@ -1,0 +1,128 @@
+#include "archive/reader.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/byte_io.hpp"
+#include "util/crc32.hpp"
+#include "util/file_io.hpp"
+
+namespace patchwork::archive {
+
+std::string to_string(OpenError error) {
+  switch (error) {
+    case OpenError::kNone:
+      return "ok";
+    case OpenError::kIo:
+      return "io error";
+    case OpenError::kBadMagic:
+      return "not a patchwork archive (bad magic)";
+    case OpenError::kVersionTooNew:
+      return "archive format newer than this build";
+  }
+  return "unknown";
+}
+
+ScanResult scan_archive_bytes(std::span<const std::uint8_t> bytes) {
+  ScanResult result;
+  if (bytes.size() < kFileHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    result.error = OpenError::kBadMagic;
+    return result;
+  }
+  result.format_version = util::get_be16(bytes, 4);
+  if (result.format_version > kFormatVersion) {
+    result.error = OpenError::kVersionTooNew;
+    return result;
+  }
+
+  std::size_t off = kFileHeaderSize;
+  result.valid_bytes = off;
+  while (off < bytes.size()) {
+    if (!util::fits(bytes, off, kBlockHeaderSize)) {
+      result.damaged_tail = true;  // Header cut short by a crash.
+      break;
+    }
+    const std::uint64_t len = util::get_be32(bytes, off);
+    if (len > kMaxBlockPayload) {
+      // A corrupted length field cannot frame the block, so nothing after
+      // this point can be trusted to start on a block boundary.
+      result.damaged_tail = true;
+      break;
+    }
+    if (!util::fits(bytes, off + kBlockHeaderSize, len)) {
+      result.damaged_tail = true;  // Payload cut short by a crash.
+      break;
+    }
+    const std::uint32_t stored_crc = util::get_be32(bytes, off + 8);
+    // CRC covers type..reserved (4 bytes) then the payload; the two ranges
+    // are not contiguous on disk, so chain the incremental form.
+    std::uint32_t crc = util::crc32(bytes.subspan(off + 4, 4));
+    crc = util::crc32(bytes.subspan(off + kBlockHeaderSize, len), crc);
+    const std::size_t next = off + kBlockHeaderSize + len;
+    if (crc != stored_crc) {
+      ++result.corrupt_blocks;
+    } else {
+      ScannedBlock block;
+      block.type = static_cast<BlockType>(util::get_u8(bytes, off + 4));
+      block.payload_version = util::get_u8(bytes, off + 5);
+      const auto payload = bytes.subspan(off + kBlockHeaderSize, len);
+      block.payload.assign(payload.begin(), payload.end());
+      result.blocks.push_back(std::move(block));
+    }
+    off = next;
+    result.valid_bytes = off;
+  }
+  return result;
+}
+
+OpenError ArchiveReader::open(const std::string& path) {
+  auto& corrupt_total = obs::registry().counter(
+      "patchwork_archive_corrupt_blocks_total",
+      "Archive blocks skipped for CRC mismatch or undecodable payload");
+  auto& tail_total = obs::registry().counter(
+      "patchwork_archive_damaged_tails_total",
+      "Archive opens that found a truncated or unframeable tail");
+  auto& read_total = obs::registry().counter(
+      "patchwork_archive_records_read_total",
+      "Epoch/rollup records successfully decoded from archives");
+
+  records_.clear();
+  valid_bytes_ = 0;
+  corrupt_blocks_ = 0;
+  skipped_newer_ = 0;
+  damaged_tail_ = false;
+
+  const auto bytes = util::read_file_bytes(path, kMaxArchiveBytes);
+  if (!bytes.has_value()) return OpenError::kIo;
+  ScanResult scan = scan_archive_bytes(*bytes);
+  if (!scan.ok()) return scan.error;
+
+  valid_bytes_ = scan.valid_bytes;
+  corrupt_blocks_ = scan.corrupt_blocks;
+  damaged_tail_ = scan.damaged_tail;
+  for (const ScannedBlock& block : scan.blocks) {
+    if (block.payload_version > kPayloadVersion) {
+      ++skipped_newer_;  // Written by a newer build; not ours to guess at.
+      continue;
+    }
+    if (block.type != BlockType::kEpoch &&
+        block.type != BlockType::kRollup) {
+      ++skipped_newer_;
+      continue;
+    }
+    EpochRecord record;
+    if (!decode_record(block.payload, &record)) {
+      ++corrupt_blocks_;  // CRC passed but the payload doesn't parse.
+      continue;
+    }
+    records_.push_back(std::move(record));
+  }
+
+  if (corrupt_blocks_ > 0) corrupt_total.add(corrupt_blocks_);
+  if (damaged_tail_) tail_total.add(1);
+  read_total.add(records_.size());
+  return OpenError::kNone;
+}
+
+}  // namespace patchwork::archive

@@ -1,0 +1,82 @@
+// Reading side of the archive: a defensive scan plus a record loader.
+//
+// The scan walks the block framing and classifies damage:
+//   - a complete block whose CRC fails is *skipped* (the length field still
+//     frames it, so the scan resynchronizes at the next block) and counted
+//     in archive_corrupt_blocks_total;
+//   - an unframeable tail — header or payload running past EOF, or a length
+//     field beyond kMaxBlockPayload — ends the scan; `valid_bytes` marks
+//     the last byte of the final complete block so the writer can truncate
+//     the damage away on its next open.
+// A file-header version newer than this reader rejects cleanly
+// (kVersionTooNew) instead of misparsing; so does a per-block payload
+// version (those blocks are skipped and counted, the rest still load).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "archive/format.hpp"
+#include "archive/record.hpp"
+
+namespace patchwork::archive {
+
+enum class OpenError : std::uint8_t {
+  kNone = 0,
+  kIo,             ///< Missing/unreadable file (or beyond kMaxArchiveBytes).
+  kBadMagic,       ///< Too short for a header, or wrong magic.
+  kVersionTooNew,  ///< File format version newer than this reader.
+};
+
+std::string to_string(OpenError error);
+
+/// One framed, CRC-verified block (not yet decoded).
+struct ScannedBlock {
+  BlockType type = BlockType::kEpoch;
+  std::uint8_t payload_version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ScanResult {
+  OpenError error = OpenError::kNone;
+  std::uint16_t format_version = 0;
+  std::vector<ScannedBlock> blocks;  ///< File order, CRC-verified.
+  /// Prefix length ending at the last completely framed block — the safe
+  /// truncation point when damaged_tail is set.
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t corrupt_blocks = 0;  ///< Framed but CRC-mismatched, skipped.
+  bool damaged_tail = false;
+
+  bool ok() const { return error == OpenError::kNone; }
+};
+
+/// Scan in-memory archive bytes (no file I/O, no metrics).
+ScanResult scan_archive_bytes(std::span<const std::uint8_t> bytes);
+
+/// Loads every decodable record from an archive file, in file order
+/// (oldest first — the fold order every consumer relies on).
+class ArchiveReader {
+ public:
+  /// Scans the file, verifies CRCs, decodes records, and bumps the
+  /// archive_* metrics for any damage found. Never modifies the file.
+  OpenError open(const std::string& path);
+
+  const std::vector<EpochRecord>& records() const { return records_; }
+  std::vector<EpochRecord> take_records() { return std::move(records_); }
+
+  std::uint64_t valid_bytes() const { return valid_bytes_; }
+  std::uint64_t corrupt_blocks() const { return corrupt_blocks_; }
+  std::uint64_t skipped_newer_blocks() const { return skipped_newer_; }
+  bool damaged_tail() const { return damaged_tail_; }
+
+ private:
+  std::vector<EpochRecord> records_;
+  std::uint64_t valid_bytes_ = 0;
+  std::uint64_t corrupt_blocks_ = 0;
+  std::uint64_t skipped_newer_ = 0;
+  bool damaged_tail_ = false;
+};
+
+}  // namespace patchwork::archive

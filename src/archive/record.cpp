@@ -1,0 +1,336 @@
+#include "archive/record.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "util/byte_io.hpp"
+
+namespace patchwork::archive {
+
+std::uint64_t HistCounts::total() const {
+  std::uint64_t sum = underflow + overflow;
+  for (std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+double HistCounts::fraction_at_or_above(double lo) const {
+  const std::uint64_t all = total();
+  if (all == 0) return 0.0;
+  std::uint64_t hits = overflow;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i < edges.size() && edges[i] >= lo) hits += counts[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(all);
+}
+
+void HistCounts::merge(const HistCounts& other) {
+  if (edges.empty() && counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.counts.empty() && other.underflow == 0 && other.overflow == 0) {
+    return;
+  }
+  underflow += other.underflow;
+  overflow += other.overflow;
+  const std::size_t n = std::min(counts.size(), other.counts.size());
+  for (std::size_t i = 0; i < n; ++i) counts[i] += other.counts[i];
+}
+
+void EpochRecord::merge_from(const EpochRecord& other) {
+  level = std::max({level, other.level, std::uint32_t{1}});
+  first_epoch = std::min(first_epoch, other.first_epoch);
+  last_epoch = std::max(last_epoch, other.last_epoch);
+  epoch_count += other.epoch_count;
+
+  // Label: leading token of the oldest side, trailing token of the newest.
+  const auto leading = [](const std::string& l) {
+    const std::size_t dots = l.find("..");
+    return dots == std::string::npos ? l : l.substr(0, dots);
+  };
+  const auto trailing = [](const std::string& l) {
+    const std::size_t dots = l.rfind("..");
+    return dots == std::string::npos ? l : l.substr(dots + 2);
+  };
+  label = leading(label) + ".." + trailing(other.label);
+
+  const std::uint64_t end = std::max(start_nanos + duration_nanos,
+                                     other.start_nanos +
+                                         other.duration_nanos);
+  start_nanos = std::min(start_nanos, other.start_nanos);
+  duration_nanos = end - start_nanos;
+  offered_bps_sum += other.offered_bps_sum;
+
+  samples += other.samples;
+  frames += other.frames;
+  bad_records += other.bad_records;
+  truncated_frames += other.truncated_frames;
+  malformed_frames += other.malformed_frames;
+  switch_drops_suspected += other.switch_drops_suspected;
+  pcap_bytes += other.pcap_bytes;
+
+  frame_sizes.merge(other.frame_sizes);
+  occurrence_frames += other.occurrence_frames;
+  if (protocol_occurrences.size() < other.protocol_occurrences.size()) {
+    protocol_occurrences.resize(other.protocol_occurrences.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.protocol_occurrences.size(); ++i) {
+    protocol_occurrences[i] += other.protocol_occurrences[i];
+  }
+  tcp_frames += other.tcp_frames;
+  tcp_syn += other.tcp_syn;
+  tcp_fin += other.tcp_fin;
+  tcp_rst += other.tcp_rst;
+  tcp_pure_ack += other.tcp_pure_ack;
+  tag_frames += other.tag_frames;
+  vlan_tagged += other.vlan_tagged;
+  mpls_tagged += other.mpls_tagged;
+  both_tagged += other.both_tagged;
+  untagged += other.untagged;
+  flow_snippets += other.flow_snippets;
+  largest_flow_bytes = std::max(largest_flow_bytes, other.largest_flow_bytes);
+
+  std::map<std::string, SiteEpochLoad> by_site;
+  for (SiteEpochLoad& load : site_loads) {
+    by_site.emplace(load.site, std::move(load));
+  }
+  for (const SiteEpochLoad& load : other.site_loads) {
+    auto [it, inserted] = by_site.emplace(load.site, load);
+    if (!inserted) {
+      it->second.samples += load.samples;
+      it->second.frames += load.frames;
+      it->second.wire_bytes += load.wire_bytes;
+      it->second.pcap_bytes += load.pcap_bytes;
+      it->second.switch_drops_suspected += load.switch_drops_suspected;
+      it->second.frame_sizes.merge(load.frame_sizes);
+    }
+  }
+  site_loads.clear();
+  site_loads.reserve(by_site.size());
+  for (auto& [site, load] : by_site) site_loads.push_back(std::move(load));
+
+  top_flows.merge(other.top_flows);
+  manifest_json.clear();  // A merged manifest has no meaning.
+}
+
+namespace {
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  util::put_be64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  util::put_be32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_hist(std::vector<std::uint8_t>& out, const HistCounts& h) {
+  util::put_be32(out, static_cast<std::uint32_t>(h.edges.size()));
+  for (double e : h.edges) put_f64(out, e);
+  util::put_be32(out, static_cast<std::uint32_t>(h.counts.size()));
+  for (std::uint64_t c : h.counts) util::put_be64(out, c);
+  util::put_be64(out, h.underflow);
+  util::put_be64(out, h.overflow);
+}
+
+/// Bounds-checked sequential reader; any failed read poisons the cursor so
+/// the decode can check ok() once at the end.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return ok_ && off_ == buf_.size(); }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return util::get_u8(buf_, off_ - 1);
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    return util::get_be32(buf_, off_ - 4);
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    return util::get_be64(buf_, off_ - 8);
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    return std::string(buf_.begin() + static_cast<std::ptrdiff_t>(off_ - len),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+  }
+
+  /// Element-count prefix with a sanity bound: each element needs at least
+  /// `min_elem_bytes` more input, so absurd counts fail fast instead of
+  /// allocating.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (!ok_) return 0;
+    if (min_elem_bytes > 0 &&
+        n > (buf_.size() - off_) / min_elem_bytes) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || !util::fits(buf_, off_, n)) {
+      ok_ = false;
+      return false;
+    }
+    off_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+HistCounts get_hist(Cursor& c) {
+  HistCounts h;
+  h.edges.resize(c.count(8));
+  for (double& e : h.edges) e = c.f64();
+  h.counts.resize(c.count(8));
+  for (std::uint64_t& v : h.counts) v = c.u64();
+  h.underflow = c.u64();
+  h.overflow = c.u64();
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(const EpochRecord& r) {
+  std::vector<std::uint8_t> out;
+  util::put_be32(out, r.level);
+  util::put_be64(out, r.first_epoch);
+  util::put_be64(out, r.last_epoch);
+  util::put_be32(out, r.epoch_count);
+  put_string(out, r.label);
+  util::put_be64(out, r.start_nanos);
+  util::put_be64(out, r.duration_nanos);
+  put_f64(out, r.offered_bps_sum);
+
+  util::put_be64(out, r.samples);
+  util::put_be64(out, r.frames);
+  util::put_be64(out, r.bad_records);
+  util::put_be64(out, r.truncated_frames);
+  util::put_be64(out, r.malformed_frames);
+  util::put_be64(out, r.switch_drops_suspected);
+  util::put_be64(out, r.pcap_bytes);
+
+  put_hist(out, r.frame_sizes);
+  util::put_be64(out, r.occurrence_frames);
+  util::put_be32(out, static_cast<std::uint32_t>(
+                          r.protocol_occurrences.size()));
+  for (std::uint64_t v : r.protocol_occurrences) util::put_be64(out, v);
+  util::put_be64(out, r.tcp_frames);
+  util::put_be64(out, r.tcp_syn);
+  util::put_be64(out, r.tcp_fin);
+  util::put_be64(out, r.tcp_rst);
+  util::put_be64(out, r.tcp_pure_ack);
+  util::put_be64(out, r.tag_frames);
+  util::put_be64(out, r.vlan_tagged);
+  util::put_be64(out, r.mpls_tagged);
+  util::put_be64(out, r.both_tagged);
+  util::put_be64(out, r.untagged);
+  util::put_be64(out, r.flow_snippets);
+  util::put_be64(out, r.largest_flow_bytes);
+
+  util::put_be32(out, static_cast<std::uint32_t>(r.site_loads.size()));
+  for (const SiteEpochLoad& load : r.site_loads) {
+    put_string(out, load.site);
+    util::put_be64(out, load.samples);
+    util::put_be64(out, load.frames);
+    util::put_be64(out, load.wire_bytes);
+    util::put_be64(out, load.pcap_bytes);
+    util::put_be64(out, load.switch_drops_suspected);
+    put_hist(out, load.frame_sizes);
+  }
+
+  util::put_be32(out, static_cast<std::uint32_t>(r.top_flows.capacity()));
+  util::put_be64(out, r.top_flows.floor());
+  const auto& entries = r.top_flows.entries();  // Canonical order.
+  util::put_be32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const TopFlowSketch::Entry& e : entries) {
+    put_string(out, e.key);
+    util::put_be64(out, e.count);
+    util::put_be64(out, e.error);
+  }
+
+  put_string(out, r.manifest_json);
+  return out;
+}
+
+bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out) {
+  Cursor c(payload);
+  EpochRecord r;
+  r.level = c.u32();
+  r.first_epoch = c.u64();
+  r.last_epoch = c.u64();
+  r.epoch_count = c.u32();
+  r.label = c.string();
+  r.start_nanos = c.u64();
+  r.duration_nanos = c.u64();
+  r.offered_bps_sum = c.f64();
+
+  r.samples = c.u64();
+  r.frames = c.u64();
+  r.bad_records = c.u64();
+  r.truncated_frames = c.u64();
+  r.malformed_frames = c.u64();
+  r.switch_drops_suspected = c.u64();
+  r.pcap_bytes = c.u64();
+
+  r.frame_sizes = get_hist(c);
+  r.occurrence_frames = c.u64();
+  r.protocol_occurrences.resize(c.count(8));
+  for (std::uint64_t& v : r.protocol_occurrences) v = c.u64();
+  r.tcp_frames = c.u64();
+  r.tcp_syn = c.u64();
+  r.tcp_fin = c.u64();
+  r.tcp_rst = c.u64();
+  r.tcp_pure_ack = c.u64();
+  r.tag_frames = c.u64();
+  r.vlan_tagged = c.u64();
+  r.mpls_tagged = c.u64();
+  r.both_tagged = c.u64();
+  r.untagged = c.u64();
+  r.flow_snippets = c.u64();
+  r.largest_flow_bytes = c.u64();
+
+  r.site_loads.resize(c.count(4 + 5 * 8));
+  for (SiteEpochLoad& load : r.site_loads) {
+    load.site = c.string();
+    load.samples = c.u64();
+    load.frames = c.u64();
+    load.wire_bytes = c.u64();
+    load.pcap_bytes = c.u64();
+    load.switch_drops_suspected = c.u64();
+    load.frame_sizes = get_hist(c);
+  }
+
+  const std::size_t sketch_capacity = c.u32();
+  const std::uint64_t sketch_floor = c.u64();
+  std::vector<TopFlowSketch::Entry> entries(c.count(4 + 2 * 8));
+  for (TopFlowSketch::Entry& e : entries) {
+    e.key = c.string();
+    e.count = c.u64();
+    e.error = c.u64();
+  }
+  r.top_flows = TopFlowSketch::from_parts(sketch_capacity, sketch_floor,
+                                          std::move(entries));
+
+  r.manifest_json = c.string();
+  if (!c.exhausted()) return false;
+  *out = std::move(r);
+  return true;
+}
+
+}  // namespace patchwork::archive

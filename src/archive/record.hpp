@@ -1,0 +1,118 @@
+// The archive's unit of storage: one epoch's derived profile records.
+//
+// A raw epoch is one ProfileRun boiled down to what longitudinal queries
+// need — global and per-site frame-size histograms, protocol occurrence,
+// TCP control and tagging composition, capture-loss accounting, per-site
+// load, a top-K flow summary, and the run's manifest (deterministic
+// section, embedded verbatim). A rollup is the same struct covering a
+// span of epochs, produced by merge_from().
+//
+// Merge semantics: every field is either a sum (counters, histogram
+// buckets, per-site loads joined by site name), a max (largest flow), a
+// span extension (first/last epoch, start/duration), or a sketch fold.
+// Sums and maxes are commutative and associative, so every sum-derived
+// query answer (shares, loads, loss accounting) is invariant under any
+// compaction grouping. The sketch is fold-order-sensitive once it
+// truncates, so the compactor and the query layer both fold records
+// oldest-first: a prefix rollup reproduces the raw query's fold exactly,
+// and any grouping keeps top-K counts within the sketch's error bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "archive/sketch.hpp"
+
+namespace patchwork::archive {
+
+/// A serializable histogram: explicit edges plus per-bucket counts, so the
+/// archive is self-describing (no dependence on the writer's bucket
+/// tables). Bucket i covers [edges[i], edges[i+1]).
+struct HistCounts {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+
+  std::uint64_t total() const;
+  /// Fraction of all samples in buckets with lower edge >= lo, plus
+  /// overflow (e.g. lo=1519 gives the jumbo share under the paper edges).
+  double fraction_at_or_above(double lo) const;
+  /// Bucket-wise sum. Histograms with different edges cannot merge; the
+  /// caller guarantees matching shapes (enforced by the payload version).
+  void merge(const HistCounts& other);
+
+  bool operator==(const HistCounts&) const = default;
+};
+
+/// One site's contribution to an epoch (or a rollup's span).
+struct SiteEpochLoad {
+  std::string site;
+  std::uint64_t samples = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t pcap_bytes = 0;
+  std::uint64_t switch_drops_suspected = 0;
+  HistCounts frame_sizes;
+
+  bool operator==(const SiteEpochLoad&) const = default;
+};
+
+struct EpochRecord {
+  // --- identity / span ---------------------------------------------------
+  std::uint32_t level = 0;  ///< 0 = raw epoch; >=1 = rollup generation.
+  std::uint64_t first_epoch = 0;
+  std::uint64_t last_epoch = 0;
+  std::uint32_t epoch_count = 1;
+  std::string label;  ///< "week38", or "week38..week41" for rollups.
+  std::uint64_t start_nanos = 0;
+  std::uint64_t duration_nanos = 0;  ///< Span from start to last epoch end.
+  double offered_bps_sum = 0.0;  ///< Sum over covered epochs (divide by
+                                 ///< epoch_count for the trend average).
+
+  // --- capture-loss accounting -------------------------------------------
+  std::uint64_t samples = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bad_records = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t switch_drops_suspected = 0;
+  std::uint64_t pcap_bytes = 0;
+
+  // --- profile composition -----------------------------------------------
+  HistCounts frame_sizes;
+  std::uint64_t occurrence_frames = 0;
+  /// Indexed by net::Protocol; sized at extraction time.
+  std::vector<std::uint64_t> protocol_occurrences;
+  std::uint64_t tcp_frames = 0, tcp_syn = 0, tcp_fin = 0, tcp_rst = 0,
+                tcp_pure_ack = 0;
+  std::uint64_t tag_frames = 0, vlan_tagged = 0, mpls_tagged = 0,
+                both_tagged = 0, untagged = 0;
+  /// Sum of per-epoch distinct flow counts (flow *snippets*: a flow alive
+  /// in two epochs counts twice — the mergeable reading of "distinct").
+  std::uint64_t flow_snippets = 0;
+  std::uint64_t largest_flow_bytes = 0;  ///< Max-merge.
+
+  std::vector<SiteEpochLoad> site_loads;  ///< Sorted by site name.
+  TopFlowSketch top_flows;
+
+  /// Raw epochs: the run manifest's deterministic section, verbatim.
+  /// Rollups drop it (a merged manifest has no meaning).
+  std::string manifest_json;
+
+  bool is_rollup() const { return level > 0; }
+
+  /// Fold `other` (the chronologically later record) into this one.
+  void merge_from(const EpochRecord& other);
+
+  bool operator==(const EpochRecord&) const = default;
+};
+
+/// Deterministic payload codec (big-endian, length-prefixed strings).
+std::vector<std::uint8_t> encode_record(const EpochRecord& record);
+/// Strict decode: any out-of-bounds length or trailing garbage fails.
+bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out);
+
+}  // namespace patchwork::archive

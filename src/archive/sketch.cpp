@@ -1,0 +1,119 @@
+#include "archive/sketch.hpp"
+
+#include <algorithm>
+
+namespace patchwork::archive {
+
+namespace {
+
+bool canonical_less(const TopFlowSketch::Entry& a,
+                    const TopFlowSketch::Entry& b) {
+  if (a.count != b.count) return a.count > b.count;
+  if (a.error != b.error) return a.error < b.error;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+TopFlowSketch::TopFlowSketch(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TopFlowSketch::canonicalize() const {
+  if (!dirty_) return;
+  std::sort(entries_.begin(), entries_.end(), canonical_less);
+  dirty_ = false;
+}
+
+void TopFlowSketch::insert(const std::string& key, std::uint64_t count) {
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.count += count;
+      dirty_ = true;
+      return;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back({key, floor_ + count, floor_});
+    dirty_ = true;
+    return;
+  }
+  // Evict the weakest entry (space-saving): the newcomer inherits its
+  // count as a floor. Canonical order puts it last.
+  canonicalize();
+  const std::uint64_t evicted = entries_.back().count;
+  floor_ = std::max(floor_, evicted);
+  entries_.back() = {key, evicted + count, evicted};
+  dirty_ = true;
+}
+
+void TopFlowSketch::merge(const TopFlowSketch& other) {
+  // Union-sum via a key-sorted join: counts and errors add per key; a key
+  // absent from one side contributes that side's floor as both count and
+  // error (its true count there is in [0, floor]).
+  const auto key_less = [](const Entry& x, const Entry& y) {
+    return x.key < y.key;
+  };
+  std::vector<Entry> a = entries_;
+  std::vector<Entry> b = other.entries_;
+  std::sort(a.begin(), a.end(), key_less);
+  std::sort(b.begin(), b.end(), key_less);
+  std::vector<Entry> merged;
+  merged.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].key < b[j].key)) {
+      merged.push_back(
+          {a[i].key, a[i].count + other.floor_, a[i].error + other.floor_});
+      ++i;
+    } else if (i == a.size() || b[j].key < a[i].key) {
+      merged.push_back(
+          {b[j].key, b[j].count + floor_, b[j].error + floor_});
+      ++j;
+    } else {
+      merged.push_back({a[i].key, a[i].count + b[j].count,
+                        a[i].error + b[j].error});
+      ++i;
+      ++j;
+    }
+  }
+  std::sort(merged.begin(), merged.end(), canonical_less);
+  std::uint64_t new_floor = floor_ + other.floor_;
+  if (merged.size() > capacity_) {
+    new_floor = std::max(new_floor, merged[capacity_].count);
+    merged.resize(capacity_);
+  }
+  floor_ = new_floor;
+  entries_ = std::move(merged);
+  dirty_ = false;
+}
+
+std::vector<TopFlowSketch::Entry> TopFlowSketch::top(std::size_t k) const {
+  canonicalize();
+  std::vector<Entry> out(entries_.begin(),
+                         entries_.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 std::min(k, entries_.size())));
+  return out;
+}
+
+const std::vector<TopFlowSketch::Entry>& TopFlowSketch::entries() const {
+  canonicalize();
+  return entries_;
+}
+
+TopFlowSketch TopFlowSketch::from_parts(std::size_t capacity,
+                                        std::uint64_t floor,
+                                        std::vector<Entry> entries) {
+  TopFlowSketch s(capacity);
+  s.floor_ = floor;
+  s.entries_ = std::move(entries);
+  s.dirty_ = true;
+  return s;
+}
+
+bool TopFlowSketch::operator==(const TopFlowSketch& other) const {
+  return capacity_ == other.capacity_ && floor_ == other.floor_ &&
+         entries() == other.entries();
+}
+
+}  // namespace patchwork::archive

@@ -1,0 +1,71 @@
+// Mergeable top-K flow summary (space-saving style).
+//
+// Each epoch records its heaviest flows here so the archive can answer
+// "which flows persist across months" without keeping every flow key ever
+// seen. The summary keeps at most `capacity` entries; evictions raise a
+// floor that future counts inherit, preserving the space-saving invariant
+//   true_count <= count  and  count - error <= true_count.
+//
+// Merging is a fold: counts and errors add per key; a key absent from one
+// side contributes that side's floor (its count there is unknown but
+// bounded by the floor). While no merge overflows `capacity`, the fold is
+// exact per-key summation — associative and commutative, so any compaction
+// grouping yields identical top-K answers. Once truncation kicks in the
+// merge is order-sensitive; the compactor and the query layer both fold
+// oldest-first so a single prefix rollup still reproduces the raw query's
+// fold exactly, and arbitrary groupings stay within the space-saving bound
+//   true_count <= count <= true_count + error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace patchwork::archive {
+
+class TopFlowSketch {
+ public:
+  struct Entry {
+    std::string key;          ///< Canonical flow string (FlowKey::to_string).
+    std::uint64_t count = 0;  ///< Overestimate of the flow's bytes.
+    std::uint64_t error = 0;  ///< Max overcount (count - error is certain).
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  explicit TopFlowSketch(std::size_t capacity = 256);
+
+  /// Record `count` for `key` (an exact per-epoch total at extraction
+  /// time; inserts of an evicted key re-enter at floor + count).
+  void insert(const std::string& key, std::uint64_t count);
+
+  /// Fold `other` into this summary (see the merge rule above).
+  void merge(const TopFlowSketch& other);
+
+  /// The `k` heaviest entries, count-descending (key-ascending on ties).
+  std::vector<Entry> top(std::size_t k) const;
+
+  /// All entries in canonical order (count desc, error asc, key asc) —
+  /// the serialization order, so equal summaries encode identically.
+  const std::vector<Entry>& entries() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t floor() const { return floor_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Rebuild from serialized parts (record decode).
+  static TopFlowSketch from_parts(std::size_t capacity, std::uint64_t floor,
+                                  std::vector<Entry> entries);
+
+  bool operator==(const TopFlowSketch& other) const;
+
+ private:
+  void canonicalize() const;
+
+  std::size_t capacity_;
+  std::uint64_t floor_ = 0;
+  mutable bool dirty_ = false;
+  mutable std::vector<Entry> entries_;
+};
+
+}  // namespace patchwork::archive

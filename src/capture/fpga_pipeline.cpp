@@ -2,19 +2,23 @@
 
 namespace patchwork::capture {
 
-std::optional<net::Frame> FpgaPipeline::process(const net::Frame& frame) {
+bool FpgaPipeline::admit(const net::Frame& frame) {
   ++stats_.seen;
   const net::ParsedFrame parsed = net::parse_frame(frame);
   if (!config_.filter.matches(parsed)) {
     ++stats_.filtered_out;
-    return std::nullopt;
+    return false;
   }
   if (config_.sample_1_in_n > 1) {
     if (sample_counter_++ % config_.sample_1_in_n != 0) {
       ++stats_.sampled_out;
-      return std::nullopt;
+      return false;
     }
   }
+  return true;
+}
+
+net::Frame FpgaPipeline::edit(const net::Frame& frame) {
   net::Frame out = frame.truncate(config_.snaplen);
   if (config_.anonymize) {
     // Re-dissect the truncated copy so rewrite offsets are in bounds.
@@ -25,6 +29,11 @@ std::optional<net::Frame> FpgaPipeline::process(const net::Frame& frame) {
   }
   ++stats_.emitted;
   return out;
+}
+
+std::optional<net::Frame> FpgaPipeline::process(const net::Frame& frame) {
+  if (!admit(frame)) return std::nullopt;
+  return edit(frame);
 }
 
 }  // namespace patchwork::capture

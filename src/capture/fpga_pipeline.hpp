@@ -33,8 +33,16 @@ class FpgaPipeline {
 
   /// Run one frame through filter -> 1-in-N sample -> truncate ->
   /// anonymize. Returns the edited frame, or nullopt if dropped by the
-  /// filter or sampler.
+  /// filter or sampler. Equivalent to admit() followed by edit().
   std::optional<net::Frame> process(const net::Frame& frame);
+
+  /// The drop decision alone: filter -> 1-in-N sample. Counts
+  /// filtered_out/sampled_out; advances the sampler exactly as process()
+  /// would, so per-stage callers see identical admissions.
+  bool admit(const net::Frame& frame);
+
+  /// The edit alone: truncate -> anonymize, for a frame admit() accepted.
+  net::Frame edit(const net::Frame& frame);
 
   const PipelineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = PipelineStats{}; }

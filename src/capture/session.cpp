@@ -1,9 +1,11 @@
 #include "capture/session.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "net/parser.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace patchwork::capture {
 
@@ -116,27 +118,61 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
     }
   }
 
-  for (const net::Frame& frame : frames) {
-    if (!offload) {
-      // Frame hits the host first; capacity loss precedes the filter.
-      if (!survives_host(offered_pps)) {
-        ++stats.dropped_capacity;
-        continue;
+  // The inner loop, staged so each phase is observable as one span per
+  // sample window. Stage order matches the data path of each method —
+  // offload filters on the NIC before frames reach the host ring, the
+  // kernel path drains the ring before the filter runs — and every stage
+  // preserves per-frame order, so drop decisions, RNG draws, and the
+  // written pcap are byte-identical to the fused loop this replaces.
+  std::vector<const net::Frame*> admitted;
+  admitted.reserve(frames.size());
+  if (offload) {
+    {
+      // NIC-side filter/sample at line rate.
+      OBS_SPAN("session/filter");
+      for (const net::Frame& frame : frames) {
+        if (pipeline.admit(frame)) admitted.push_back(&frame);
       }
-      const auto processed = pipeline.process(frame);
-      if (!processed) continue;  // Counted by pipeline stats below.
-      writer.write(*processed);
-      ++stats.captured;
-    } else {
-      // NIC-side filter/sample at line rate, then host capacity on the
-      // thinned stream.
-      const auto processed = pipeline.process(frame);
-      if (!processed) continue;
-      if (!survives_host(offered_pps * pass_fraction)) {
-        ++stats.dropped_capacity;
-        continue;
+    }
+    {
+      // Host capacity on the thinned stream.
+      OBS_SPAN("session/drain");
+      std::size_t kept = 0;
+      for (const net::Frame* frame : admitted) {
+        if (survives_host(offered_pps * pass_fraction)) {
+          admitted[kept++] = frame;
+        } else {
+          ++stats.dropped_capacity;
+        }
       }
-      writer.write(*processed);
+      admitted.resize(kept);
+    }
+  } else {
+    std::vector<const net::Frame*> drained;
+    drained.reserve(frames.size());
+    {
+      // Frames hit the host first; capacity loss precedes the filter.
+      OBS_SPAN("session/drain");
+      for (const net::Frame& frame : frames) {
+        if (survives_host(offered_pps)) {
+          drained.push_back(&frame);
+        } else {
+          ++stats.dropped_capacity;
+        }
+      }
+    }
+    {
+      OBS_SPAN("session/filter");
+      for (const net::Frame* frame : drained) {
+        if (pipeline.admit(*frame)) admitted.push_back(frame);
+      }
+    }
+  }
+  {
+    // Truncate + anonymize the survivors and serialize them.
+    OBS_SPAN("session/anonymize");
+    for (const net::Frame* frame : admitted) {
+      writer.write(pipeline.edit(*frame));
       ++stats.captured;
     }
   }

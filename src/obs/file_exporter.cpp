@@ -1,0 +1,59 @@
+#include "obs/file_exporter.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/file_io.hpp"
+
+namespace patchwork::obs {
+
+FileExporter::FileExporter(std::string path, std::chrono::milliseconds period,
+                           bool deterministic_only)
+    : path_(std::move(path)),
+      period_(period),
+      deterministic_only_(deterministic_only) {
+  thread_ = std::thread([this] { run(); });
+}
+
+FileExporter::~FileExporter() { stop(); }
+
+void FileExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  write_now();  // Final state, after the thread is quiet.
+}
+
+bool FileExporter::write_now() {
+  const std::string text = expose_text(deterministic_only_);
+  if (!util::write_file_atomic(path_, text)) return false;
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FileExporter::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    // Snapshot with the lock dropped: exposition folds every shard and the
+    // write hits the filesystem — neither should block stop().
+    lock.unlock();
+    write_now();
+    lock.lock();
+    wake_.wait_for(lock, period_, [this] { return stopping_; });
+  }
+}
+
+std::unique_ptr<FileExporter> start_file_exporter(
+    std::string path, std::chrono::milliseconds period,
+    bool deterministic_only) {
+  return std::make_unique<FileExporter>(std::move(path), period,
+                                        deterministic_only);
+}
+
+}  // namespace patchwork::obs

@@ -1,0 +1,19 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for the archive block format.
+//
+// Each archive block stores the CRC of its payload so a flipped byte on
+// disk is detected at open time and the block is skipped instead of
+// poisoning every query that reads past it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace patchwork::util {
+
+/// CRC32 of `bytes`, continuing from `seed` (pass the previous return value
+/// to checksum data incrementally; the default starts a fresh checksum).
+/// crc32(a+b) == crc32(b, crc32(a)).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed = 0);
+
+}  // namespace patchwork::util

@@ -1,0 +1,91 @@
+#include "util/file_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace patchwork::util {
+
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path, std::uint64_t max_bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamoff size = in.tellg();
+  if (size < 0 || static_cast<std::uint64_t>(size) > max_bytes) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (!bytes.empty() &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()))) {
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+namespace {
+
+bool write_atomic_impl(const std::string& path, const char* data,
+                       std::size_t size) {
+  // A per-path temporary name keeps concurrent writers of *different*
+  // targets apart; concurrent writers of the same target race benignly
+  // (rename is atomic, last writer wins with a complete file).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(data, static_cast<std::streamsize>(size));
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view bytes) {
+  return write_atomic_impl(path, bytes.data(), bytes.size());
+}
+
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  return write_atomic_impl(
+      path, reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+bool append_file(const std::string& path,
+                 std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::uint64_t> file_size_bytes(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  return static_cast<std::uint64_t>(size);
+}
+
+bool truncate_file(const std::string& path, std::uint64_t new_size) {
+  const auto current = file_size_bytes(path);
+  if (!current || *current < new_size) return false;
+  std::error_code ec;
+  std::filesystem::resize_file(path, new_size, ec);
+  return !ec;
+}
+
+}  // namespace patchwork::util

@@ -1,0 +1,46 @@
+// Bounded, explicit file IO for artifact writers (archive, metrics
+// snapshots).
+//
+// Two rules:
+//   1. Reads are bounded: callers state the largest file they are prepared
+//      to hold, so a corrupt length field or a runaway artifact cannot
+//      balloon memory.
+//   2. Visible writes are atomic: write_file_atomic renders into a
+//      temporary sibling and renames it over the target, so a reader never
+//      observes a half-written snapshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchwork::util {
+
+/// Read a whole file. Returns nullopt when the file cannot be opened or is
+/// larger than `max_bytes` (a bound, not a truncation: oversized files are
+/// rejected outright so a corrupt artifact fails loudly).
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path, std::uint64_t max_bytes);
+
+/// Write `bytes` to `path` via a temporary sibling + rename. Returns false
+/// on any IO failure; the target is either fully replaced or untouched.
+bool write_file_atomic(const std::string& path, std::string_view bytes);
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// Append `bytes` to `path` (creating it if absent). Returns false on IO
+/// failure. Not atomic — the archive writer layers its own checksummed
+/// framing with truncation recovery on top.
+bool append_file(const std::string& path, std::span<const std::uint8_t> bytes);
+
+/// Size of `path` in bytes, or nullopt if it cannot be stat'ed.
+std::optional<std::uint64_t> file_size_bytes(const std::string& path);
+
+/// Shrink `path` to exactly `new_size` bytes (the archive's corrupt-tail
+/// recovery). Returns false on failure or if the file is smaller already.
+bool truncate_file(const std::string& path, std::uint64_t new_size);
+
+}  // namespace patchwork::util

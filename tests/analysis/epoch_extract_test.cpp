@@ -1,0 +1,129 @@
+#include "analysis/epoch_extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/pipeline.hpp"
+#include "testing/fixtures.hpp"
+
+namespace patchwork::analysis {
+namespace {
+
+using patchwork::testing::make_capture;
+using patchwork::testing::tcp_frame;
+
+std::vector<RawCapture> sample_profile() {
+  std::vector<RawCapture> captures;
+  captures.push_back(make_capture(
+      "S1", 0,
+      {tcp_frame(1, 2, 1000, 443, 1900), tcp_frame(2, 1, 443, 1000, 70)}));
+  captures.push_back(
+      make_capture("S2", 3, {tcp_frame(3, 4, 2000, 5201, 2000)},
+                   10 * util::kMinute));
+  return captures;
+}
+
+EpochMeta sample_meta() {
+  EpochMeta meta;
+  meta.label = "week38";
+  meta.start = 5 * util::kMinute;
+  meta.duration = 7 * util::kDay;
+  meta.offered_bps = 2.5e12;
+  meta.manifest_json = "{\"seed\": 42}";
+  meta.top_flow_capacity = 16;
+  return meta;
+}
+
+TEST(PipelineSiteLoads, ReportCarriesPerSiteAccounting) {
+  const std::vector<RawCapture> captures = sample_profile();
+  const ProfileReport report = run_pipeline(captures);
+
+  ASSERT_EQ(report.site_loads.size(), 2u);
+  EXPECT_EQ(report.site_loads[0].site, "S1");
+  EXPECT_EQ(report.site_loads[1].site, "S2");
+  EXPECT_EQ(report.site_loads[0].samples, 1u);
+  EXPECT_EQ(report.site_loads[0].frames, 2u);
+  EXPECT_EQ(report.site_loads[1].frames, 1u);
+  EXPECT_EQ(report.site_loads[0].pcap_bytes, captures[0].pcap.size());
+  EXPECT_GT(report.site_loads[0].wire_bytes, 1900u);
+
+  ASSERT_TRUE(report.site_frame_sizes.count("S1"));
+  ASSERT_TRUE(report.site_frame_sizes.count("S2"));
+  EXPECT_EQ(report.site_frame_sizes.at("S1").frames, 2u);
+  EXPECT_EQ(report.site_frame_sizes.at("S2").frames, 1u);
+  // Per-site histograms partition the global one.
+  EXPECT_EQ(report.site_frame_sizes.at("S1").frames +
+                report.site_frame_sizes.at("S2").frames,
+            report.frame_sizes.frames);
+}
+
+TEST(EpochExtract, RecordMirrorsTheReport) {
+  const ProfileReport report = run_pipeline(sample_profile());
+  const archive::EpochRecord record =
+      extract_epoch_record(report, sample_meta());
+
+  EXPECT_EQ(record.level, 0u);
+  EXPECT_EQ(record.epoch_count, 1u);
+  EXPECT_EQ(record.label, "week38");
+  EXPECT_EQ(record.start_nanos, 5 * util::kMinute);
+  EXPECT_DOUBLE_EQ(record.offered_bps_sum, 2.5e12);
+  EXPECT_EQ(record.manifest_json, "{\"seed\": 42}");
+
+  EXPECT_EQ(record.frames, report.digest_stats.frames);
+  EXPECT_EQ(record.samples, 2u);  // One per capture.
+  EXPECT_EQ(record.frame_sizes.total(), report.frame_sizes.frames);
+  EXPECT_EQ(record.occurrence_frames, report.header_occurrence.frames);
+  ASSERT_EQ(record.protocol_occurrences.size(), net::kProtocolCount);
+  EXPECT_EQ(record.protocol_occurrences[static_cast<std::size_t>(
+                net::Protocol::kTcp)],
+            report.header_occurrence
+                .occurrences[static_cast<std::size_t>(net::Protocol::kTcp)]);
+  EXPECT_EQ(record.tcp_frames, report.tcp_control.tcp_frames);
+  EXPECT_EQ(record.flow_snippets, report.distinct_flows);
+  EXPECT_EQ(record.largest_flow_bytes, report.largest_flow_bytes);
+
+  ASSERT_EQ(record.site_loads.size(), 2u);
+  EXPECT_EQ(record.site_loads[0].site, "S1");
+  EXPECT_EQ(record.site_loads[1].site, "S2");
+  EXPECT_EQ(record.site_loads[0].frame_sizes.total(), 2u);
+
+  // Under capacity the sketch is exact: one entry per distinct flow, zero
+  // error, counts equal to the aggregated wire bytes.
+  EXPECT_EQ(record.top_flows.size(), report.distinct_flows);
+  std::uint64_t sketch_bytes = 0, flow_bytes = 0;
+  for (const auto& entry : record.top_flows.entries()) {
+    EXPECT_EQ(entry.error, 0u);
+    sketch_bytes += entry.count;
+  }
+  for (const auto& [key, aggregate] : report.flow_aggregates) {
+    flow_bytes += aggregate.wire_bytes;
+  }
+  EXPECT_EQ(sketch_bytes, flow_bytes);
+}
+
+TEST(EpochExtract, ExtractionIsDeterministic) {
+  const ProfileReport report = run_pipeline(sample_profile());
+  const auto a = archive::encode_record(
+      extract_epoch_record(report, sample_meta()));
+  const auto b = archive::encode_record(
+      extract_epoch_record(report, sample_meta()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(EpochExtract, EmptyReportProducesEmptyRecord) {
+  const ProfileReport report = run_pipeline({});
+  const archive::EpochRecord record =
+      extract_epoch_record(report, sample_meta());
+  EXPECT_EQ(record.frames, 0u);
+  EXPECT_EQ(record.site_loads.size(), 0u);
+  EXPECT_EQ(record.top_flows.size(), 0u);
+  // Still round-trips through the codec.
+  archive::EpochRecord decoded;
+  ASSERT_TRUE(archive::decode_record(archive::encode_record(record),
+                                     &decoded));
+  EXPECT_TRUE(decoded == record);
+}
+
+}  // namespace
+}  // namespace patchwork::analysis

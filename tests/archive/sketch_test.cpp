@@ -1,0 +1,142 @@
+#include "archive/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace patchwork::archive {
+namespace {
+
+TEST(TopFlowSketch, ExactUnderCapacity) {
+  TopFlowSketch sketch(8);
+  sketch.insert("a", 100);
+  sketch.insert("b", 50);
+  sketch.insert("c", 150);
+  sketch.insert("a", 10);  // Repeat insert accumulates.
+
+  const auto top = sketch.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "c");
+  EXPECT_EQ(top[0].count, 150u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "a");
+  EXPECT_EQ(top[1].count, 110u);
+  EXPECT_EQ(sketch.floor(), 0u);
+}
+
+TEST(TopFlowSketch, EvictionRaisesFloorAndKeepsBound) {
+  TopFlowSketch sketch(2);
+  sketch.insert("a", 100);
+  sketch.insert("b", 50);
+  sketch.insert("c", 10);  // Evicts b (count 50): c enters at 60, error 50.
+
+  const auto& entries = sketch.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "a");
+  EXPECT_EQ(entries[1].key, "c");
+  EXPECT_EQ(entries[1].count, 60u);
+  EXPECT_EQ(entries[1].error, 50u);
+  EXPECT_EQ(sketch.floor(), 50u);
+  // Space-saving bound: true(c)=10 <= 60 <= 10 + 50.
+  EXPECT_LE(10u, entries[1].count);
+  EXPECT_LE(entries[1].count - entries[1].error, 10u);
+}
+
+TEST(TopFlowSketch, CanonicalOrderBreaksTiesDeterministically) {
+  TopFlowSketch sketch(8);
+  sketch.insert("zeta", 10);
+  sketch.insert("alpha", 10);
+  sketch.insert("mid", 10);
+  const auto& entries = sketch.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, "alpha");
+  EXPECT_EQ(entries[1].key, "mid");
+  EXPECT_EQ(entries[2].key, "zeta");
+}
+
+TEST(TopFlowSketch, MergeSumsSharedKeysAndChargesFloorsForAbsentOnes) {
+  TopFlowSketch a(4), b(4);
+  a.insert("x", 100);
+  a.insert("only_a", 30);
+  b.insert("x", 60);
+  b.insert("only_b", 40);
+
+  a.merge(b);
+  std::map<std::string, TopFlowSketch::Entry> by_key;
+  for (const auto& e : a.entries()) by_key[e.key] = e;
+  ASSERT_EQ(by_key.size(), 3u);
+  // Both floors are 0, so sums are exact.
+  EXPECT_EQ(by_key["x"].count, 160u);
+  EXPECT_EQ(by_key["x"].error, 0u);
+  EXPECT_EQ(by_key["only_a"].count, 30u);
+  EXPECT_EQ(by_key["only_b"].count, 40u);
+  EXPECT_EQ(a.floor(), 0u);
+}
+
+TEST(TopFlowSketch, MergeIsExactWhileUnderCapacity) {
+  // With no truncation, any merge grouping is per-key summation — compare
+  // left fold against a direct multiset sum.
+  util::Rng rng(7);
+  std::vector<TopFlowSketch> parts;
+  std::map<std::string, std::uint64_t> truth;
+  for (int p = 0; p < 4; ++p) {
+    TopFlowSketch s(64);
+    for (int i = 0; i < 10; ++i) {
+      const std::string key = "flow" + std::to_string(rng.uniform_u64(0, 15));
+      const std::uint64_t bytes = rng.uniform_u64(1, 1000);
+      s.insert(key, bytes);
+      truth[key] += bytes;
+    }
+    parts.push_back(std::move(s));
+  }
+  TopFlowSketch fold = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) fold.merge(parts[i]);
+  ASSERT_EQ(fold.size(), truth.size());
+  for (const auto& e : fold.entries()) {
+    EXPECT_EQ(e.count, truth.at(e.key)) << e.key;
+    EXPECT_EQ(e.error, 0u) << e.key;
+  }
+}
+
+TEST(TopFlowSketch, MergeUnderTruncationKeepsSpaceSavingBound) {
+  util::Rng rng(99);
+  std::map<std::string, std::uint64_t> truth;
+  std::vector<TopFlowSketch> parts;
+  for (int p = 0; p < 6; ++p) {
+    TopFlowSketch s(8);  // Far smaller than the key universe.
+    for (int i = 0; i < 40; ++i) {
+      const std::string key = "k" + std::to_string(rng.uniform_u64(0, 63));
+      const std::uint64_t bytes = rng.uniform_u64(1, 500);
+      s.insert(key, bytes);
+      truth[key] += bytes;
+    }
+    parts.push_back(std::move(s));
+  }
+  TopFlowSketch fold = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) fold.merge(parts[i]);
+
+  EXPECT_LE(fold.size(), 8u);
+  for (const auto& e : fold.entries()) {
+    const std::uint64_t true_count = truth.at(e.key);
+    EXPECT_GE(e.count, true_count) << e.key << ": count must overestimate";
+    EXPECT_LE(e.count - e.error, true_count)
+        << e.key << ": count-error must underestimate";
+    EXPECT_GE(e.count, fold.floor());
+  }
+}
+
+TEST(TopFlowSketch, FromPartsRoundTripsEquality) {
+  TopFlowSketch sketch(4);
+  sketch.insert("a", 10);
+  sketch.insert("b", 20);
+  const TopFlowSketch rebuilt = TopFlowSketch::from_parts(
+      sketch.capacity(), sketch.floor(), sketch.entries());
+  EXPECT_TRUE(sketch == rebuilt);
+}
+
+}  // namespace
+}  // namespace patchwork::archive

@@ -137,6 +137,17 @@ TEST(ObsDeterminism, CongestedRunByteIdenticalAcrossThreadCounts) {
   ASSERT_TRUE(oversub.has_value());
   EXPECT_GT(oversub->count, 0u);
 
+  // The capture inner loop is span-covered per sample window: the kernel
+  // path drains the ring, filters, then truncates/anonymizes. Run counts
+  // are deterministic (one per sample window), so these families are part
+  // of the byte-compared exposition.
+  for (const char* stage :
+       {"session/drain", "session/filter", "session/anonymize"}) {
+    const auto span = find_series("patchwork_stage_runs_total", stage);
+    ASSERT_TRUE(span.has_value()) << stage;
+    EXPECT_GT(span->count, 0u) << stage;
+  }
+
   for (std::size_t threads :
        {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     util::set_thread_count(threads);

@@ -1,0 +1,40 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace patchwork::util {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE "check" value and a couple of spot checks.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto all = bytes_of("patchwork archive block payload");
+  const std::span<const std::uint8_t> head(all.data(), 10);
+  const std::span<const std::uint8_t> tail(all.data() + 10, all.size() - 10);
+  EXPECT_EQ(crc32(tail, crc32(head)), crc32(all));
+}
+
+TEST(Crc32, DetectsSingleFlippedByte) {
+  auto payload = bytes_of("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t good = crc32(payload);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] ^= 0x40;
+    EXPECT_NE(crc32(payload), good) << "flip at " << i << " undetected";
+    payload[i] ^= 0x40;
+  }
+}
+
+}  // namespace
+}  // namespace patchwork::util
