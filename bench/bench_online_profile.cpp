@@ -21,11 +21,13 @@
 #include <chrono>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/coordinator.hpp"
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -171,6 +173,46 @@ ScenarioResult sweep(const std::string& name, const Scenario& scenario) {
   return out;
 }
 
+/// Wall-ms total of one OBS_SPAN stage since the last registry reset.
+double stage_ms(std::string_view stage) {
+  return static_cast<double>(
+             obs::registry()
+                 .histogram("patchwork_stage_wall_ns",
+                            "Wall-clock stage duration (ns)",
+                            {{"stage", std::string(stage)}},
+                            obs::Determinism::kWallClock)
+                 .sum()) /
+         1e6;
+}
+
+/// Per-stage attribution of the data plane: one fresh serial run against a
+/// clean metrics registry, then the OBS_SPAN wall histograms sliced by
+/// stage. Serial so stage times sum instead of overlapping.
+struct StageBreakdown {
+  double synthesis_ms = 0.0;  ///< render/synthesis: batched frame building.
+  double capture_ms = 0.0;    ///< session/drain + session/filter decisions.
+  double serialize_ms = 0.0;  ///< session/anonymize: pcap write + scrub.
+  double compress_ms = 0.0;   ///< render/compress: transfer compression.
+};
+
+StageBreakdown measure_stages(const Scenario& scenario) {
+  obs::registry().reset();
+  util::set_thread_count(1);
+  bench::BenchWorld world(scenario.seed, scenario.spec);
+  if (scenario.squeeze_to_hot_site) squeeze_cold_sites(world);
+  world.warm_up_telemetry();
+  core::Coordinator coordinator(world.env, scenario.config);
+  (void)coordinator.run_all_experiment();
+  util::set_thread_count(std::nullopt);
+
+  StageBreakdown out;
+  out.synthesis_ms = stage_ms("render/synthesis");
+  out.capture_ms = stage_ms("session/drain") + stage_ms("session/filter");
+  out.serialize_ms = stage_ms("session/anonymize");
+  out.compress_ms = stage_ms("render/compress");
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -203,18 +245,27 @@ int main() {
   const ScenarioResult skewed_result =
       sweep("skewed: one hot site", skewed);
 
-  // The acceptance bar — >= 1.5x at 4 workers — only applies where the
-  // host can actually run 4 workers.
+  // Per-stage attribution of the wide scenario's serial data plane, so a
+  // perf PR can see which stage it actually moved.
+  const StageBreakdown stages = measure_stages(wide);
+  std::cout << "\nstage breakdown (serial, wide): synthesis "
+            << stages.synthesis_ms << " ms, capture " << stages.capture_ms
+            << " ms, serialize " << stages.serialize_ms << " ms, compress "
+            << stages.compress_ms << " ms\n";
+
+  // The acceptance bar — >= 2.0x at 4 workers now that samples decompose
+  // into per-burst subtasks — only applies where the host can actually run
+  // 4 workers.
   const bool judged = hw >= 4;
   const bool all_identical =
       wide_result.all_identical && skewed_result.all_identical;
-  const bool speedup_ok = !judged || wide_result.speedup_at_4 >= 1.5;
+  const bool speedup_ok = !judged || wide_result.speedup_at_4 >= 2.0;
   std::cout << "\n"
             << (all_identical ? "PASS: all outputs byte-identical\n"
                               : "FAIL: parallel output diverged\n");
   if (judged) {
     std::cout << (speedup_ok ? "PASS" : "FAIL") << ": speedup at 4 workers = "
-              << wide_result.speedup_at_4 << "x (bar: 1.5x); skewed scenario "
+              << wide_result.speedup_at_4 << "x (bar: 2.0x); skewed scenario "
               << skewed_result.speedup_at_4 << "x\n";
   } else {
     std::cout << "SKIP: speedup bar not judged (" << hw
@@ -235,6 +286,11 @@ int main() {
             << "  \"pcap_bytes\": " << wide_result.pcap_bytes << ",\n"
             << "  \"hardware_threads\": " << hw << ",\n"
             << "  \"serial_ms\": " << wide_result.serial_ms << ",\n"
+            << "  \"stages_serial_ms\": {\n"
+            << "    \"synthesis\": " << stages.synthesis_ms << ",\n"
+            << "    \"capture\": " << stages.capture_ms << ",\n"
+            << "    \"serialize\": " << stages.serialize_ms << ",\n"
+            << "    \"compress\": " << stages.compress_ms << "\n  },\n"
             << "  \"runs\": [\n"
             << wide_result.rows << "\n  ],\n"
             << "  \"skewed\": {\n"

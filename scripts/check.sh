@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Full correctness gate: release build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (shared
-# pool, parallel_for, parallel pipeline/coordinator determinism, sharded
-# aggregation, sharded metrics registry, archive compaction, metrics file
-# exporter), then an AddressSanitizer+UBSan build running the archive
-# corrupt-file suites followed by the full suite.
+# pool, work-stealing task groups, parallel_for, parallel
+# pipeline/coordinator determinism, sharded aggregation, sharded metrics
+# registry, archive compaction, metrics file exporter), then a standalone
+# UBSan build running the counter-arithmetic and arena-path suites, then an
+# AddressSanitizer+UBSan build running the archive corrupt-file suites
+# followed by the full suite.
 #
-# Usage: scripts/check.sh [--tsan-only | --asan-only | --release-only]
+# Usage: scripts/check.sh [--tsan-only | --asan-only | --ubsan-only |
+#                          --release-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,9 +17,10 @@ mode="all"
 case "${1:-}" in
   --tsan-only) mode="tsan" ;;
   --asan-only) mode="asan" ;;
+  --ubsan-only) mode="ubsan" ;;
   --release-only) mode="release" ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tsan-only | --asan-only | --release-only]" >&2
+  *) echo "usage: scripts/check.sh [--tsan-only | --asan-only | --ubsan-only | --release-only]" >&2
      exit 2 ;;
 esac
 
@@ -31,13 +35,26 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   echo "== tsan: configure + build + concurrency tests =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" --target patchwork_tests
-  # The concurrency surface: shared pool stress, parallel primitives,
+  # The concurrency surface: shared pool stress, work-stealing task groups
+  # (nested spawn/wait from inside worker tasks), parallel primitives,
   # every determinism suite that fans out across the pool (including the
-  # per-(site, sample) render split), the sharded metrics registry
-  # (concurrent add/observe/registration), and the archive's concurrent
-  # code — the rollup compactor (parallel_map group folds) and the
-  # background metrics file exporter.
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*'
+  # per-(site, sample) render split and its per-burst sub-spawns), the
+  # sharded metrics registry (concurrent add/observe/registration), and the
+  # archive's concurrent code — the rollup compactor (parallel_map group
+  # folds) and the background metrics file exporter.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*'
+fi
+
+if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
+  echo "== ubsan: configure + build + counter/arena suites =="
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "$(nproc)" --target patchwork_tests
+  # The batched-synthesis surface: Philox counter arithmetic (wrapping
+  # 128-bit counters, Lemire bounded draws), the frame arena and its
+  # span-aliasing write/edit path, and the render decomposition that
+  # stitches them together. UBSan catches the offset/overflow mistakes
+  # ASan's poisoning cannot.
+  ./build-ubsan/tests/patchwork_tests --gtest_filter='Philox.*:Rng.*:RngBlock.*:WeightedTable.*:FrameBuilder.*:FrameStore.*:Pcap.*:FlowGen.*:Compress.*:SessionTest.*:TaskGroup.*:CoordinatorDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "asan" ]]; then

@@ -26,7 +26,7 @@ std::uint32_t Anonymizer::map_ipv4(std::uint32_t addr) const {
 
 namespace {
 
-void rewrite_be32(std::vector<std::uint8_t>& bytes, std::size_t off,
+void rewrite_be32(std::span<std::uint8_t> bytes, std::size_t off,
                   std::uint32_t v) {
   bytes[off] = static_cast<std::uint8_t>(v >> 24);
   bytes[off + 1] = static_cast<std::uint8_t>(v >> 16);
@@ -36,7 +36,7 @@ void rewrite_be32(std::vector<std::uint8_t>& bytes, std::size_t off,
 
 }  // namespace
 
-std::size_t Anonymizer::scrub(std::vector<std::uint8_t>& bytes,
+std::size_t Anonymizer::scrub(std::span<std::uint8_t> bytes,
                               const net::ParsedFrame& parsed) const {
   std::size_t rewritten = 0;
   for (const net::LayerInfo& layer : parsed.layers) {

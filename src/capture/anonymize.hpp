@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -28,8 +29,9 @@ class Anonymizer {
 
   /// Rewrites addresses in `bytes` in place, guided by the dissection
   /// `parsed` (which must describe these bytes). Returns the number of
-  /// fields rewritten.
-  std::size_t scrub(std::vector<std::uint8_t>& bytes,
+  /// fields rewritten. Accepts any mutable byte range — including a slice
+  /// of a pcap stream — so the zero-copy write path can scrub in place.
+  std::size_t scrub(std::span<std::uint8_t> bytes,
                     const net::ParsedFrame& parsed) const;
 
   /// Convenience: dissects, scrubs, and returns a new frame.

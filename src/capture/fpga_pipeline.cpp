@@ -2,9 +2,8 @@
 
 namespace patchwork::capture {
 
-bool FpgaPipeline::admit(const net::Frame& frame) {
+bool FpgaPipeline::admit_parsed(const net::ParsedFrame& parsed) {
   ++stats_.seen;
-  const net::ParsedFrame parsed = net::parse_frame(frame);
   if (!config_.filter.matches(parsed)) {
     ++stats_.filtered_out;
     return false;
@@ -18,6 +17,15 @@ bool FpgaPipeline::admit(const net::Frame& frame) {
   return true;
 }
 
+bool FpgaPipeline::admit(const net::Frame& frame) {
+  return admit_parsed(net::parse_frame(frame));
+}
+
+bool FpgaPipeline::admit(const net::FrameView& view) {
+  return admit_parsed(
+      net::parse_bytes(view.bytes, view.wire_length, view.timestamp));
+}
+
 net::Frame FpgaPipeline::edit(const net::Frame& frame) {
   net::Frame out = frame.truncate(config_.snaplen);
   if (config_.anonymize) {
@@ -29,6 +37,19 @@ net::Frame FpgaPipeline::edit(const net::Frame& frame) {
   }
   ++stats_.emitted;
   return out;
+}
+
+void FpgaPipeline::edit_in_place(std::span<std::uint8_t> bytes,
+                                 std::size_t wire_length,
+                                 util::Nanos timestamp) {
+  if (config_.anonymize) {
+    // Dissect the (already truncated) bytes so rewrite offsets are in
+    // bounds, then scrub them where they sit.
+    const net::ParsedFrame parsed =
+        net::parse_bytes(bytes, wire_length, timestamp);
+    anonymizer_.scrub(bytes, parsed);
+  }
+  ++stats_.emitted;
 }
 
 std::optional<net::Frame> FpgaPipeline::process(const net::Frame& frame) {

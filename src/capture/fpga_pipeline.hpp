@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "capture/anonymize.hpp"
 #include "capture/config.hpp"
+#include "net/frame_store.hpp"
 #include "net/packet.hpp"
 #include "net/parser.hpp"
 
@@ -41,13 +43,26 @@ class FpgaPipeline {
   /// would, so per-stage callers see identical admissions.
   bool admit(const net::Frame& frame);
 
+  /// Zero-copy admit over a synthesized frame view — same decision and
+  /// stats as the Frame overload.
+  bool admit(const net::FrameView& view);
+
   /// The edit alone: truncate -> anonymize, for a frame admit() accepted.
   net::Frame edit(const net::Frame& frame);
+
+  /// Zero-copy edit: anonymizes `bytes` in place (they must already be
+  /// truncated to snaplen, e.g. a record slice the pcap writer returned)
+  /// and counts the emission. Dissection uses `wire_length`/`timestamp` so
+  /// offsets match what edit() would have produced.
+  void edit_in_place(std::span<std::uint8_t> bytes, std::size_t wire_length,
+                     util::Nanos timestamp);
 
   const PipelineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = PipelineStats{}; }
 
  private:
+  bool admit_parsed(const net::ParsedFrame& parsed);
+
   const CaptureConfig& config_;
   Anonymizer anonymizer_;
   PipelineStats stats_;

@@ -74,14 +74,25 @@ double CaptureSession::capacity_pps(double mean_wire_bytes) const {
 
 CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
                                   double offered_pps) {
+  // Borrow each frame's bytes as a view; the primary path never copies.
+  std::vector<net::FrameView> views;
+  views.reserve(frames.size());
+  for (const net::Frame& f : frames) {
+    views.push_back(net::FrameView{f.bytes(), f.wire_length(), f.timestamp()});
+  }
+  return run(std::span<const net::FrameView>(views), offered_pps);
+}
+
+CaptureResult CaptureSession::run(std::span<const net::FrameView> frames,
+                                  double offered_pps) {
   CaptureResult result;
   CaptureStats& stats = result.stats;
   stats.offered = frames.size();
   stats.offered_pps = offered_pps;
 
   double mean_wire = 0.0;
-  for (const net::Frame& f : frames) {
-    mean_wire += static_cast<double>(f.wire_length());
+  for (const net::FrameView& f : frames) {
+    mean_wire += static_cast<double>(f.wire_length);
   }
   if (!frames.empty()) mean_wire /= static_cast<double>(frames.size());
   stats.capacity_pps = capacity_pps(std::max(64.0, mean_wire));
@@ -106,8 +117,11 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
   double pass_fraction = 1.0;
   if (offload) {
     std::uint64_t pass = 0;
-    for (const net::Frame& f : frames) {
-      if (config_.filter.matches(net::parse_frame(f))) ++pass;
+    for (const net::FrameView& f : frames) {
+      if (config_.filter.matches(
+              net::parse_bytes(f.bytes, f.wire_length, f.timestamp))) {
+        ++pass;
+      }
     }
     pass_fraction = frames.empty()
                         ? 1.0
@@ -124,13 +138,13 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
   // kernel path drains the ring before the filter runs — and every stage
   // preserves per-frame order, so drop decisions, RNG draws, and the
   // written pcap are byte-identical to the fused loop this replaces.
-  std::vector<const net::Frame*> admitted;
+  std::vector<const net::FrameView*> admitted;
   admitted.reserve(frames.size());
   if (offload) {
     {
       // NIC-side filter/sample at line rate.
       OBS_SPAN("session/filter");
-      for (const net::Frame& frame : frames) {
+      for (const net::FrameView& frame : frames) {
         if (pipeline.admit(frame)) admitted.push_back(&frame);
       }
     }
@@ -138,7 +152,7 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
       // Host capacity on the thinned stream.
       OBS_SPAN("session/drain");
       std::size_t kept = 0;
-      for (const net::Frame* frame : admitted) {
+      for (const net::FrameView* frame : admitted) {
         if (survives_host(offered_pps * pass_fraction)) {
           admitted[kept++] = frame;
         } else {
@@ -148,12 +162,12 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
       admitted.resize(kept);
     }
   } else {
-    std::vector<const net::Frame*> drained;
+    std::vector<const net::FrameView*> drained;
     drained.reserve(frames.size());
     {
       // Frames hit the host first; capacity loss precedes the filter.
       OBS_SPAN("session/drain");
-      for (const net::Frame& frame : frames) {
+      for (const net::FrameView& frame : frames) {
         if (survives_host(offered_pps)) {
           drained.push_back(&frame);
         } else {
@@ -163,16 +177,20 @@ CaptureResult CaptureSession::run(std::span<const net::Frame> frames,
     }
     {
       OBS_SPAN("session/filter");
-      for (const net::Frame* frame : drained) {
+      for (const net::FrameView* frame : drained) {
         if (pipeline.admit(*frame)) admitted.push_back(frame);
       }
     }
   }
   {
-    // Truncate + anonymize the survivors and serialize them.
+    // Serialize the survivors straight into the pcap stream (the writer
+    // truncates to snaplen as it slices), then anonymize each record's
+    // bytes where they landed — zero intermediate Frame copies.
     OBS_SPAN("session/anonymize");
-    for (const net::Frame* frame : admitted) {
-      writer.write(pipeline.edit(*frame));
+    for (const net::FrameView* frame : admitted) {
+      std::span<std::uint8_t> record = writer.write_record(
+          frame->bytes, frame->wire_length, frame->timestamp);
+      pipeline.edit_in_place(record, frame->wire_length, frame->timestamp);
       ++stats.captured;
     }
   }

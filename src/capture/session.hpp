@@ -15,6 +15,7 @@
 #include "capture/config.hpp"
 #include "capture/fpga_pipeline.hpp"
 #include "host/host_system.hpp"
+#include "net/frame_store.hpp"
 #include "pcap/pcap.hpp"
 #include "util/rng.hpp"
 
@@ -50,7 +51,14 @@ class CaptureSession {
   /// Capture one sample window. `frames` are the frames the mirror
   /// delivered to the NIC during the window; `offered_pps` is the true
   /// arrival rate they represent (the frame list may be a scaled-down
-  /// packet-level rendering of a much faster stream).
+  /// packet-level rendering of a much faster stream). This is the primary
+  /// zero-copy path: views alias the synthesis arena and surviving bytes
+  /// are serialized straight into the pcap stream, edited in place.
+  CaptureResult run(std::span<const net::FrameView> frames,
+                    double offered_pps);
+
+  /// Owning-frame convenience overload; converts to views and delegates.
+  /// Byte-identical output and RNG consumption to the view path.
   CaptureResult run(std::span<const net::Frame> frames, double offered_pps);
 
   const CaptureConfig& config() const { return config_; }

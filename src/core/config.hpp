@@ -94,6 +94,12 @@ struct ProfilerConfig {
   /// also reacts by dropping the mirror to Tx-only, trading the Rx channel
   /// for a complete Tx sample.
   bool congestion_mitigation = false;
+
+  /// Frames per synthesis subtask when a sample's render is decomposed for
+  /// the work-stealing pool. 0 = PATCHWORK_RENDER_BATCH env var, falling
+  /// back to 1024. Output bytes are invariant to this value (and to the
+  /// worker count); it only tunes scheduling granularity.
+  std::size_t render_batch_frames = 0;
 };
 
 /// Which experiments the profiler may observe (Section 4's Goal): all

@@ -137,7 +137,7 @@ ProfileRun Coordinator::run_sites(
       for (std::size_t k = 0; k < n; ++k) tasks.push_back({i, k});
     }
 
-    util::parallel_for(tasks.size(), [&](std::size_t t) {
+    auto render_one = [&](std::size_t t) {
       const RenderTask& task = tasks[t];
       SiteWork& w = work[task.site_index];
       RenderedSample& slot = rendered[task.site_index][task.sample];
@@ -147,9 +147,14 @@ ProfileRun Coordinator::run_sites(
       slot.pcap_bytes = slot.capture.pcap.size();
       if (w.config.compress_transfers) {
         // The download path of Fig. 7 step 4: compress at the site,
-        // transfer, decompress at the coordinator.
-        const std::vector<std::uint8_t> wire =
-            util::compress(slot.capture.pcap);
+        // transfer, decompress at the coordinator. The compression scratch
+        // (a 32 K-slot hash table) is reused across every sample the same
+        // worker compresses.
+        static thread_local util::Compressor t_compressor;
+        const std::vector<std::uint8_t> wire = [&] {
+          OBS_SPAN("render/compress");
+          return t_compressor.compress(slot.capture.pcap);
+        }();
         slot.transferred_bytes = wire.size();
         auto restored = util::decompress(wire);
         if (restored.has_value()) {
@@ -158,7 +163,23 @@ ProfileRun Coordinator::run_sites(
       } else {
         slot.transferred_bytes = slot.capture.pcap.size();
       }
-    });
+    };
+    // One work-stealing task per (site, sample); the synthesis inside a
+    // sample sub-spawns per-burst tasks into the same pool, so a skewed
+    // hot-site workload still saturates every worker instead of serializing
+    // behind the heaviest sample.
+    const std::size_t threads = util::thread_count();
+    if (tasks.size() <= 1 || threads <= 1) {
+      for (std::size_t t = 0; t < tasks.size(); ++t) render_one(t);
+    } else {
+      util::ThreadPool& pool = util::shared_pool();
+      pool.ensure_size(threads - 1);  // The waiting caller helps too.
+      util::TaskGroup group(pool);
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        group.spawn([&render_one, t] { render_one(t); });
+      }
+      group.wait();
+    }
 
     // Hand each site its captures back in sample order; the per-sample
     // byte accounting sums in the same order the per-site loop used to.

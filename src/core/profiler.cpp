@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <numeric>
 #include <sstream>
 
+#include "net/frame_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "pcap/pcap.hpp"
 #include "traffic/flowgen.hpp"
+#include "util/thread_pool.hpp"
 
 namespace patchwork::core {
 
@@ -409,6 +413,24 @@ bool SiteProfiler::take_sample(MirrorSlot& slot, std::uint32_t cycle,
   return true;
 }
 
+namespace {
+
+/// Effective synthesis burst size: config wins, then the
+/// PATCHWORK_RENDER_BATCH env knob, then 1024. Never 0.
+std::size_t resolve_render_batch(std::size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("PATCHWORK_RENDER_BATCH")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return 1024;
+}
+
+}  // namespace
+
 analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
                                                  util::Rng& rng) const {
   // Per-sample wall latency (kWallClock) plus a deterministic render count.
@@ -417,29 +439,118 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
   const testbed::Site& site = env_.federation().site(site_);
   const traffic::SiteWorkloadProfile& profile = env_.traffic().profile(site_);
 
-  // Synthesize the window the mirror would deliver, then apply the
-  // switch's egress-capacity rule: oversubscribed mirrors silently lose
-  // frames.
+  // The sample's stochastic phases hang off `rng` by substream id (see
+  // flowgen.hpp): the plan is drawn sequentially, then every downstream
+  // draw is counter-addressed, so the rendered bytes depend only on the
+  // per-sample seed — never on batch scheduling or worker count.
   traffic::WindowParams params;
   params.duration = config_.plan.sample_duration;
   params.target_bps = p.target_bps;
   params.max_frames = config_.plan.max_frames_per_sample;
-  traffic::WindowTraffic window = traffic::generate_window(rng, profile,
-                                                           params);
-  if (p.delivery < 1.0) {
-    std::vector<net::Frame> kept;
-    kept.reserve(window.frames.size());
-    for (net::Frame& f : window.frames) {
-      if (rng.chance(p.delivery)) kept.push_back(std::move(f));
+  util::Rng plan_rng = rng.split(traffic::kWindowPlanStream);
+  const traffic::WindowPlan plan =
+      traffic::plan_window(plan_rng, profile, params);
+  double offered_pps = plan.offered_pps;
+
+  // Synthesis: decompose units into fixed-size bursts, each rendering a
+  // counter range of its unit into a private arena. Bursts are work-stolen
+  // subtasks when the pool has workers; the decomposition itself depends
+  // only on the plan and the batch knob.
+  struct Burst {
+    std::size_t unit = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    net::FrameStore store;
+  };
+  const std::size_t batch = resolve_render_batch(config_.render_batch_frames);
+  std::vector<Burst> bursts;
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    for (std::uint64_t b = 0; b < plan.units[u].frames;
+         b += static_cast<std::uint64_t>(batch)) {
+      Burst burst;
+      burst.unit = u;
+      burst.begin = b;
+      burst.end = std::min(plan.units[u].frames,
+                           b + static_cast<std::uint64_t>(batch));
+      bursts.push_back(std::move(burst));
     }
-    window.frames = std::move(kept);
-    window.offered_pps *= p.delivery;
+  }
+  std::vector<util::RngBlock> unit_draws;
+  unit_draws.reserve(plan.units.size());
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    unit_draws.emplace_back(
+        rng.split(traffic::kWindowUnitStreamBase + static_cast<uint64_t>(u)));
+  }
+  {
+    OBS_SPAN("render/synthesis");
+    auto render_burst = [&](Burst& burst) {
+      net::FrameBuilder builder;
+      traffic::render_unit(plan.units[burst.unit], unit_draws[burst.unit],
+                           params.duration, burst.begin, burst.end, builder,
+                           burst.store);
+    };
+    util::ThreadPool& pool = util::shared_pool();
+    if (bursts.size() > 1 && util::thread_count() > 1 && pool.size() > 0) {
+      util::TaskGroup group(pool);
+      for (Burst& burst : bursts) {
+        group.spawn([&render_burst, &burst] { render_burst(burst); });
+      }
+      group.wait();
+    } else {
+      for (Burst& burst : bursts) render_burst(burst);
+    }
   }
 
-  // Capture through the configured method.
-  capture::CaptureSession capturer(config_.capture, host_, rng);
-  capture::CaptureResult captured =
-      capturer.run(window.frames, window.offered_pps);
+  // Merge to the window's total order (timestamp, unit, counter) — fully
+  // determined by the plan, so identical for every decomposition.
+  struct Ref {
+    const Burst* burst;
+    std::size_t local;
+    util::Nanos ts;
+    std::size_t unit;
+    std::uint64_t j;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(plan.planned_frames);
+  for (const Burst& burst : bursts) {
+    for (std::size_t i = 0; i < burst.store.size(); ++i) {
+      refs.push_back(Ref{&burst, i, burst.store.view(i).timestamp, burst.unit,
+                         burst.begin + i});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.unit != b.unit) return a.unit < b.unit;
+    return a.j < b.j;
+  });
+
+  // Switch egress-capacity rule: oversubscribed mirrors silently lose
+  // frames. Decided per frame by its position in the merged order, on the
+  // delivery substream.
+  std::vector<net::FrameView> views;
+  views.reserve(refs.size());
+  if (p.delivery < 1.0) {
+    const util::RngBlock delivery(
+        rng.split(traffic::kWindowDeliveryStream));
+    for (std::size_t j = 0; j < refs.size(); ++j) {
+      if (delivery.chance_at(j, p.delivery)) {
+        views.push_back(refs[j].burst->store.view(refs[j].local));
+      }
+    }
+    offered_pps *= p.delivery;
+  } else {
+    for (const Ref& ref : refs) {
+      views.push_back(ref.burst->store.view(ref.local));
+    }
+  }
+
+  // Capture through the configured method, on its own substream.
+  util::Rng capture_rng = rng.split(traffic::kWindowCaptureStream);
+  capture::CaptureSession capturer(config_.capture, host_, capture_rng);
+  capture::CaptureResult captured = [&] {
+    OBS_SPAN("render/capture");
+    return capturer.run(std::span<const net::FrameView>(views), offered_pps);
+  }();
 
   analysis::RawCapture raw;
   raw.site = site.name();
@@ -447,8 +558,7 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
   raw.start = p.start;
   raw.duration = config_.plan.sample_duration;
   raw.switch_drops_suspected = static_cast<std::uint64_t>(
-      p.drop_fraction * window.offered_pps *
-      util::to_seconds(raw.duration));
+      p.drop_fraction * offered_pps * util::to_seconds(raw.duration));
   raw.pcap = std::move(captured.pcap);
 
   std::ostringstream msg;
@@ -456,7 +566,7 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
       << " p" << p.source.value << ": offered=" << captured.stats.offered
       << " captured=" << captured.stats.captured
       << " capacity_loss=" << captured.stats.dropped_capacity
-      << " flows~" << window.flow_count;
+      << " flows~" << plan.flow_count;
   raw.logs.info(p.start, component_, msg.str());
   return raw;
 }

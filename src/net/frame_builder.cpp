@@ -1,5 +1,6 @@
 #include "net/frame_builder.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace patchwork::net {
@@ -199,9 +200,28 @@ FrameBuilder& FrameBuilder::pad_to(std::size_t frame_size) {
 
 Frame FrameBuilder::build(util::Nanos timestamp) const {
   assert(!layers_.empty());
-  // Working copy so the builder stays reusable and build() stays const.
-  std::vector<Layer> layers = layers_;
+  scratch_ = layers_;  // Working copy: builder stays reusable + const.
+  Bytes out;
+  resolve_and_serialize(scratch_, out);
+  return Frame(std::move(out), timestamp);
+}
 
+void FrameBuilder::build_into(FrameStore& store, util::Nanos timestamp) const {
+  assert(!layers_.empty());
+  scratch_ = layers_;
+  const std::size_t start = store.arena().size();
+  resolve_and_serialize(scratch_, store.arena());
+  store.commit(start, timestamp);
+}
+
+void FrameBuilder::reset() {
+  layers_.clear();
+  markers_.clear();
+  pad_to_ = 0;
+}
+
+void FrameBuilder::resolve_and_serialize(std::vector<Layer>& layers,
+                                         Bytes& out) const {
   // Grow (or append) the trailing payload so the frame reaches pad_to_.
   if (pad_to_ > 0) {
     std::size_t total = 0;
@@ -273,8 +293,14 @@ Frame FrameBuilder::build(util::Nanos timestamp) const {
     }
   }
 
-  Bytes out;
-  out.reserve(bytes_after[0] + std::visit(SizeVisitor{}, layers[0]));
+  // Grow geometrically when appending into a shared arena: an exact-fit
+  // reserve would reallocate (and copy the whole arena) on every frame,
+  // turning a burst render quadratic in its byte size.
+  const std::size_t needed =
+      out.size() + bytes_after[0] + std::visit(SizeVisitor{}, layers[0]);
+  if (out.capacity() < needed) {
+    out.reserve(std::max(needed, out.capacity() + out.capacity() / 2));
+  }
   for (std::size_t i = 0; i < layers.size(); ++i) {
     if (const auto* p = std::get_if<Payload>(&layers[i])) {
       const Marker marker =
@@ -296,7 +322,6 @@ Frame FrameBuilder::build(util::Nanos timestamp) const {
       }, layers[i]);
     }
   }
-  return Frame(std::move(out), timestamp);
 }
 
 }  // namespace patchwork::net

@@ -18,6 +18,7 @@
 #include <variant>
 #include <vector>
 
+#include "net/frame_store.hpp"
 #include "net/headers.hpp"
 #include "net/packet.hpp"
 
@@ -62,6 +63,15 @@ class FrameBuilder {
   /// reused after build() for another identical stack.
   Frame build(util::Nanos timestamp = 0) const;
 
+  /// Like build(), but serializes straight into `store`'s arena instead of
+  /// allocating an owning Frame — the batched-synthesis hot path. Emits
+  /// byte-identical output to build() for the same stack.
+  void build_into(FrameStore& store, util::Nanos timestamp = 0) const;
+
+  /// Clear the stack so the builder can describe the next frame while
+  /// keeping its buffers' capacity.
+  void reset();
+
   std::size_t layer_count() const { return layers_.size(); }
 
  private:
@@ -78,8 +88,14 @@ class FrameBuilder {
   std::vector<Layer> layers_;
   std::vector<Marker> markers_;  // Parallel to layers_, for SSH/HTTP text.
   std::size_t pad_to_ = 0;
+  /// Working copy resolved by build()/build_into(); a member so repeated
+  /// builds reuse its capacity instead of allocating per frame.
+  mutable std::vector<Layer> scratch_;
 
   void push(Layer layer, Marker marker = Marker::kNone);
+  /// Pad, resolve chaining/length fields in `layers`, and append the
+  /// serialization to `out`.
+  void resolve_and_serialize(std::vector<Layer>& layers, Bytes& out) const;
 };
 
 }  // namespace patchwork::net

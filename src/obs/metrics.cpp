@@ -373,6 +373,11 @@ void register_builtins(Registry& reg) {
                  "Tasks executed by the shared pool", {},
                  Determinism::kWallClock,
                  [] { return util::shared_pool().stats().tasks_executed; });
+  reg.counter_fn("patchwork_pool_tasks_stolen_total",
+                 "Group tasks migrated off another worker's deque by the "
+                 "work-stealing scheduler",
+                 {}, Determinism::kWallClock,
+                 [] { return util::shared_pool().stats().tasks_stolen; });
   reg.counter_fn(
       "patchwork_pool_task_wait_ns_total",
       "Total nanoseconds tasks spent queued before a worker picked them up",

@@ -24,9 +24,14 @@ PcapWriter::PcapWriter(std::uint32_t snaplen, TimestampResolution res)
 }
 
 void PcapWriter::write(const net::Frame& frame) {
-  // Truncate by slicing the frame's bytes rather than materializing a cut
+  write_record(frame.bytes(), frame.wire_length(), frame.timestamp());
+}
+
+std::span<std::uint8_t> PcapWriter::write_record(
+    std::span<const std::uint8_t> bytes, std::size_t wire_length,
+    util::Nanos timestamp) {
+  // Truncate by slicing the input bytes rather than materializing a cut
   // Frame — this is the per-record hot loop of the DPDK writer model.
-  std::span<const std::uint8_t> bytes = frame.bytes();
   if (snaplen_ != 0 && bytes.size() > snaplen_) bytes = bytes.first(snaplen_);
   const std::size_t needed =
       buffer_.size() + kRecordHeaderSize + bytes.size();
@@ -35,7 +40,7 @@ void PcapWriter::write(const net::Frame& frame) {
     // capacity to size and turn the append loop quadratic.
     buffer_.reserve(std::max(needed, buffer_.capacity() * 2));
   }
-  const util::Nanos ts = frame.timestamp();
+  const util::Nanos ts = timestamp;
   const std::uint32_t sec = static_cast<std::uint32_t>(ts / util::kSecond);
   const std::uint32_t frac =
       resolution_ == TimestampResolution::kMicro
@@ -45,9 +50,11 @@ void PcapWriter::write(const net::Frame& frame) {
   put_le32(buffer_, sec);
   put_le32(buffer_, frac);
   put_le32(buffer_, static_cast<std::uint32_t>(bytes.size()));
-  put_le32(buffer_, static_cast<std::uint32_t>(frame.wire_length()));
+  put_le32(buffer_, static_cast<std::uint32_t>(wire_length));
+  const std::size_t payload_at = buffer_.size();
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
   ++frames_;
+  return std::span<std::uint8_t>(buffer_).subspan(payload_at, bytes.size());
 }
 
 std::vector<std::uint8_t> PcapWriter::take_buffer() {

@@ -39,6 +39,14 @@ class PcapWriter {
   /// the record's orig_len preserves the wire length.
   void write(const net::Frame& frame);
 
+  /// Zero-copy variant: appends one record from raw bytes + wire length.
+  /// Returns a mutable span over the record's payload inside the stream so
+  /// callers can edit in place (e.g. anonymization) after the copy. The
+  /// span is valid until the next write or take_buffer().
+  std::span<std::uint8_t> write_record(std::span<const std::uint8_t> bytes,
+                                       std::size_t wire_length,
+                                       util::Nanos timestamp);
+
   std::uint64_t frames_written() const { return frames_; }
   std::uint64_t bytes_written() const { return buffer_.size(); }
 

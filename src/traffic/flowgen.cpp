@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "net/protocol.hpp"
 
@@ -168,11 +169,10 @@ void build_network(net::FrameBuilder& b, const FlowSpec& flow,
   }
 }
 
-}  // namespace
-
-net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
-                           std::uint32_t seq) {
-  net::FrameBuilder b;
+/// Describe one data frame of `flow` on `b`. Returns false for an
+/// unreachable app value (caller emits an empty frame).
+bool fill_data_frame(net::FrameBuilder& b, const FlowSpec& flow,
+                     std::uint32_t seq) {
   using net::tcp_flags::kAck;
   using net::tcp_flags::kPsh;
   switch (flow.app) {
@@ -181,12 +181,12 @@ net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
       if (flow.vlan_id) b.vlan(*flow.vlan_id);
       b.arp(flow.src_mac, flow.src_ip, flow.dst_ip);
       b.pad_to(std::max<std::size_t>(flow.data_frame_size, 64));
-      return b.build(t);
+      return true;
     case FlowApp::kIcmp:
       build_underlay(b, flow);
       build_network(b, flow);
       b.icmp(8, 0).payload(48).pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kDns:
       build_underlay(b, flow);
       build_network(b, flow);
@@ -194,17 +194,17 @@ net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
           .dns(static_cast<std::uint16_t>(seq))
           .payload(24)
           .pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kNtp:
       build_underlay(b, flow);
       build_network(b, flow);
       b.udp(flow.src_port, flow.dst_port).ntp().pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kIperfUdp:
       build_underlay(b, flow);
       build_network(b, flow);
       b.udp(flow.src_port, flow.dst_port).pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kVxlan: {
       build_underlay(b, flow);
       build_network(b, flow);
@@ -217,7 +217,7 @@ net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
       b.ipv4(flow.src_ip, flow.dst_ip);
       b.tcp(flow.src_port, net::kPortIperf, kAck | kPsh, seq);
       b.pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     }
     case FlowApp::kGre: {
       build_underlay(b, flow);
@@ -228,7 +228,7 @@ net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
       b.ipv4(flow.src_ip, flow.dst_ip);
       b.tcp(flow.src_port, net::kPortIperf, kAck | kPsh, seq);
       b.pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     }
     case FlowApp::kTls:
       build_underlay(b, flow);
@@ -236,50 +236,66 @@ net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
       b.tcp(flow.src_port, flow.dst_port, kAck | kPsh, seq)
           .tls(23)
           .pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kSsh:
       build_underlay(b, flow);
       build_network(b, flow);
       b.tcp(flow.src_port, flow.dst_port, kAck | kPsh, seq)
           .ssh_banner()
           .pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kHttp:
       build_underlay(b, flow);
       build_network(b, flow);
       b.tcp(flow.src_port, flow.dst_port, kAck | kPsh, seq)
           .http_request()
           .pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
     case FlowApp::kIperfTcp:
       build_underlay(b, flow);
       build_network(b, flow);
       b.tcp(flow.src_port, flow.dst_port, kAck | kPsh, seq)
           .payload(1)
           .pad_to(flow.data_frame_size);
-      return b.build(t);
+      return true;
   }
-  // Unreachable; keep the compiler satisfied.
-  return net::Frame({}, t);
+  return false;
 }
 
-net::Frame make_ack_frame(const FlowSpec& flow, util::Nanos t,
-                          std::uint32_t ack) {
+void fill_ack_frame(net::FrameBuilder& b, const FlowSpec& flow,
+                    std::uint32_t ack) {
   assert(app_is_tcp(flow.app));
-  net::FrameBuilder b;
   build_underlay(b, flow);
   build_network(b, flow, /*reverse=*/true);
   b.tcp(flow.dst_port, flow.src_port, net::tcp_flags::kAck, 0, ack);
   // Tagged ACK minis land in the paper's dominant small bucket (65-127 B).
   b.pad_to(68);
+}
+
+}  // namespace
+
+net::Frame make_data_frame(const FlowSpec& flow, util::Nanos t,
+                           std::uint32_t seq) {
+  net::FrameBuilder b;
+  if (!fill_data_frame(b, flow, seq)) {
+    // Unreachable; keep the compiler satisfied.
+    return net::Frame({}, t);
+  }
   return b.build(t);
 }
 
-WindowTraffic generate_window(util::Rng& rng,
-                              const SiteWorkloadProfile& profile,
-                              const WindowParams& params) {
-  WindowTraffic out;
-  if (params.target_bps <= 0.0) return out;
+net::Frame make_ack_frame(const FlowSpec& flow, util::Nanos t,
+                          std::uint32_t ack) {
+  net::FrameBuilder b;
+  fill_ack_frame(b, flow, ack);
+  return b.build(t);
+}
+
+WindowPlan plan_window(util::Rng& rng, const SiteWorkloadProfile& profile,
+                       const WindowParams& params) {
+  WindowPlan plan;
+  plan.offered_bps = params.target_bps;
+  if (params.target_bps <= 0.0) return plan;
   const double duration_s = util::to_seconds(params.duration);
   const double window_bytes = params.target_bps * duration_s / 8.0;
 
@@ -287,7 +303,7 @@ WindowTraffic generate_window(util::Rng& rng,
   std::size_t flow_count = static_cast<std::size_t>(
       rng.lognormal(profile.flow_count_mu, profile.flow_count_sigma));
   flow_count = std::clamp<std::size_t>(flow_count, 1, 60000);
-  out.flow_count = flow_count;
+  plan.flow_count = flow_count;
 
   // Draw flows and heavy-tailed byte shares. Rendering draws at most
   // ~max_frames frames, but true counts determine offered_pps.
@@ -335,32 +351,88 @@ WindowTraffic generate_window(util::Rng& rng,
     true_total_frames += c.data_frames + c.ack_frames;
   }
 
-  out.offered_pps = true_total_frames / duration_s;
-  out.offered_bps = params.target_bps;
+  plan.offered_pps = true_total_frames / duration_s;
   const double keep =
       true_total_frames <= static_cast<double>(params.max_frames)
           ? 1.0
           : static_cast<double>(params.max_frames) / true_total_frames;
 
-  for (const Contribution& c : contribs) {
-    auto render = [&](double true_count, bool acks) {
+  // Fix every unit's rendered count now (including the fractional-frame
+  // coin flip), so rendering consumes no sequential randomness at all.
+  for (Contribution& c : contribs) {
+    auto plan_unit = [&](double true_count, bool acks) {
       const double expected = true_count * keep;
       std::uint64_t n = static_cast<std::uint64_t>(expected);
       if (rng.chance(expected - static_cast<double>(n))) ++n;
-      for (std::uint64_t k = 0; k < n; ++k) {
-        const util::Nanos t = rng.uniform_u64(0, params.duration - 1);
-        const std::uint32_t seq = static_cast<std::uint32_t>(k) * 1000;
-        out.frames.push_back(acks ? make_ack_frame(c.flow, t, seq)
-                                  : make_data_frame(c.flow, t, seq));
-      }
+      if (n == 0) return;
+      plan.units.push_back(RenderUnit{c.flow, acks, n});
+      plan.planned_frames += n;
     };
-    render(c.data_frames, false);
-    if (c.ack_frames > 0.0) render(c.ack_frames, true);
+    plan_unit(c.data_frames, false);
+    if (c.ack_frames > 0.0) plan_unit(c.ack_frames, true);
   }
-  std::sort(out.frames.begin(), out.frames.end(),
-            [](const net::Frame& a, const net::Frame& b) {
-              return a.timestamp() < b.timestamp();
-            });
+  return plan;
+}
+
+void render_unit(const RenderUnit& unit, const util::RngBlock& draws,
+                 util::Nanos duration, std::uint64_t begin, std::uint64_t end,
+                 net::FrameBuilder& builder, net::FrameStore& store) {
+  for (std::uint64_t j = begin; j < end; ++j) {
+    // Draw j is frame j's timestamp: pure counter addressing, so any
+    // [begin, end) burst decomposition renders identical bytes.
+    const util::Nanos t = draws.bounded_at(j, 0, duration - 1);
+    const std::uint32_t seq = static_cast<std::uint32_t>(j) * 1000;
+    builder.reset();
+    if (unit.acks) {
+      fill_ack_frame(builder, unit.flow, seq);
+    } else if (!fill_data_frame(builder, unit.flow, seq)) {
+      store.commit(store.arena().size(), t);  // Unreachable: empty frame.
+      continue;
+    }
+    builder.build_into(store, t);
+  }
+}
+
+WindowTraffic generate_window(util::Rng& rng,
+                              const SiteWorkloadProfile& profile,
+                              const WindowParams& params) {
+  WindowTraffic out;
+  if (params.target_bps <= 0.0) return out;
+  // One fork advances the caller's stream exactly once per window (so a
+  // traffic engine reusing its Rng still gets distinct windows), then the
+  // window's phases hang off the child by substream id.
+  util::Rng child = rng.fork();
+  util::Rng plan_rng = child.split(kWindowPlanStream);
+  const WindowPlan plan = plan_window(plan_rng, profile, params);
+  out.offered_pps = plan.offered_pps;
+  out.offered_bps = plan.offered_bps;
+  out.flow_count = plan.flow_count;
+
+  net::FrameStore store;
+  net::FrameBuilder builder;
+  store.reserve(plan.planned_frames, plan.planned_frames * 96);
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    const util::RngBlock draws(child.split(kWindowUnitStreamBase + u));
+    render_unit(plan.units[u], draws, params.duration, 0,
+                plan.units[u].frames, builder, store);
+  }
+
+  // Total order (timestamp, synthesis index): the index tiebreak makes the
+  // merge independent of sort stability and of how units were batched.
+  std::vector<std::size_t> order(store.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const util::Nanos ta = store.view(a).timestamp;
+    const util::Nanos tb = store.view(b).timestamp;
+    return ta != tb ? ta < tb : a < b;
+  });
+  out.frames.reserve(order.size());
+  for (std::size_t idx : order) {
+    const net::FrameView v = store.view(idx);
+    out.frames.emplace_back(
+        std::vector<std::uint8_t>(v.bytes.begin(), v.bytes.end()),
+        v.wire_length, v.timestamp);
+  }
   return out;
 }
 

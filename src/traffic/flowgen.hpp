@@ -74,10 +74,57 @@ struct WindowParams {
   std::size_t max_frames = 20000;  ///< Rendering cap (scaled sampling).
 };
 
+// Substream layout of one sample window's counter-based render. All
+// stochastic phases hang off a per-window root Rng via split(), so each
+// phase reads an independent stream and no phase's consumption shifts
+// another's draws — the precondition for decomposing a render into
+// schedulable subtasks with byte-identical output.
+inline constexpr std::uint64_t kWindowPlanStream = 0;      ///< plan_window().
+inline constexpr std::uint64_t kWindowDeliveryStream = 1;  ///< Loss thinning.
+inline constexpr std::uint64_t kWindowCaptureStream = 2;   ///< CaptureSession.
+/// Render unit u draws timestamps from split(kWindowUnitStreamBase + u).
+inline constexpr std::uint64_t kWindowUnitStreamBase = 16;
+
+/// One independently renderable slice of a window: every frame of one
+/// flow in one direction (data or ACK). Frame j of a unit is a pure
+/// function of (unit stream, j), so units can be rendered whole, split
+/// into bursts, or re-rendered — always producing the same bytes.
+struct RenderUnit {
+  FlowSpec flow;
+  bool acks = false;          ///< Reverse-direction pure-ACK frames.
+  std::uint64_t frames = 0;   ///< Rendered frame count for this unit.
+};
+
+/// The deterministic plan for one window: which flows contribute, how many
+/// frames each unit renders, and the true offered rates they represent.
+struct WindowPlan {
+  std::vector<RenderUnit> units;
+  double offered_pps = 0.0;
+  double offered_bps = 0.0;
+  std::size_t flow_count = 0;
+  std::uint64_t planned_frames = 0;  ///< Sum of units[*].frames.
+};
+
+/// Draw the window plan (flow population, shares, per-unit frame counts)
+/// from `rng` — the kWindowPlanStream substream. Consumes rng sequentially;
+/// everything downstream of the returned plan is counter-addressed.
+WindowPlan plan_window(util::Rng& rng, const SiteWorkloadProfile& profile,
+                       const WindowParams& params);
+
+/// Render frames [begin, end) of `unit` into `store`, drawing timestamp j
+/// from `draws.bounded_at(j, ...)`. `builder` is reused scratch; the bytes
+/// appended depend only on (unit, draws, j) — not on the [begin, end)
+/// batching.
+void render_unit(const RenderUnit& unit, const util::RngBlock& draws,
+                 util::Nanos duration, std::uint64_t begin, std::uint64_t end,
+                 net::FrameBuilder& builder, net::FrameStore& store);
+
 /// Synthesize the traffic a mirrored port would deliver during one sample
 /// window at a site with `profile`. Frames are a representative rendering:
 /// when the true frame count exceeds `max_frames`, a uniform thinning is
-/// applied but `offered_pps` reports the true rate.
+/// applied but `offered_pps` reports the true rate. Composes plan_window()
+/// + render_unit() serially; forks one child off `rng` so the caller's
+/// stream advances exactly once per window.
 WindowTraffic generate_window(util::Rng& rng,
                               const SiteWorkloadProfile& profile,
                               const WindowParams& params);

@@ -1,5 +1,6 @@
 #include "util/compress.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -37,23 +38,32 @@ void flush_literals(std::vector<std::uint8_t>& out,
 
 }  // namespace
 
-std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data) {
+std::vector<std::uint8_t> Compressor::compress(
+    std::span<const std::uint8_t> data) {
   std::vector<std::uint8_t> out;
   out.insert(out.end(), kMagic.begin(), kMagic.end());
   put_le32(out, static_cast<std::uint32_t>(data.size()));
 
   // Hash table of the most recent position for each 4-byte prefix.
-  std::vector<std::uint32_t> table(kHashSlots, 0xffffffffu);
+  // Bumping the epoch retires every slot from previous calls without
+  // touching the memory; only a 32-bit epoch wrap forces a refill.
+  if (table_.empty()) table_.assign(kHashSlots, 0);
+  if (++epoch_ == 0) {
+    std::fill(table_.begin(), table_.end(), 0);
+    epoch_ = 1;
+  }
   std::size_t pos = 0;
   std::size_t literal_start = 0;
   while (pos + kMinMatch <= data.size()) {
     const std::uint32_t slot = hash4(data.data() + pos) % kHashSlots;
-    const std::uint32_t candidate = table[slot];
-    table[slot] = static_cast<std::uint32_t>(pos);
+    const std::uint64_t entry = table_[slot];
+    const bool live = static_cast<std::uint32_t>(entry >> 32) == epoch_;
+    const std::uint32_t candidate = static_cast<std::uint32_t>(entry);
+    table_[slot] = (static_cast<std::uint64_t>(epoch_) << 32) |
+                   static_cast<std::uint32_t>(pos);
 
     std::size_t match_len = 0;
-    if (candidate != 0xffffffffu && candidate < pos &&
-        pos - candidate <= kWindow) {
+    if (live && candidate < pos && pos - candidate <= kWindow) {
       const std::size_t limit = std::min(kMaxMatch, data.size() - pos);
       while (match_len < limit &&
              data[candidate + match_len] == data[pos + match_len]) {
@@ -75,6 +85,11 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data) {
   }
   flush_literals(out, data, literal_start, data.size());
   return out;
+}
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data) {
+  Compressor scratch;
+  return scratch.compress(data);
 }
 
 std::optional<std::vector<std::uint8_t>> decompress(

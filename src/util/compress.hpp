@@ -20,6 +20,22 @@
 
 namespace patchwork::util {
 
+/// Reusable compression context: keeps the match hash table allocated
+/// across calls and invalidates stale entries by epoch tag instead of
+/// refilling, so a worker compressing many pcaps pays the table allocation
+/// once. Output is byte-identical to the free compress() for any input
+/// sequence. Not thread-safe; use one per worker.
+class Compressor {
+ public:
+  std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data);
+
+ private:
+  /// Slot = (epoch << 32) | position; a slot is live only when its epoch
+  /// tag matches epoch_, which makes clearing the table O(1) per call.
+  std::vector<std::uint64_t> table_;
+  std::uint32_t epoch_ = 0;
+};
+
 std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data);
 
 /// Returns nullopt on malformed input (bad magic, truncated stream, or a

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -21,6 +22,8 @@ std::uint64_t splitmix64(std::uint64_t x) {
 Rng Rng::split(std::uint64_t stream_id) const {
   // Two chained SplitMix64 steps decorrelate nearby (seed, id) pairs;
   // nothing is drawn from engine_, so the parent sequence is untouched.
+  // The mixed seed becomes the child's Philox key, so the child's whole
+  // draw table is addressable from (parent seed, stream id) alone.
   return Rng(splitmix64(splitmix64(seed_) ^ splitmix64(stream_id)));
 }
 
@@ -84,20 +87,57 @@ std::uint64_t Rng::poisson(double mean) {
   return d(engine_);
 }
 
+WeightedTable::WeightedTable(std::span<const double> weights) {
+  assert(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double prefix = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    prefix += w;
+    cumulative_.push_back(prefix);
+  }
+  assert(total() > 0.0);
+}
+
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   assert(!weights.empty());
+  // Cumulative-comparison semantics, kept bit-identical to the
+  // WeightedTable path: both draw uniform(0, total) for the same
+  // sequentially-summed total and return the first index whose prefix sum
+  // exceeds the draw.
   double total = 0.0;
   for (double w : weights) {
     assert(w >= 0.0);
     total += w;
   }
   assert(total > 0.0);
-  double x = uniform(0.0, total);
+  const double x = uniform(0.0, total);
+  double prefix = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    if (x < weights[i]) return i;
-    x -= weights[i];
+    prefix += weights[i];
+    if (x < prefix) return i;
   }
   return weights.size() - 1;  // Floating-point edge: land on the last bucket.
+}
+
+std::size_t Rng::weighted_index(const WeightedTable& table) {
+  assert(table.size() > 0);
+  const double x = uniform(0.0, table.total());
+  // First prefix > x — the same predicate the linear scan applies.
+  const auto it = std::upper_bound(table.cumulative_.begin(),
+                                   table.cumulative_.end(), x);
+  if (it == table.cumulative_.end()) return table.size() - 1;
+  return static_cast<std::size_t>(it - table.cumulative_.begin());
+}
+
+std::uint64_t RngBlock::bounded_at(std::uint64_t j, std::uint64_t lo,
+                                   std::uint64_t hi) const {
+  assert(lo <= hi);
+  const std::uint64_t range = hi - lo + 1;  // 0 means the full 2^64 span.
+  if (range == 0) return at(j);
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(at(j)) * range;
+  return lo + static_cast<std::uint64_t>(wide >> 64);
 }
 
 }  // namespace patchwork::util

@@ -5,6 +5,14 @@
 // run-to-run. Rng also provides the small set of distributions the traffic
 // and testbed models need (heavy tails included), and `fork()` for handing
 // independent streams to sub-components without sharing state.
+//
+// The engine underneath is counter-based (Philox4x32-10, util/philox.hpp):
+// the j-th draw of a stream is a pure O(1) function of (stream seed, j).
+// That gives the data plane two primitives beyond sequential drawing:
+//   * Rng::at(j) — random access into this stream's raw draw sequence;
+//   * RngBlock — a const, shareable view of a stream that subtasks index
+//     by counter, so a sample's render can split into bursts whose bytes
+//     are independent of scheduling.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +20,29 @@
 #include <span>
 #include <vector>
 
+#include "util/philox.hpp"
+
 namespace patchwork::util {
+
+class RngBlock;
+
+/// Prepared cumulative-weight table for repeated weighted_index() draws
+/// from the same weights: build once (O(n)), draw O(log n). The table
+/// path picks bit-identical indices to the one-shot
+/// Rng::weighted_index(weights) — both compare the same uniform draw
+/// against the same sequentially-summed prefixes.
+class WeightedTable {
+ public:
+  /// `weights`: unnormalized, non-negative, at least one positive entry.
+  explicit WeightedTable(std::span<const double> weights);
+
+  std::size_t size() const { return cumulative_.size(); }
+  double total() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+ private:
+  friend class Rng;
+  std::vector<double> cumulative_;  ///< Sequential prefix sums of weights.
+};
 
 class Rng {
  public:
@@ -29,7 +59,7 @@ class Rng {
   /// and split(id) yields the same child no matter when (or from which
   /// thread ordering) it is invoked. Distinct stream ids give streams that
   /// are independent for practical purposes (seeds are mixed through
-  /// SplitMix64, the recommended seeder for mt19937_64).
+  /// SplitMix64 into distinct Philox keys).
   Rng split(std::uint64_t stream_id) const;
 
   /// Two-level substream: split(a, b) == split(a).split(b), without
@@ -67,8 +97,13 @@ class Rng {
   std::uint64_t poisson(double mean);
 
   /// Index drawn from a discrete distribution given by `weights`
-  /// (unnormalized, non-negative, at least one positive entry).
+  /// (unnormalized, non-negative, at least one positive entry). O(n);
+  /// repeat callers should prepare a WeightedTable instead.
   std::size_t weighted_index(std::span<const double> weights);
+
+  /// O(log n) draw from a prepared table; picks the same index the
+  /// one-shot overload would for the same engine state and weights.
+  std::size_t weighted_index(const WeightedTable& table);
 
   /// Fisher-Yates shuffle.
   template <typename T>
@@ -79,12 +114,52 @@ class Rng {
     }
   }
 
-  /// Raw 64 random bits.
+  /// Raw 64 random bits (sequential).
   std::uint64_t bits() { return engine_(); }
 
+  /// The j-th raw draw of this stream, counted from construction — the
+  /// value the j-th bits() call returns (distribution helpers may consume
+  /// several raw draws each). O(1); ignores and preserves the sequential
+  /// position.
+  std::uint64_t at(std::uint64_t j) const { return engine_.at(j); }
+
  private:
+  friend class RngBlock;
   std::uint64_t seed_;  ///< Construction seed; the root of split() streams.
-  std::mt19937_64 engine_;
+  PhiloxEngine engine_;
+};
+
+/// Counter-addressed const view of an Rng's stream. Subtasks rendering
+/// disjoint index ranges of one logical sequence share a single RngBlock
+/// (it is immutable and thread-safe) and address draws by position, so the
+/// value consumed for item j is a pure function of (stream, j) — never of
+/// how the items were batched or scheduled.
+class RngBlock {
+ public:
+  explicit RngBlock(const Rng& rng) : engine_(rng.seed_) {}
+
+  /// Raw draw j of the stream.
+  std::uint64_t at(std::uint64_t j) const { return engine_.at(j); }
+
+  /// Draw j mapped to [0, 1) with 53 random bits.
+  double uniform01_at(std::uint64_t j) const {
+    return static_cast<double>(at(j) >> 11) * 0x1.0p-53;
+  }
+
+  /// Draw j mapped to the inclusive range [lo, hi] (Lemire reduction).
+  /// Requires lo <= hi.
+  std::uint64_t bounded_at(std::uint64_t j, std::uint64_t lo,
+                           std::uint64_t hi) const;
+
+  /// Bernoulli trial with probability p, decided by draw j.
+  bool chance_at(std::uint64_t j, double p) const {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01_at(j) < p;
+  }
+
+ private:
+  PhiloxEngine engine_;  ///< Never advanced; used only through at().
 };
 
 }  // namespace patchwork::util

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace patchwork::util {
 
@@ -11,6 +12,11 @@ namespace {
 // parallel_for() detect nesting and degrade to serial instead of
 // deadlocking on a pool that is busy running the caller itself.
 thread_local bool t_on_worker = false;
+
+// Identity of the pool worker running on this thread (work-stealing path):
+// which pool, and which per-worker deque belongs to it.
+thread_local const void* t_worker_pool = nullptr;
+thread_local std::size_t t_worker_index = 0;
 
 // Incremented while a thread executes the body of its own parallel_for
 // region (caller threads participate in their region's strand loop, so
@@ -24,10 +30,27 @@ std::optional<std::size_t>& thread_count_override() {
 
 }  // namespace
 
+TaskGroup::~TaskGroup() {
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    try {
+      wait();
+    } catch (...) {
+      // Destructor drain: the error has nowhere to go.
+    }
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> task) {
+  pool_.spawn(*this, std::move(task));
+}
+
+void TaskGroup::wait() { pool_.wait(*this); }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
+  deques_.resize(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -37,6 +60,7 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  group_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -48,8 +72,10 @@ std::size_t ThreadPool::size() const {
 void ThreadPool::ensure_size(std::size_t threads) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_) return;
+  if (deques_.size() < threads) deques_.resize(threads);
   while (workers_.size() < threads) {
-    workers_.emplace_back([this] { worker_loop(); });
+    const std::size_t index = workers_.size();
+    workers_.emplace_back([this, index] { worker_loop(index); });
   }
 }
 
@@ -62,21 +88,124 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     if (!workers_.empty()) {
       queue_.push_back(
           QueuedTask{std::move(wrapped), std::chrono::steady_clock::now()});
-      // Sample the high-water mark after the increment: any task that had
-      // to queue behind a worker leaves a mark >= 1.
-      const std::uint64_t depth =
-          queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
-      std::uint64_t seen =
-          queue_depth_high_water_.load(std::memory_order_relaxed);
-      while (depth > seen && !queue_depth_high_water_.compare_exchange_weak(
-                                 seen, depth, std::memory_order_relaxed)) {
-      }
+      note_queue_depth_locked();
       cv_.notify_one();
       return future;
     }
   }
   run_task(wrapped);  // Serial mode: run inline; the future carries throws.
   return future;
+}
+
+void ThreadPool::note_queue_depth_locked() {
+  // Sample the high-water mark after the increment: any task that had to
+  // queue behind a worker leaves a mark >= 1. Counts both the legacy FIFO
+  // and the group deques.
+  const std::uint64_t depth =
+      queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t seen = queue_depth_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_depth_high_water_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void ThreadPool::spawn(TaskGroup& group, std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  group.pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!workers_.empty() && !stopping_) {
+      std::size_t target;
+      if (t_worker_pool == this) {
+        target = t_worker_index;  // Own deque: LIFO locality.
+      } else {
+        target = next_deque_++ % deques_.size();
+      }
+      deques_[target].push_back(GroupTask{&group, std::move(task)});
+      ++group_tasks_queued_;
+      note_queue_depth_locked();
+      cv_.notify_one();
+      group_cv_.notify_all();  // A helping waiter may want to steal this.
+      return;
+    }
+  }
+  // No workers (serial mode): run inline, same contract as submit().
+  GroupTask inline_task{&group, std::move(task)};
+  run_group_task(inline_task);
+}
+
+bool ThreadPool::take_group_task_locked(std::size_t self,
+                                        const TaskGroup* only,
+                                        GroupTask& out) {
+  if (self != kNoWorker && self < deques_.size()) {
+    std::deque<GroupTask>& own = deques_[self];
+    if (only == nullptr) {
+      if (!own.empty()) {
+        out = std::move(own.back());
+        own.pop_back();
+        --group_tasks_queued_;
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    } else {
+      // Waiting worker: newest matching task first (descendants of the
+      // waited group sit at the back of the owner's deque).
+      for (std::size_t i = own.size(); i-- > 0;) {
+        if (own[i].group == only) {
+          out = std::move(own[i]);
+          own.erase(own.begin() + static_cast<std::ptrdiff_t>(i));
+          --group_tasks_queued_;
+          queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+  }
+  if (group_tasks_queued_ == 0) return false;
+  for (std::size_t d = 0; d < deques_.size(); ++d) {
+    if (d == self) continue;
+    std::deque<GroupTask>& victim = deques_[d];
+    for (std::size_t i = 0; i < victim.size(); ++i) {
+      if (only != nullptr && victim[i].group != only) continue;
+      out = std::move(victim[i]);
+      victim.erase(victim.begin() + static_cast<std::ptrdiff_t>(i));
+      --group_tasks_queued_;
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::wait(TaskGroup& group) {
+  const bool is_worker = t_worker_pool == this;
+  const std::size_t self = is_worker ? t_worker_index : kNoWorker;
+  for (;;) {
+    GroupTask task;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        // Only tasks of the waited group are eligible — helping an
+        // unrelated group could recurse without bound.
+        if (take_group_task_locked(self, &group, task)) {
+          have = true;
+          break;
+        }
+        if (group.pending_.load(std::memory_order_acquire) == 0) break;
+        group_cv_.wait(lock);
+      }
+    }
+    if (!have) break;
+    run_group_task(task);
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = std::exchange(group.first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
@@ -90,6 +219,7 @@ PoolStats ThreadPool::stats() const {
       queue_depth_high_water_.load(std::memory_order_relaxed);
   s.task_wait_ns_total = task_wait_ns_total_.load(std::memory_order_relaxed);
   s.task_run_ns_total = task_run_ns_total_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -100,6 +230,7 @@ void ThreadPool::reset_stats() {
   queue_depth_high_water_.store(0, std::memory_order_relaxed);
   task_wait_ns_total_.store(0, std::memory_order_relaxed);
   task_run_ns_total_.store(0, std::memory_order_relaxed);
+  tasks_stolen_.store(0, std::memory_order_relaxed);
 }
 
 void ThreadPool::run_task(std::packaged_task<void()>& task) {
@@ -113,26 +244,68 @@ void ThreadPool::run_task(std::packaged_task<void()>& task) {
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_group_task(GroupTask& task) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    task.fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!task.group->first_error_) {
+      task.group->first_error_ = std::current_exception();
+    }
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  task_run_ns_total_.fetch_add(static_cast<std::uint64_t>(ns),
+                               std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (task.group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task down. The empty lock/unlock pairs with the waiter's
+    // predicate check, so the notify cannot slip between its pending_
+    // load and its sleep.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    group_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   t_on_worker = true;
+  t_worker_pool = this;
+  t_worker_index = index;
   for (;;) {
     std::packaged_task<void()> task;
+    GroupTask group_task;
+    bool have_group_task = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained.
-      QueuedTask queued = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
-      const auto wait_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - queued.enqueued)
-              .count();
-      task_wait_ns_total_.fetch_add(static_cast<std::uint64_t>(wait_ns),
-                                    std::memory_order_relaxed);
-      task = std::move(queued.task);
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || group_tasks_queued_ > 0;
+      });
+      if (!queue_.empty()) {
+        QueuedTask queued = std::move(queue_.front());
+        queue_.pop_front();
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+        const auto wait_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - queued.enqueued)
+                .count();
+        task_wait_ns_total_.fetch_add(static_cast<std::uint64_t>(wait_ns),
+                                      std::memory_order_relaxed);
+        task = std::move(queued.task);
+      } else if (take_group_task_locked(index, nullptr, group_task)) {
+        have_group_task = true;
+      } else if (stopping_) {
+        return;  // Both queues drained.
+      } else {
+        continue;  // Raced with another worker; re-wait.
+      }
     }
-    run_task(task);
+    if (have_group_task) {
+      run_group_task(group_task);
+    } else {
+      run_task(task);
+    }
   }
 }
 

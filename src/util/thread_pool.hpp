@@ -40,12 +40,54 @@ namespace patchwork::util {
 /// queue_depth_high_water is guaranteed >= 1 whenever any task was queued
 /// behind a worker — it is sampled at enqueue time, after the increment.
 struct PoolStats {
-  std::uint64_t tasks_submitted = 0;  ///< submit() calls (inline ones too).
+  std::uint64_t tasks_submitted = 0;  ///< submit()+spawn() calls (inline too).
   std::uint64_t tasks_executed = 0;
   std::uint64_t queue_depth = 0;      ///< Currently enqueued, not yet started.
   std::uint64_t queue_depth_high_water = 0;
   std::uint64_t task_wait_ns_total = 0;  ///< Enqueue -> dequeue, summed.
   std::uint64_t task_run_ns_total = 0;   ///< Task body execution, summed.
+  std::uint64_t tasks_stolen = 0;  ///< Group tasks taken off another
+                                   ///< worker's deque (or by a waiter).
+};
+
+class ThreadPool;
+
+/// A family of subtasks scheduled on a ThreadPool's work-stealing path.
+/// spawn() pushes a task onto a per-worker deque (LIFO for the owner, FIFO
+/// for thieves); wait() blocks until every spawned task has finished,
+/// *helping* while it waits — the waiting thread runs tasks of this group
+/// itself instead of idling, so a hot sample that fans out into many
+/// bursts never parks the thread that decomposed it.
+///
+/// Determinism contract: the group imposes no ordering — callers must
+/// address output slots (and RNG draws) by task index, exactly as with
+/// parallel_for. Exceptions: the first throwing task wins; wait()
+/// rethrows it after the group drains. A group is reusable after wait()
+/// returns. Groups may nest (a group task may spawn and wait on its own
+/// group); a waiting thread only helps with tasks of the group it waits
+/// on, which keeps helper recursion bounded by the spawn tree's depth.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  /// Drains (and swallows) any still-pending tasks — a group must not
+  /// outlive work referencing it.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue one task. Runs inline when the pool has no workers.
+  void spawn(std::function<void()> task);
+
+  /// Help until every spawned task completed; rethrows the first captured
+  /// exception.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  ThreadPool& pool_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::exception_ptr first_error_;  ///< Guarded by the pool's mutex.
 };
 
 class ThreadPool {
@@ -74,6 +116,17 @@ class ThreadPool {
   /// True when called from inside one of this pool's workers.
   static bool on_worker_thread();
 
+  /// Work-stealing spawn used by TaskGroup::spawn(). A worker pushes onto
+  /// its own deque (LIFO pop keeps the cache warm and bounds helper
+  /// recursion); an outside thread deals round-robin across worker deques.
+  /// Idle workers and helping waiters steal from the front (FIFO), so the
+  /// oldest — typically largest — subtask migrates first.
+  void spawn(TaskGroup& group, std::function<void()> task);
+
+  /// TaskGroup::wait() body: run/steal tasks of `group` until none remain
+  /// in flight, sleeping only when no group task is available anywhere.
+  void wait(TaskGroup& group);
+
   /// Snapshot of the scheduling counters (relaxed reads; exact once the
   /// pool is quiescent).
   PoolStats stats() const;
@@ -88,13 +141,34 @@ class ThreadPool {
     std::packaged_task<void()> task;
     std::chrono::steady_clock::time_point enqueued;
   };
+  struct GroupTask {
+    TaskGroup* group = nullptr;
+    std::function<void()> fn;
+  };
 
   void run_task(std::packaged_task<void()>& task);
-  void worker_loop();
+  void run_group_task(GroupTask& task);
+  /// Pop from the caller's own deque (back, any group) or steal from
+  /// another deque (front; restricted to `only` when non-null). Caller
+  /// must hold mutex_. `self` is the worker index or kNoWorker.
+  bool take_group_task_locked(std::size_t self, const TaskGroup* only,
+                              GroupTask& out);
+  void note_queue_depth_locked();
+  void worker_loop(std::size_t index);
+
+  static constexpr std::size_t kNoWorker = ~std::size_t{0};
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< Workers: any task available/stop.
+  std::condition_variable group_cv_;  ///< Waiters: group progress/spawn.
   std::deque<QueuedTask> queue_;
+  /// Per-worker group-task deques (parallel to workers_); guarded by
+  /// mutex_ — group tasks are burst-sized, so the lock is cold next to
+  /// the task bodies.
+  std::vector<std::deque<GroupTask>> deques_;
+  std::size_t group_tasks_queued_ = 0;  ///< Sum over deques_; under mutex_.
+  std::size_t next_deque_ = 0;          ///< Round-robin cursor for spawns
+                                        ///< from non-worker threads.
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
@@ -104,6 +178,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> queue_depth_high_water_{0};
   std::atomic<std::uint64_t> task_wait_ns_total_{0};
   std::atomic<std::uint64_t> task_run_ns_total_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
 };
 
 /// The process-lifetime pool the parallel primitives fan out on. Created

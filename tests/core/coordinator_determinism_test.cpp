@@ -194,6 +194,34 @@ TEST(CoordinatorDeterminism, SkewedHotSiteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(CoordinatorDeterminism, RenderBatchSizeInvariant) {
+  // The synthesis burst size tunes scheduling granularity only: any batch
+  // value must reproduce the serial reference bytes exactly, because every
+  // frame's draws are addressed by (unit stream, counter), not by burst.
+  ThreadCountGuard guard;
+
+  auto run_batched = [](std::size_t batch) {
+    World world(/*seed=*/11, wide_spec());
+    world.warm_up_telemetry();
+    ProfilerConfig config = multi_sample_config();
+    config.render_batch_frames = batch;
+    Coordinator coordinator(world.env, config);
+    return coordinator.run_all_experiment();
+  };
+
+  util::set_thread_count(0);
+  const ProfileRun reference = run_batched(1024);
+  ASSERT_FALSE(reference.captures.empty());
+
+  for (std::size_t batch : {std::size_t{1}, std::size_t{17},
+                            std::size_t{4096}}) {
+    util::set_thread_count(2);
+    const ProfileRun parallel = run_batched(batch);
+    expect_runs_identical(reference, parallel,
+                          "batch=" + std::to_string(batch));
+  }
+}
+
 TEST(CoordinatorDeterminism, SingleExperimentIdenticalAcrossThreadCounts) {
   ThreadCountGuard guard;
   const std::vector<testbed::GlobalPortId> slice_ports = {

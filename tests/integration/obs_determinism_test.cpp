@@ -28,7 +28,7 @@ struct ThreadCountGuard {
   ~ThreadCountGuard() { util::set_thread_count(std::nullopt); }
 };
 
-constexpr std::uint64_t kSeed = 7;
+constexpr std::uint64_t kSeed = 2;
 
 ProfilerConfig congested_config() {
   ProfilerConfig config;
@@ -210,7 +210,8 @@ TEST(ObsDeterminism, ManifestWritesNextToProfileOutput) {
   EXPECT_NE(content.find("\"git_describe\": "), std::string::npos);
   EXPECT_NE(content.find("\"wall_clock\": {"), std::string::npos);
   EXPECT_NE(content.find("\"thread_count\": 2"), std::string::npos);
-  EXPECT_NE(content.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(content.find("\"seed\": " + std::to_string(kSeed)),
+            std::string::npos);
   EXPECT_NE(content.find("patchwork_profiler_backoffs_total"),
             std::string::npos);
 }

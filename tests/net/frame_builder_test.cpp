@@ -163,5 +163,66 @@ TEST(FrameBuilder, TruncateZeroKeepsEverything) {
   EXPECT_EQ(same.captured_length(), f.captured_length());
 }
 
+TEST(FrameBuilder, BuildIntoMatchesBuildForRepresentativeStacks) {
+  // Every encapsulation shape the generator emits; build() and the arena
+  // path must serialize identical bytes, including the resolved chaining
+  // and pad growth.
+  std::vector<FrameBuilder> builders(5);
+  builders[0].ethernet(kSrc, kDst).vlan(100).mpls(16001).mpls(16002)
+      .pseudowire().ethernet(kDst, kSrc).ipv4(kA, kB)
+      .tcp(49152, 443, tcp_flags::kAck | tcp_flags::kPsh).tls()
+      .pad_to(1514);
+  builders[1].ethernet(kSrc, kDst).arp(kSrc, kA, kB).pad_to(64);
+  builders[2].ethernet(kSrc, kDst).ipv4(kA, kB).udp(1234, 53).dns(7)
+      .payload(24).pad_to(140);
+  builders[3].ethernet(kSrc, kDst).ipv4(kA, kB).tcp(1, 22).ssh_banner()
+      .pad_to(200);
+  builders[4].ethernet(kSrc, kDst).ipv4(kA, kB).tcp(1, 80).http_request();
+
+  FrameStore store;
+  for (std::size_t i = 0; i < builders.size(); ++i) {
+    builders[i].build_into(store, 100 * static_cast<util::Nanos>(i));
+  }
+  ASSERT_EQ(store.size(), builders.size());
+  for (std::size_t i = 0; i < builders.size(); ++i) {
+    const Frame expected = builders[i].build(100 * static_cast<util::Nanos>(i));
+    const FrameView view = store.view(i);
+    EXPECT_EQ(view.timestamp, expected.timestamp()) << "stack " << i;
+    EXPECT_EQ(view.wire_length, expected.wire_length()) << "stack " << i;
+    ASSERT_EQ(view.bytes.size(), expected.bytes().size()) << "stack " << i;
+    EXPECT_TRUE(std::equal(view.bytes.begin(), view.bytes.end(),
+                           expected.bytes().begin()))
+        << "stack " << i << " bytes differ";
+  }
+}
+
+TEST(FrameBuilder, ResetClearsStackAndBuilderIsReusable) {
+  FrameBuilder b;
+  b.ethernet(kSrc, kDst).ipv4(kA, kB).udp(1, 2).pad_to(1514);
+  const Frame first = b.build(5);
+  b.reset();
+  EXPECT_EQ(b.layer_count(), 0u);
+  b.ethernet(kSrc, kDst).ipv4(kB, kA).tcp(3, 4);
+  const Frame second = b.build(6);
+  // No residue from the first stack: a fresh builder agrees.
+  const Frame fresh =
+      FrameBuilder().ethernet(kSrc, kDst).ipv4(kB, kA).tcp(3, 4).build(6);
+  EXPECT_TRUE(std::equal(second.bytes().begin(), second.bytes().end(),
+                         fresh.bytes().begin(), fresh.bytes().end()));
+  EXPECT_NE(first.captured_length(), second.captured_length());
+}
+
+TEST(FrameStore, ClearKeepsNothingButCapacity) {
+  FrameStore store;
+  FrameBuilder().ethernet(kSrc, kDst).ipv4(kA, kB).udp(1, 2).build_into(store,
+                                                                        1);
+  ASSERT_EQ(store.size(), 1u);
+  const std::size_t bytes = store.total_bytes();
+  EXPECT_GT(bytes, 0u);
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.total_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace patchwork::net

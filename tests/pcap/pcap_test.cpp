@@ -185,5 +185,63 @@ TEST(Pcap, StreamSizeFormula) {
   EXPECT_EQ(writer.bytes_written(), pcap_stream_size(n, 64));
 }
 
+TEST(Pcap, WriteRecordMatchesWriteByteForByte) {
+  // The zero-copy record path must emit the same stream as write(Frame),
+  // for both resolutions, with and without snaplen truncation.
+  for (const TimestampResolution res :
+       {TimestampResolution::kMicro, TimestampResolution::kNano}) {
+    for (const std::uint32_t snaplen : {std::uint32_t{65535},
+                                        std::uint32_t{96}}) {
+      PcapWriter via_frames(snaplen, res);
+      PcapWriter via_records(snaplen, res);
+      const util::Nanos ts[] = {5 * util::kSecond + 123 * util::kMicrosecond,
+                                6 * util::kSecond + 7, 0};
+      const std::size_t sizes[] = {64, 300, 1514};
+      for (std::size_t i = 0; i < 3; ++i) {
+        const net::Frame f = test_frame(sizes[i], ts[i]);
+        via_frames.write(f);
+        via_records.write_record(f.bytes(), f.wire_length(), f.timestamp());
+      }
+      EXPECT_EQ(via_frames.frames_written(), via_records.frames_written());
+      EXPECT_EQ(via_frames.buffer(), via_records.buffer())
+          << "res=" << static_cast<int>(res) << " snaplen=" << snaplen;
+    }
+  }
+}
+
+TEST(Pcap, WriteRecordReturnsMutableSpanOverStream) {
+  // In-place post-write edits (anonymization) must land in the stream.
+  PcapWriter writer(65535);
+  const net::Frame f = test_frame(100, util::kSecond);
+  std::span<std::uint8_t> record =
+      writer.write_record(f.bytes(), f.wire_length(), f.timestamp());
+  ASSERT_EQ(record.size(), 100u);
+  EXPECT_TRUE(std::equal(record.begin(), record.end(), f.bytes().begin()));
+  std::fill(record.begin(), record.begin() + 6, std::uint8_t{0xEE});
+
+  auto reader = PcapReader::open(writer.take_buffer());
+  ASSERT_TRUE(reader.has_value());
+  auto back = reader->next();
+  ASSERT_TRUE(back.has_value());
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(back->bytes()[i], 0xEE);
+  EXPECT_TRUE(std::equal(back->bytes().begin() + 6, back->bytes().end(),
+                         f.bytes().begin() + 6));
+}
+
+TEST(Pcap, WriteRecordSpanCoversOnlySnapLength) {
+  // With truncation, the returned span is the captured prefix actually in
+  // the stream, not the full wire frame.
+  PcapWriter writer(64);
+  const net::Frame f = test_frame(1500, 0);
+  std::span<std::uint8_t> record =
+      writer.write_record(f.bytes(), f.wire_length(), f.timestamp());
+  EXPECT_EQ(record.size(), 64u);
+  auto reader = PcapReader::open(writer.take_buffer());
+  auto back = reader->next();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->captured_length(), 64u);
+  EXPECT_EQ(back->wire_length(), 1500u);
+}
+
 }  // namespace
 }  // namespace patchwork::pcap

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "net/parser.hpp"
 
 namespace patchwork::traffic {
@@ -145,6 +148,96 @@ TEST(FlowGen, TcpAppsProduceAcks) {
   }
   // Roughly one delayed ACK per four data frames.
   EXPECT_GT(minis, window.frames.size() / 8);
+}
+
+TEST(FlowGen, RenderUnitIsBatchInvariant) {
+  // Frame j of a unit depends only on (unit stream, j): rendering a unit
+  // whole or in ragged batches must append identical bytes and timestamps.
+  util::Rng rng(10);
+  const SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 1e8;
+  util::Rng plan_rng = rng.split(kWindowPlanStream);
+  const WindowPlan plan = plan_window(plan_rng, profile, params);
+  ASSERT_FALSE(plan.units.empty());
+
+  net::FrameBuilder builder;
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    const RenderUnit& unit = plan.units[u];
+    const util::RngBlock draws(rng.split(kWindowUnitStreamBase + u));
+
+    net::FrameStore whole;
+    render_unit(unit, draws, params.duration, 0, unit.frames, builder, whole);
+
+    net::FrameStore batched;
+    for (std::uint64_t begin = 0; begin < unit.frames; begin += 7) {
+      const std::uint64_t end = std::min(begin + 7, unit.frames);
+      render_unit(unit, draws, params.duration, begin, end, builder, batched);
+    }
+
+    ASSERT_EQ(whole.size(), batched.size()) << "unit " << u;
+    ASSERT_EQ(whole.size(), unit.frames) << "unit " << u;
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      const net::FrameView a = whole.view(i);
+      const net::FrameView b = batched.view(i);
+      EXPECT_EQ(a.timestamp, b.timestamp) << "unit " << u << " frame " << i;
+      ASSERT_EQ(a.bytes.size(), b.bytes.size())
+          << "unit " << u << " frame " << i;
+      EXPECT_TRUE(std::equal(a.bytes.begin(), a.bytes.end(), b.bytes.begin()))
+          << "unit " << u << " frame " << i << " bytes differ";
+    }
+  }
+}
+
+TEST(FlowGen, GenerateWindowMatchesManualPlanAndRender) {
+  // generate_window is exactly fork → plan(kWindowPlanStream) →
+  // render each unit off its substream → (timestamp, index) sort. A
+  // by-hand composition from a same-seed parent must reproduce it.
+  const SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 2e8;
+
+  util::Rng direct_rng(11);
+  const WindowTraffic window = generate_window(direct_rng, profile, params);
+
+  util::Rng manual_rng(11);
+  util::Rng child = manual_rng.fork();
+  util::Rng plan_rng = child.split(kWindowPlanStream);
+  const WindowPlan plan = plan_window(plan_rng, profile, params);
+  EXPECT_DOUBLE_EQ(window.offered_pps, plan.offered_pps);
+  EXPECT_DOUBLE_EQ(window.offered_bps, plan.offered_bps);
+  EXPECT_EQ(window.flow_count, plan.flow_count);
+
+  net::FrameStore store;
+  net::FrameBuilder builder;
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    const util::RngBlock draws(child.split(kWindowUnitStreamBase + u));
+    render_unit(plan.units[u], draws, params.duration, 0,
+                plan.units[u].frames, builder, store);
+  }
+  std::vector<std::size_t> order(store.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const util::Nanos ta = store.view(a).timestamp;
+    const util::Nanos tb = store.view(b).timestamp;
+    return ta != tb ? ta < tb : a < b;
+  });
+
+  ASSERT_EQ(window.frames.size(), order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const net::FrameView v = store.view(order[i]);
+    const net::Frame& f = window.frames[i];
+    EXPECT_EQ(f.timestamp(), v.timestamp) << "frame " << i;
+    EXPECT_EQ(f.wire_length(), v.wire_length) << "frame " << i;
+    ASSERT_EQ(f.bytes().size(), v.bytes.size()) << "frame " << i;
+    EXPECT_TRUE(
+        std::equal(f.bytes().begin(), f.bytes().end(), v.bytes.begin()))
+        << "frame " << i << " bytes differ";
+  }
+  // Both parents advanced identically: their next draws agree.
+  EXPECT_EQ(direct_rng.bits(), manual_rng.bits());
 }
 
 }  // namespace

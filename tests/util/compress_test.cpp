@@ -106,6 +106,40 @@ TEST(Decompress, RejectsLengthMismatch) {
   EXPECT_FALSE(decompress(compressed).has_value());
 }
 
+TEST(Compress, ReusedCompressorMatchesFreeFunction) {
+  // One Compressor across many calls (the per-worker scratch pattern) must
+  // emit exactly what a fresh context would: the epoch tag retires every
+  // stale table entry between calls.
+  Compressor reused;
+  Rng rng(21);
+  std::vector<std::vector<std::uint8_t>> inputs;
+  inputs.push_back({});
+  inputs.push_back(bytes_of("abcd"));
+  inputs.push_back(std::vector<std::uint8_t>(4096, 0x42));
+  inputs.push_back(bytes_of(
+      "the quick brown fox jumps over the lazy dog and then the quick "
+      "brown fox does it again"));
+  // Pseudo-random bytes: adversarial for stale-match reuse, since any
+  // surviving entry from a previous call would alias a fresh hash slot.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint8_t> noise(2000);
+    for (auto& b : noise) {
+      b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    }
+    inputs.push_back(std::move(noise));
+  }
+  inputs.push_back(bytes_of("abcd"));  // Repeat an early input verbatim.
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto via_reused = reused.compress(inputs[i]);
+    const auto via_fresh = compress(inputs[i]);
+    EXPECT_EQ(via_reused, via_fresh) << "input " << i;
+    const auto restored = decompress(via_reused);
+    ASSERT_TRUE(restored.has_value()) << "input " << i;
+    EXPECT_EQ(*restored, inputs[i]) << "input " << i;
+  }
+}
+
 TEST(Compress, RatioHelper) {
   std::vector<std::uint8_t> a(100, 1), b(25, 1);
   EXPECT_DOUBLE_EQ(compression_ratio(a, b), 0.25);

@@ -1,0 +1,183 @@
+// Pins the counter-based engine: golden vectors for the raw block
+// function, O(1) random access equal to sequential drawing, split
+// equivalence through util::Rng, and a statistical smoke test so a wrong
+// multiplier or Weyl constant cannot pass silently.
+#include "util/philox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace patchwork::util {
+namespace {
+
+// Known-answer vectors from the Random123 reference implementation
+// (philox4x32 with 10 rounds).
+TEST(Philox, GoldenVectorAllZero) {
+  const std::array<std::uint32_t, 4> out =
+      philox4x32_10({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, GoldenVectorAllOnes) {
+  const std::array<std::uint32_t, 4> out = philox4x32_10(
+      {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+      {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(out[0], 0x408f276du);
+  EXPECT_EQ(out[1], 0x41c83b0eu);
+  EXPECT_EQ(out[2], 0xa20bc7c6u);
+  EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(Philox, GoldenVectorPiDigits) {
+  const std::array<std::uint32_t, 4> out = philox4x32_10(
+      {0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+      {0xa4093822u, 0x299f31d0u});
+  EXPECT_EQ(out[0], 0xd16cfe09u);
+  EXPECT_EQ(out[1], 0x94fdccebu);
+  EXPECT_EQ(out[2], 0x5001e420u);
+  EXPECT_EQ(out[3], 0x24126ea1u);
+}
+
+TEST(PhiloxEngine, RandomAccessEqualsSequentialDraws) {
+  PhiloxEngine sequential(0x1234abcd5678ef90ull);
+  const PhiloxEngine indexed(0x1234abcd5678ef90ull);
+  for (std::uint64_t j = 0; j < 1000; ++j) {
+    ASSERT_EQ(sequential(), indexed.at(j)) << "draw " << j;
+  }
+}
+
+TEST(PhiloxEngine, AtDoesNotPerturbSequentialPosition) {
+  PhiloxEngine a(7), b(7);
+  (void)a.at(123456);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(PhiloxEngine, DistinctSeedsDiverge) {
+  PhiloxEngine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngAt, MatchesSequentialBits) {
+  // Rng::at(j) is the value of the j-th bits() call, regardless of how far
+  // the sequential position has advanced.
+  Rng rng(99);
+  const Rng reference(99);
+  std::vector<std::uint64_t> drawn;
+  for (std::uint64_t j = 0; j < 64; ++j) drawn.push_back(rng.bits());
+  for (std::uint64_t j = 0; j < 64; ++j) {
+    EXPECT_EQ(reference.at(j), drawn[j]) << "draw " << j;
+    EXPECT_EQ(rng.at(j), drawn[j]) << "draw " << j << " (advanced rng)";
+  }
+}
+
+TEST(RngBlock, CounterAccessMatchesStreamDraws) {
+  Rng stream(0xfeedface);
+  const RngBlock block(stream);
+  for (std::uint64_t j = 0; j < 128; ++j) {
+    ASSERT_EQ(stream.bits(), block.at(j)) << "draw " << j;
+  }
+}
+
+TEST(RngBlock, TwoLevelSplitEquivalenceThroughBlocks) {
+  // The counter view composes with the split algebra: the block over
+  // root.split(a, b) indexes the same draw table as the block over
+  // root.split(a).split(b).
+  const Rng root(2024);
+  for (std::uint64_t a : {0ull, 3ull, 500ull}) {
+    for (std::uint64_t b : {0ull, 1ull, 17ull}) {
+      const RngBlock direct(root.split(a, b));
+      const RngBlock chained(root.split(a).split(b));
+      for (std::uint64_t j : {0ull, 1ull, 63ull, 100000ull}) {
+        ASSERT_EQ(direct.at(j), chained.at(j))
+            << "a=" << a << " b=" << b << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(RngBlock, BoundedAtStaysInRangeAndCoversEndpoints) {
+  const RngBlock block(Rng(31337));
+  bool saw_lo = false, saw_hi = false;
+  for (std::uint64_t j = 0; j < 4000; ++j) {
+    const std::uint64_t v = block.bounded_at(j, 10, 17);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 17u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 17;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  // Degenerate and full ranges.
+  EXPECT_EQ(block.bounded_at(5, 42, 42), 42u);
+  EXPECT_EQ(block.bounded_at(5, 0, ~std::uint64_t{0}), block.at(5));
+}
+
+TEST(RngBlock, ChanceAtEdgeCasesAndRate) {
+  const RngBlock block(Rng(4242));
+  EXPECT_FALSE(block.chance_at(0, 0.0));
+  EXPECT_TRUE(block.chance_at(0, 1.0));
+  int hits = 0;
+  const int n = 20000;
+  for (int j = 0; j < n; ++j) {
+    if (block.chance_at(static_cast<std::uint64_t>(j), 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(PhiloxStatistical, BitBalance) {
+  // Each of the 64 output bit positions should be set ~half the time.
+  PhiloxEngine engine(0x5eed);
+  const int n = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t v = engine();
+    for (int b = 0; b < 64; ++b) {
+      ones[static_cast<std::size_t>(b)] += static_cast<int>(v & 1);
+      v >>= 1;
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<std::size_t>(b)]) / n,
+                0.5, 0.02)
+        << "bit " << b;
+  }
+}
+
+TEST(PhiloxStatistical, ChiSquareUniformBuckets) {
+  // 256 buckets over the top byte of uniform_u64 draws. With 25600 draws
+  // (expected 100/bucket) a healthy generator lands near df=255; the
+  // threshold is ~5 sigma, far beyond normal fluctuation but instantly
+  // tripped by a broken constant.
+  Rng rng(777);
+  const int kBuckets = 256;
+  const int n = 25600;
+  std::array<int, 256> counts{};
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<std::size_t>(rng.uniform_u64(0, 0xffffffffffffffffull) >>
+                                    56)]++;
+  }
+  const double expected = static_cast<double>(n) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  // df = 255: mean 255, sigma ~22.6.
+  EXPECT_LT(chi2, 255.0 + 5.0 * 22.6);
+  EXPECT_GT(chi2, 255.0 - 5.0 * 22.6);
+}
+
+}  // namespace
+}  // namespace patchwork::util

@@ -184,6 +184,32 @@ TEST(Rng, WeightedIndexRespectsWeights) {
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
 }
 
+TEST(Rng, WeightedTableMatchesLinearScanExactly) {
+  // The prepared-table overload must pick bit-identical indices to the
+  // one-shot scan: same engine state, same weights, same index, for every
+  // draw — including zero-weight entries and ties in the prefix sums.
+  const std::vector<double> weights = {0.25, 0.0, 3.0, 1e-9, 0.5,
+                                       7.25, 0.0, 0.125};
+  const WeightedTable table(weights);
+  Rng linear(321), prepared(321);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_EQ(linear.weighted_index(weights),
+              prepared.weighted_index(table))
+        << "draw " << i;
+  }
+}
+
+TEST(Rng, WeightedTableRespectsWeights) {
+  Rng rng(53);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  const WeightedTable table(weights);
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(table)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
 TEST(Rng, ShufflePreservesElements) {
   Rng rng(41);
   std::vector<int> v(100);
