@@ -1,0 +1,158 @@
+// Draw-plane microbenchmark: scalar counter addressing (RngBlock::at)
+// against the vectorized bulk kernels (philox_bulk and the RngBlock fills),
+// per compiled-and-supported ISA tier.
+//
+// Synthesis is the online path's dominant serial stage, and every one of
+// its random values is a counter-addressed Philox draw — so draws/sec here
+// bounds how fast the data plane can ever render. The JSON summary is
+// recorded as BENCH_rng.json; the "bulk_speedup_best_tier" figure is the
+// bar the SIMD work has to clear (>= 2.5x over per-draw scalar calls).
+//
+// Build & run:  ./build/bench/bench_rng
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/philox_simd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace patchwork;
+
+constexpr std::size_t kDraws = 1u << 22;  ///< Draws per timed rep.
+constexpr std::size_t kBuffer = 1u << 18; ///< Fill buffer (reused per rep).
+constexpr int kReps = 5;                  ///< Best-of-n wall times.
+
+volatile std::uint64_t g_sink;  ///< Defeats dead-code elimination.
+
+/// Best-of-kReps wall time of fn(), in seconds.
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+double draws_per_sec(double seconds) {
+  return seconds > 0.0 ? static_cast<double>(kDraws) / seconds : 0.0;
+}
+
+struct TierRates {
+  std::string tier;
+  double raw_bulk = 0.0;      ///< philox_bulk via RngBlock::raw_fill.
+  double uniform01_fill = 0.0;
+  double bounded_fill = 0.0;
+  double chance_fill = 0.0;
+};
+
+void print_rate(const char* label, double dps) {
+  std::cout << "  " << label << ": " << dps / 1e6 << " Mdraws/s\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("RNG draw-plane microbenchmark",
+                "synthesis stage cost model (Section 6.2.2 data plane)");
+
+  const util::Rng stream(0xb0a710adull);
+  const util::RngBlock block(stream);
+
+  // Scalar baseline: one virtual-free but lane-less at() call per draw —
+  // exactly what the render loop did before the bulk APIs.
+  const double scalar_s = best_seconds([&] {
+    std::uint64_t acc = 0;
+    for (std::size_t j = 0; j < kDraws; ++j) acc ^= block.at(j);
+    g_sink = acc;
+  });
+  const double scalar_dps = draws_per_sec(scalar_s);
+  std::cout << "\nscalar at(j) baseline:\n";
+  print_rate("at", scalar_dps);
+
+  std::vector<std::uint64_t> raw(kBuffer);
+  std::vector<double> reals(kBuffer);
+  std::vector<std::uint8_t> bits(kBuffer);
+  std::vector<TierRates> tiers;
+  for (util::SimdTier tier :
+       {util::SimdTier::kScalar, util::SimdTier::kSse4,
+        util::SimdTier::kAvx2}) {
+    if (!util::simd_tier_supported(tier)) continue;
+    util::set_simd_tier(tier);
+    TierRates rates;
+    rates.tier = std::string(util::to_string(tier));
+    rates.raw_bulk = draws_per_sec(best_seconds([&] {
+      std::uint64_t acc = 0;
+      for (std::size_t j = 0; j < kDraws; j += kBuffer) {
+        block.raw_fill(j, raw);
+        acc ^= raw[0] ^ raw[kBuffer - 1];
+      }
+      g_sink = acc;
+    }));
+    rates.uniform01_fill = draws_per_sec(best_seconds([&] {
+      for (std::size_t j = 0; j < kDraws; j += kBuffer) {
+        block.uniform01_fill(j, reals);
+      }
+      g_sink = static_cast<std::uint64_t>(reals[0] * 1e9);
+    }));
+    rates.bounded_fill = draws_per_sec(best_seconds([&] {
+      for (std::size_t j = 0; j < kDraws; j += kBuffer) {
+        block.bounded_fill(j, 0, 19999999999ull, raw);
+      }
+      g_sink = raw[0];
+    }));
+    rates.chance_fill = draws_per_sec(best_seconds([&] {
+      for (std::size_t j = 0; j < kDraws; j += kBuffer) {
+        block.chance_fill(j, 0.3, bits);
+      }
+      g_sink = bits[0];
+    }));
+    std::cout << "\ntier " << rates.tier << ":\n";
+    print_rate("philox_bulk", rates.raw_bulk);
+    print_rate("uniform01_fill", rates.uniform01_fill);
+    print_rate("bounded_fill", rates.bounded_fill);
+    print_rate("chance_fill", rates.chance_fill);
+    tiers.push_back(std::move(rates));
+  }
+  util::reset_simd_tier();
+
+  const TierRates& best = tiers.back();  // Tiers iterate narrow -> wide.
+  const double speedup = scalar_dps > 0.0 ? best.raw_bulk / scalar_dps : 0.0;
+  const bool ok = speedup >= 2.5;
+  std::cout << "\nbulk speedup on best tier (" << best.tier
+            << "): " << speedup << "x (bar: 2.5x) -> "
+            << (ok ? "OK" : "BELOW BAR") << "\n";
+
+  std::cout << "\nJSON:\n{\n"
+            << "  \"bench\": \"rng\",\n"
+            << "  \"draws_per_rep\": " << kDraws << ",\n"
+            << "  \"reps\": " << kReps << ",\n"
+            << "  \"scalar_at_draws_per_sec\": " << scalar_dps << ",\n"
+            << "  \"tiers\": [\n";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const TierRates& t = tiers[i];
+    std::cout << "    {\"tier\": \"" << t.tier << "\", "
+              << "\"philox_bulk_draws_per_sec\": " << t.raw_bulk << ", "
+              << "\"uniform01_fill_draws_per_sec\": " << t.uniform01_fill
+              << ", "
+              << "\"bounded_fill_draws_per_sec\": " << t.bounded_fill << ", "
+              << "\"chance_fill_draws_per_sec\": " << t.chance_fill << "}"
+              << (i + 1 < tiers.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"best_tier\": \"" << best.tier << "\",\n"
+            << "  \"bulk_speedup_best_tier\": " << speedup << ",\n"
+            << "  \"bulk_speedup_bar\": 2.5,\n"
+            << "  \"bulk_speedup_ok\": " << (ok ? "true" : "false") << "\n"
+            << "}\n";
+  return 0;
+}

@@ -13,6 +13,8 @@
 //     --samples N         samples per run (default 2)
 //     --duration SECS     sample duration (default 20)
 //     --method M          tcpdump | dpdk | fpga (default fpga)
+//     --simd T            avx2 | sse4 | scalar draw-kernel tier (default:
+//                         widest supported; output bytes identical on all)
 //     --snaplen N         truncation bytes (default 200)
 //     --filter EXPR       capture filter, e.g. "ip and tcp and not port 22"
 //     --policy P          busiest | uplinks | all (default busiest)
@@ -48,6 +50,7 @@
 #include "archive/writer.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "util/philox_simd.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "core/coordinator.hpp"
@@ -135,6 +138,13 @@ Options parse_args(int argc, char** argv) {
       } else {
         usage_error("unknown method '" + m + "'");
       }
+    } else if (arg == "--simd") {
+      const std::string t = next_value(i);
+      if (!util::parse_simd_tier(t).has_value()) {
+        usage_error("unknown --simd tier: " + t +
+                    " (expected avx2 | sse4 | scalar)");
+      }
+      options.config.simd_tier = t;
     } else if (arg == "--snaplen") {
       options.config.capture.snaplen =
           static_cast<std::uint32_t>(std::stoul(next_value(i)));

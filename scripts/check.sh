@@ -42,7 +42,9 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   # sharded metrics registry (concurrent add/observe/registration), and the
   # archive's concurrent code — the rollup compactor (parallel_map group
   # folds) and the background metrics file exporter.
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*'
+  # PhiloxSimd/RngBulk ride along: the tier dispatch word is a relaxed
+  # atomic that tests flip while pool workers draw.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
@@ -54,7 +56,9 @@ if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
   # span-aliasing write/edit path, and the render decomposition that
   # stitches them together. UBSan catches the offset/overflow mistakes
   # ASan's poisoning cannot.
-  ./build-ubsan/tests/patchwork_tests --gtest_filter='Philox.*:Rng.*:RngBlock.*:WeightedTable.*:FrameBuilder.*:FrameStore.*:Pcap.*:FlowGen.*:Compress.*:SessionTest.*:TaskGroup.*:CoordinatorDeterminism.*'
+  # gtest filter dots are literal: the SIMD suites (PhiloxSimd.*, RngBulk.*)
+  # need their own entries — 'Philox.*'/'Rng.*' do not match them.
+  ./build-ubsan/tests/patchwork_tests --gtest_filter='Philox.*:PhiloxSimd.*:Rng.*:RngBulk.*:RngBlock.*:WeightedTable.*:FrameBuilder.*:FrameStore.*:Pcap.*:FlowGen.*:Compress.*:SessionTest.*:TaskGroup.*:CoordinatorDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "asan" ]]; then

@@ -45,8 +45,9 @@ struct ProfileRun {
 
 class Coordinator {
  public:
-  Coordinator(Environment& env, ProfilerConfig config)
-      : env_(env), config_(std::move(config)) {}
+  /// Applies config.simd_tier (when set) to the process-wide vector
+  /// kernel dispatch before any rendering happens.
+  Coordinator(Environment& env, ProfilerConfig config);
 
   /// All-experiment mode over every production site. Sites restricted to
   /// teaching (EDUKY) are skipped, as in Section 8.1.1.

@@ -532,8 +532,12 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
   if (p.delivery < 1.0) {
     const util::RngBlock delivery(
         rng.split(traffic::kWindowDeliveryStream));
+    // Bulk Bernoulli keep/drop decisions (draw j == merged position j,
+    // matching the scalar chance_at contract), then a branch-light scan.
+    std::vector<std::uint8_t> keep(refs.size());
+    delivery.chance_fill(0, p.delivery, keep);
     for (std::size_t j = 0; j < refs.size(); ++j) {
-      if (delivery.chance_at(j, p.delivery)) {
+      if (keep[j] != 0) {
         views.push_back(refs[j].burst->store.view(refs[j].local));
       }
     }

@@ -214,6 +214,74 @@ void FrameBuilder::build_into(FrameStore& store, util::Nanos timestamp) const {
   store.commit(start, timestamp);
 }
 
+void FrameBuilder::build_many_into(FrameStore& store,
+                                   std::span<const util::Nanos> timestamps,
+                                   std::span<const std::uint32_t> values,
+                                   PerFrameField field) const {
+  assert(!layers_.empty());
+  assert(field == PerFrameField::kNone || values.size() == timestamps.size());
+  // Serialize the stack once. resolve_and_serialize() leaves scratch_
+  // holding the *resolved* layers (padding appended), so their sizes give
+  // the exact byte offset of every header in the template.
+  scratch_ = layers_;
+  template_.clear();
+  resolve_and_serialize(scratch_, template_);
+
+  // Locate the patch slots. Header layouts are fixed: TcpHeader encodes
+  // seq as BE32 at +4 and ack as BE32 at +8; DnsHeader encodes id as BE16
+  // at +0. Neither field feeds any resolved length/chaining/checksum
+  // field, so stamping them into the serialized bytes is equivalent to
+  // re-serializing the stack with the value threaded through.
+  struct Slot {
+    std::size_t offset;
+    bool wide;  ///< true: BE32, false: BE16.
+  };
+  Slot slots[4];
+  std::size_t slot_count = 0;
+  auto add_slot = [&](std::size_t offset, bool wide) {
+    assert(slot_count < std::size(slots));
+    if (slot_count < std::size(slots)) slots[slot_count++] = Slot{offset, wide};
+  };
+  if (field != PerFrameField::kNone) {
+    std::size_t offset = 0;
+    for (const Layer& l : scratch_) {
+      if (std::holds_alternative<TcpHeader>(l)) {
+        add_slot(offset + (field == PerFrameField::kTcpSeqAndDnsId ? 4 : 8),
+                 true);
+      } else if (field == PerFrameField::kTcpSeqAndDnsId &&
+                 std::holds_alternative<DnsHeader>(l)) {
+        add_slot(offset, false);
+      }
+      offset += std::visit(SizeVisitor{}, l);
+    }
+  }
+
+  Bytes& arena = store.arena();
+  const std::size_t needed =
+      arena.size() + timestamps.size() * template_.size();
+  if (arena.capacity() < needed) {
+    arena.reserve(std::max(needed, arena.capacity() + arena.capacity() / 2));
+  }
+  for (std::size_t i = 0; i < timestamps.size(); ++i) {
+    const std::size_t start = arena.size();
+    arena.insert(arena.end(), template_.begin(), template_.end());
+    for (std::size_t s = 0; s < slot_count; ++s) {
+      std::uint8_t* p = arena.data() + start + slots[s].offset;
+      const std::uint32_t v = values[i];
+      if (slots[s].wide) {
+        p[0] = static_cast<std::uint8_t>(v >> 24);
+        p[1] = static_cast<std::uint8_t>(v >> 16);
+        p[2] = static_cast<std::uint8_t>(v >> 8);
+        p[3] = static_cast<std::uint8_t>(v);
+      } else {
+        p[0] = static_cast<std::uint8_t>(v >> 8);
+        p[1] = static_cast<std::uint8_t>(v);
+      }
+    }
+    store.commit(start, timestamps[i]);
+  }
+}
+
 void FrameBuilder::reset() {
   layers_.clear();
   markers_.clear();

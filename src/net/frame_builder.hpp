@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -23,6 +24,17 @@
 #include "net/packet.hpp"
 
 namespace patchwork::net {
+
+/// Which per-frame field FrameBuilder::build_many_into() patches into each
+/// copy of its serialized template. The patched fields are exactly the
+/// ones the traffic renderer varies inside a render unit; everything else
+/// in a unit's frames is byte-identical, which is what makes the
+/// template-stamp fast path legal.
+enum class PerFrameField : std::uint8_t {
+  kNone,            ///< Frames differ only by timestamp.
+  kTcpSeqAndDnsId,  ///< values[i] -> every TCP seq (BE32) + DNS id (BE16).
+  kTcpAck,          ///< values[i] -> every TCP ack number (BE32).
+};
 
 class FrameBuilder {
  public:
@@ -68,6 +80,18 @@ class FrameBuilder {
   /// byte-identical output to build() for the same stack.
   void build_into(FrameStore& store, util::Nanos timestamp = 0) const;
 
+  /// Batched build_into(): emit one frame per timestamps[i], all from the
+  /// current stack, patching values[i] into the field(s) selected by
+  /// `field`. The stack must describe the fields being patched with value
+  /// 0 (the template is serialized once, then stamped per frame), so the
+  /// output is byte-identical to calling build_into() per frame with
+  /// values[i] threaded through the stack. Requires
+  /// values.size() == timestamps.size() unless field == kNone.
+  void build_many_into(FrameStore& store,
+                       std::span<const util::Nanos> timestamps,
+                       std::span<const std::uint32_t> values,
+                       PerFrameField field) const;
+
   /// Clear the stack so the builder can describe the next frame while
   /// keeping its buffers' capacity.
   void reset();
@@ -91,6 +115,9 @@ class FrameBuilder {
   /// Working copy resolved by build()/build_into(); a member so repeated
   /// builds reuse its capacity instead of allocating per frame.
   mutable std::vector<Layer> scratch_;
+  /// One resolved serialization of the stack, reused as the stamp source
+  /// by build_many_into(); a member for the same capacity-reuse reason.
+  mutable Bytes template_;
 
   void push(Layer layer, Marker marker = Marker::kNone);
   /// Pad, resolve chaining/length fields in `layers`, and append the

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "net/protocol.hpp"
 
@@ -377,19 +378,45 @@ WindowPlan plan_window(util::Rng& rng, const SiteWorkloadProfile& profile,
 void render_unit(const RenderUnit& unit, const util::RngBlock& draws,
                  util::Nanos duration, std::uint64_t begin, std::uint64_t end,
                  net::FrameBuilder& builder, net::FrameStore& store) {
-  for (std::uint64_t j = begin; j < end; ++j) {
+  if (begin >= end) return;
+  // Within a unit, frames differ only in timestamp and the TCP seq / ack /
+  // DNS id derived from the frame index. Describe the stack once with the
+  // varying field zeroed, bulk-draw the per-frame values in
+  // struct-of-arrays chunks, and let the builder stamp the burst.
+  builder.reset();
+  net::PerFrameField field = net::PerFrameField::kTcpSeqAndDnsId;
+  bool buildable = true;
+  if (unit.acks) {
+    fill_ack_frame(builder, unit.flow, 0);
+    field = net::PerFrameField::kTcpAck;
+  } else {
+    buildable = fill_data_frame(builder, unit.flow, 0);
+  }
+
+  // Chunked SoA scratch: large enough to amortize the vector RNG kernel
+  // dispatch, small enough to stay on a worker's stack.
+  constexpr std::size_t kChunk = 1024;
+  util::Nanos ts[kChunk];
+  std::uint32_t vals[kChunk];
+  for (std::uint64_t j = begin; j < end;) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kChunk, end - j));
     // Draw j is frame j's timestamp: pure counter addressing, so any
     // [begin, end) burst decomposition renders identical bytes.
-    const util::Nanos t = draws.bounded_at(j, 0, duration - 1);
-    const std::uint32_t seq = static_cast<std::uint32_t>(j) * 1000;
-    builder.reset();
-    if (unit.acks) {
-      fill_ack_frame(builder, unit.flow, seq);
-    } else if (!fill_data_frame(builder, unit.flow, seq)) {
-      store.commit(store.arena().size(), t);  // Unreachable: empty frame.
-      continue;
+    draws.bounded_fill(j, 0, duration - 1, std::span<util::Nanos>(ts, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      vals[i] = static_cast<std::uint32_t>(j + i) * 1000;
     }
-    builder.build_into(store, t);
+    if (buildable) {
+      builder.build_many_into(store, std::span<const util::Nanos>(ts, n),
+                              std::span<const std::uint32_t>(vals, n), field);
+    } else {
+      // Unreachable app value: one empty frame per timestamp.
+      for (std::size_t i = 0; i < n; ++i) {
+        store.commit(store.arena().size(), ts[i]);
+      }
+    }
+    j += n;
   }
 }
 

@@ -83,6 +83,13 @@ class PhiloxEngine {
   /// Draws consumed by operator() so far.
   std::uint64_t position() const { return next_; }
 
+  /// The construction seed (= the Philox key). The bulk kernels
+  /// (util/philox_simd.hpp) address this engine's exact draw table from
+  /// (seed, j) alone.
+  std::uint64_t seed() const {
+    return key_[0] | (static_cast<std::uint64_t>(key_[1]) << 32);
+  }
+
  private:
   std::array<std::uint64_t, 2> block_words(std::uint64_t block) const {
     const std::array<std::uint32_t, 4> ctr = {

@@ -1,0 +1,124 @@
+// AVX2 Philox4x32-10 kernel: 4 blocks per register, 8 per step.
+//
+// Lane layout: each 256-bit register holds FOUR blocks, one per 64-bit
+// lane, with the live 32-bit counter/key word in the lane's low half and
+// zeros above. That costs half the register, but it buys exact arithmetic
+// for free: _mm256_mul_epu32 multiplies the low 32 bits of each 64-bit
+// lane into a full 64-bit product — precisely the 32x32->64 multiply at
+// the heart of a Philox round — so hi/lo extraction is a shift and a mask,
+// never a cross-lane shuffle. Counter-to-lane mapping is block b+lane for
+// lanes 0..3; lane indices are materialized by a 64-bit add, so the
+// 2^32 carry in the split {lo32, hi32} counter happens per-lane before the
+// words are ever split. The main loop runs two 4-block groups per
+// iteration (8 independent counters) to cover the multiplier latency.
+//
+// This TU is compiled with a per-file -mavx2 (see src/util/CMakeLists.txt)
+// and only ever entered through runtime dispatch, so building it does not
+// raise the binary's baseline ISA.
+#include "util/philox_simd_kernels.hpp"
+
+#if defined(PATCHWORK_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace patchwork::util {
+
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;
+
+struct Group4 {
+  __m256i c0, c1, c2, c3;  // Four blocks' counter words, one per u64 lane.
+};
+
+inline Group4 load_counters(std::uint64_t b0, __m256i mask32) {
+  // Full 64-bit block indices per lane; the add carries into the high
+  // word, which then becomes counter word 1 — the scalar {lo32(b),
+  // hi32(b)} split, vectorized.
+  const __m256i b = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(b0)),
+      _mm256_set_epi64x(3, 2, 1, 0));
+  return Group4{_mm256_and_si256(b, mask32), _mm256_srli_epi64(b, 32),
+                _mm256_setzero_si256(), _mm256_setzero_si256()};
+}
+
+inline void round4(Group4& g, __m256i k0, __m256i k1, __m256i mul0,
+                   __m256i mul1, __m256i mask32) {
+  const __m256i p0 = _mm256_mul_epu32(g.c0, mul0);
+  const __m256i p1 = _mm256_mul_epu32(g.c2, mul1);
+  const __m256i c0 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_srli_epi64(p1, 32), g.c1), k0);
+  const __m256i c1 = _mm256_and_si256(p1, mask32);
+  const __m256i c2 = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_srli_epi64(p0, 32), g.c3), k1);
+  const __m256i c3 = _mm256_and_si256(p0, mask32);
+  g = Group4{c0, c1, c2, c3};
+}
+
+inline void store_words(const Group4& g, std::uint64_t* out) {
+  // Word 0 of a block is out0|out1<<32, word 1 is out2|out3<<32; the
+  // output buffer wants them interleaved per block.
+  const __m256i w0 = _mm256_or_si256(g.c0, _mm256_slli_epi64(g.c1, 32));
+  const __m256i w1 = _mm256_or_si256(g.c2, _mm256_slli_epi64(g.c3, 32));
+  const __m256i lo = _mm256_unpacklo_epi64(w0, w1);  // {b0w0,b0w1,b2w0,b2w1}
+  const __m256i hi = _mm256_unpackhi_epi64(w0, w1);  // {b1w0,b1w1,b3w0,b3w1}
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_permute2x128_si256(lo, hi, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4),
+                      _mm256_permute2x128_si256(lo, hi, 0x31));
+}
+
+}  // namespace
+
+void philox_blocks_avx2(std::uint64_t key, std::uint64_t b0,
+                        std::size_t nblocks, std::uint64_t* out) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i mul0 = _mm256_set1_epi64x(kMul0);
+  const __m256i mul1 = _mm256_set1_epi64x(kMul1);
+  // Weyl increments live in the low dword of each lane; _mm256_add_epi32
+  // wraps them mod 2^32 in place while the zeroed high dwords stay zero.
+  const __m256i weyl0 = _mm256_set1_epi64x(kWeyl0);
+  const __m256i weyl1 = _mm256_set1_epi64x(kWeyl1);
+  const __m256i key0 =
+      _mm256_set1_epi64x(static_cast<std::uint32_t>(key));
+  const __m256i key1 =
+      _mm256_set1_epi64x(static_cast<std::uint32_t>(key >> 32));
+
+  std::size_t i = 0;
+  for (; i + 8 <= nblocks; i += 8) {
+    // Two interleaved groups: 8 independent counters per step.
+    Group4 a = load_counters(b0 + i, mask32);
+    Group4 b = load_counters(b0 + i + 4, mask32);
+    __m256i k0 = key0, k1 = key1;
+    for (int round = 0; round < 10; ++round) {
+      if (round > 0) {
+        k0 = _mm256_add_epi32(k0, weyl0);
+        k1 = _mm256_add_epi32(k1, weyl1);
+      }
+      round4(a, k0, k1, mul0, mul1, mask32);
+      round4(b, k0, k1, mul0, mul1, mask32);
+    }
+    store_words(a, out + 2 * i);
+    store_words(b, out + 2 * i + 8);
+  }
+  for (; i + 4 <= nblocks; i += 4) {
+    Group4 a = load_counters(b0 + i, mask32);
+    __m256i k0 = key0, k1 = key1;
+    for (int round = 0; round < 10; ++round) {
+      if (round > 0) {
+        k0 = _mm256_add_epi32(k0, weyl0);
+        k1 = _mm256_add_epi32(k1, weyl1);
+      }
+      round4(a, k0, k1, mul0, mul1, mask32);
+    }
+    store_words(a, out + 2 * i);
+  }
+  if (i < nblocks) philox_blocks_scalar(key, b0 + i, nblocks - i, out + 2 * i);
+}
+
+}  // namespace patchwork::util
+
+#endif  // PATCHWORK_HAVE_AVX2 && __AVX2__

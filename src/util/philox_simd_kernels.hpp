@@ -1,0 +1,35 @@
+// Internal kernel contracts shared by the per-tier translation units.
+//
+// Each kernel writes the two 64-bit output words of Philox4x32-10 blocks
+// [b0, b0+nblocks) of the stream keyed by `key` into out[0..2*nblocks):
+// out[2*i] and out[2*i+1] are words 0 and 1 of block b0+i, assembled
+// exactly as PhiloxEngine::block_words() assembles them. Kernels own the
+// whole range including any non-vector-width remainder; the dispatcher in
+// philox_simd.cpp never splits a call across tiers.
+//
+// The SSE4.2/AVX2 TUs are compiled with per-file -msse4.2 / -mavx2 flags
+// (never globally), and are only added to the build — together with the
+// PATCHWORK_HAVE_* macro that advertises them here — when the compiler
+// supports the flag on an x86 target. Nothing outside util/ includes this
+// header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace patchwork::util {
+
+void philox_blocks_scalar(std::uint64_t key, std::uint64_t b0,
+                          std::size_t nblocks, std::uint64_t* out);
+
+#if defined(PATCHWORK_HAVE_SSE42)
+void philox_blocks_sse42(std::uint64_t key, std::uint64_t b0,
+                         std::size_t nblocks, std::uint64_t* out);
+#endif
+
+#if defined(PATCHWORK_HAVE_AVX2)
+void philox_blocks_avx2(std::uint64_t key, std::uint64_t b0,
+                        std::size_t nblocks, std::uint64_t* out);
+#endif
+
+}  // namespace patchwork::util

@@ -1,0 +1,107 @@
+// SSE4.2 Philox4x32-10 kernel: 2 blocks per register, 4 per step.
+//
+// Same lane discipline as the AVX2 kernel (see philox_simd_avx2.cpp): each
+// 128-bit register holds TWO blocks, one per 64-bit lane, live 32-bit word
+// in the low half. _mm_mul_epu32 gives the exact 32x32->64 round multiply,
+// _mm_add_epi32 wraps the Weyl key schedule mod 2^32 in place, and the
+// 2^32 block-counter carry is handled by a full 64-bit lane add before the
+// counter is split into words. Two interleaved 2-block groups per
+// iteration keep 4 independent counters in flight.
+//
+// Compiled with a per-file -msse4.2 (src/util/CMakeLists.txt) and reached
+// only through runtime dispatch.
+#include "util/philox_simd_kernels.hpp"
+
+#if defined(PATCHWORK_HAVE_SSE42) && defined(__SSE4_2__)
+
+#include <emmintrin.h>
+#include <smmintrin.h>
+
+namespace patchwork::util {
+
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;
+
+struct Group2 {
+  __m128i c0, c1, c2, c3;  // Two blocks' counter words, one per u64 lane.
+};
+
+inline Group2 load_counters(std::uint64_t b0, __m128i mask32) {
+  const __m128i b = _mm_add_epi64(
+      _mm_set1_epi64x(static_cast<long long>(b0)), _mm_set_epi64x(1, 0));
+  return Group2{_mm_and_si128(b, mask32), _mm_srli_epi64(b, 32),
+                _mm_setzero_si128(), _mm_setzero_si128()};
+}
+
+inline void round2(Group2& g, __m128i k0, __m128i k1, __m128i mul0,
+                   __m128i mul1, __m128i mask32) {
+  const __m128i p0 = _mm_mul_epu32(g.c0, mul0);
+  const __m128i p1 = _mm_mul_epu32(g.c2, mul1);
+  const __m128i c0 =
+      _mm_xor_si128(_mm_xor_si128(_mm_srli_epi64(p1, 32), g.c1), k0);
+  const __m128i c1 = _mm_and_si128(p1, mask32);
+  const __m128i c2 =
+      _mm_xor_si128(_mm_xor_si128(_mm_srli_epi64(p0, 32), g.c3), k1);
+  const __m128i c3 = _mm_and_si128(p0, mask32);
+  g = Group2{c0, c1, c2, c3};
+}
+
+inline void store_words(const Group2& g, std::uint64_t* out) {
+  const __m128i w0 = _mm_or_si128(g.c0, _mm_slli_epi64(g.c1, 32));
+  const __m128i w1 = _mm_or_si128(g.c2, _mm_slli_epi64(g.c3, 32));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_unpacklo_epi64(w0, w1));  // {b0w0, b0w1}
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2),
+                   _mm_unpackhi_epi64(w0, w1));  // {b1w0, b1w1}
+}
+
+}  // namespace
+
+void philox_blocks_sse42(std::uint64_t key, std::uint64_t b0,
+                         std::size_t nblocks, std::uint64_t* out) {
+  const __m128i mask32 = _mm_set1_epi64x(0xffffffffll);
+  const __m128i mul0 = _mm_set1_epi64x(kMul0);
+  const __m128i mul1 = _mm_set1_epi64x(kMul1);
+  const __m128i weyl0 = _mm_set1_epi64x(kWeyl0);
+  const __m128i weyl1 = _mm_set1_epi64x(kWeyl1);
+  const __m128i key0 = _mm_set1_epi64x(static_cast<std::uint32_t>(key));
+  const __m128i key1 = _mm_set1_epi64x(static_cast<std::uint32_t>(key >> 32));
+
+  std::size_t i = 0;
+  for (; i + 4 <= nblocks; i += 4) {
+    Group2 a = load_counters(b0 + i, mask32);
+    Group2 b = load_counters(b0 + i + 2, mask32);
+    __m128i k0 = key0, k1 = key1;
+    for (int round = 0; round < 10; ++round) {
+      if (round > 0) {
+        k0 = _mm_add_epi32(k0, weyl0);
+        k1 = _mm_add_epi32(k1, weyl1);
+      }
+      round2(a, k0, k1, mul0, mul1, mask32);
+      round2(b, k0, k1, mul0, mul1, mask32);
+    }
+    store_words(a, out + 2 * i);
+    store_words(b, out + 2 * i + 4);
+  }
+  for (; i + 2 <= nblocks; i += 2) {
+    Group2 a = load_counters(b0 + i, mask32);
+    __m128i k0 = key0, k1 = key1;
+    for (int round = 0; round < 10; ++round) {
+      if (round > 0) {
+        k0 = _mm_add_epi32(k0, weyl0);
+        k1 = _mm_add_epi32(k1, weyl1);
+      }
+      round2(a, k0, k1, mul0, mul1, mask32);
+    }
+    store_words(a, out + 2 * i);
+  }
+  if (i < nblocks) philox_blocks_scalar(key, b0 + i, nblocks - i, out + 2 * i);
+}
+
+}  // namespace patchwork::util
+
+#endif  // PATCHWORK_HAVE_SSE42 && __SSE4_2__

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/philox_simd.hpp"
+
 namespace patchwork::util {
 
 namespace {
@@ -138,6 +140,66 @@ std::uint64_t RngBlock::bounded_at(std::uint64_t j, std::uint64_t lo,
   const unsigned __int128 wide =
       static_cast<unsigned __int128>(at(j)) * range;
   return lo + static_cast<std::uint64_t>(wide >> 64);
+}
+
+namespace {
+
+/// Stack chunk for the fills that transform raw draws into another type:
+/// large enough to amortize the kernel dispatch, small enough to live on
+/// any worker's stack.
+constexpr std::size_t kFillChunk = 1024;
+
+}  // namespace
+
+void RngBlock::raw_fill(std::uint64_t j0, std::span<std::uint64_t> out) const {
+  philox_bulk(engine_.seed(), j0, out.size(), out.data());
+}
+
+void RngBlock::uniform01_fill(std::uint64_t j0, std::span<double> out) const {
+  std::uint64_t raw[kFillChunk];
+  for (std::size_t done = 0; done < out.size();) {
+    const std::size_t n = std::min(kFillChunk, out.size() - done);
+    philox_bulk(engine_.seed(), j0 + done, n, raw);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[done + i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+    }
+    done += n;
+  }
+}
+
+void RngBlock::bounded_fill(std::uint64_t j0, std::uint64_t lo,
+                            std::uint64_t hi,
+                            std::span<std::uint64_t> out) const {
+  assert(lo <= hi);
+  raw_fill(j0, out);  // In place: each raw draw maps to its bounded value.
+  const std::uint64_t range = hi - lo + 1;  // 0 means the full 2^64 span.
+  if (range == 0) return;
+  for (std::uint64_t& v : out) {
+    const unsigned __int128 wide = static_cast<unsigned __int128>(v) * range;
+    v = lo + static_cast<std::uint64_t>(wide >> 64);
+  }
+}
+
+void RngBlock::chance_fill(std::uint64_t j0, double p,
+                           std::span<std::uint8_t> out) const {
+  if (p <= 0.0) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  if (p >= 1.0) {
+    std::fill(out.begin(), out.end(), std::uint8_t{1});
+    return;
+  }
+  std::uint64_t raw[kFillChunk];
+  for (std::size_t done = 0; done < out.size();) {
+    const std::size_t n = std::min(kFillChunk, out.size() - done);
+    philox_bulk(engine_.seed(), j0 + done, n, raw);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[done + i] = static_cast<std::uint8_t>(
+          static_cast<double>(raw[i] >> 11) * 0x1.0p-53 < p);
+    }
+    done += n;
+  }
 }
 
 }  // namespace patchwork::util

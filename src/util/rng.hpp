@@ -158,6 +158,29 @@ class RngBlock {
     return uniform01_at(j) < p;
   }
 
+  // Bulk draws: fill a buffer with a contiguous counter range in one pass
+  // through the vectorized Philox kernels (util/philox_simd.hpp). Each
+  // fill is draw-for-draw identical to its *_at counterpart — out[i] is
+  // exactly what the scalar call with counter j0+i returns, on every ISA
+  // tier — so batched consumers can switch freely between the forms.
+
+  /// out[i] = at(j0 + i).
+  void raw_fill(std::uint64_t j0, std::span<std::uint64_t> out) const;
+
+  /// out[i] = uniform01_at(j0 + i).
+  void uniform01_fill(std::uint64_t j0, std::span<double> out) const;
+
+  /// out[i] = bounded_at(j0 + i, lo, hi). Same 128-bit Lemire reduction,
+  /// applied lane-by-lane to the bulk raw draws; the reduction is
+  /// rejection-free, so the bulk path never consumes extra draws and
+  /// cannot drift from the scalar one mid-buffer.
+  void bounded_fill(std::uint64_t j0, std::uint64_t lo, std::uint64_t hi,
+                    std::span<std::uint64_t> out) const;
+
+  /// out[i] = chance_at(j0 + i, p) as 0/1.
+  void chance_fill(std::uint64_t j0, double p,
+                   std::span<std::uint8_t> out) const;
+
  private:
   PhiloxEngine engine_;  ///< Never advanced; used only through at().
 };

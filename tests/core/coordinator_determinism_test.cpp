@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "testing/env_fixture.hpp"
 #include "util/parallel.hpp"
+#include "util/philox_simd.hpp"
 
 namespace patchwork::core {
 namespace {
@@ -219,6 +220,51 @@ TEST(CoordinatorDeterminism, RenderBatchSizeInvariant) {
     const ProfileRun parallel = run_batched(batch);
     expect_runs_identical(reference, parallel,
                           "batch=" + std::to_string(batch));
+  }
+}
+
+TEST(CoordinatorDeterminism, SimdTierInvariant) {
+  // The vector kernel tier is a throughput knob, never a bytes knob:
+  // forcing each compiled-and-supported ISA tier through the config must
+  // reproduce the scalar reference run exactly — pcap bytes, reports, and
+  // the deterministic metrics exposition — serial and parallel alike.
+  ThreadCountGuard guard;
+  struct SimdGuard {
+    ~SimdGuard() { util::reset_simd_tier(); }
+  } simd_guard;
+
+  auto run_tier = [](util::SimdTier tier) {
+    obs::registry().reset();
+    World world(/*seed=*/11, wide_spec());
+    world.warm_up_telemetry();
+    ProfilerConfig config = multi_sample_config();
+    config.simd_tier = std::string(util::to_string(tier));
+    Coordinator coordinator(world.env, config);
+    SkewedArtifacts out;
+    out.run = coordinator.run_all_experiment();
+    out.expose_deterministic = obs::expose_text(/*deterministic_only=*/true);
+    return out;
+  };
+
+  util::set_thread_count(0);
+  const SkewedArtifacts reference = run_tier(util::SimdTier::kScalar);
+  ASSERT_FALSE(reference.run.captures.empty());
+  EXPECT_EQ(util::simd_tier(), util::SimdTier::kScalar)
+      << "config knob did not reach the dispatcher";
+
+  for (util::SimdTier tier :
+       {util::SimdTier::kScalar, util::SimdTier::kSse4,
+        util::SimdTier::kAvx2}) {
+    if (!util::simd_tier_supported(tier)) continue;
+    for (std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+      util::set_thread_count(threads);
+      const SkewedArtifacts forced = run_tier(tier);
+      const std::string label = "simd=" + std::string(util::to_string(tier)) +
+                                " threads=" + std::to_string(threads);
+      expect_runs_identical(reference.run, forced.run, label);
+      EXPECT_EQ(reference.expose_deterministic, forced.expose_deterministic)
+          << label << ": deterministic exposition differs";
+    }
   }
 }
 

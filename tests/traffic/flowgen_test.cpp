@@ -190,6 +190,47 @@ TEST(FlowGen, RenderUnitIsBatchInvariant) {
   }
 }
 
+TEST(FlowGen, RenderUnitMatchesPerFrameReferenceBuilds) {
+  // The batched template-stamp path vs the scalar ground truth: frame j of
+  // a unit must equal make_data_frame/make_ack_frame with seq = j * 1000
+  // at timestamp bounded_at(j, 0, duration - 1), for every app the plan
+  // draws (TCP-seq, DNS-id, ack, and no-varying-field stacks alike).
+  util::Rng rng(12);
+  const SiteWorkloadProfile profile = default_profile();
+  WindowParams params;
+  params.duration = 20 * util::kSecond;
+  params.target_bps = 1e8;
+  util::Rng plan_rng = rng.split(kWindowPlanStream);
+  const WindowPlan plan = plan_window(plan_rng, profile, params);
+  ASSERT_FALSE(plan.units.empty());
+
+  net::FrameBuilder builder;
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    const RenderUnit& unit = plan.units[u];
+    const util::RngBlock draws(rng.split(kWindowUnitStreamBase + u));
+    net::FrameStore store;
+    render_unit(unit, draws, params.duration, 0, unit.frames, builder, store);
+    ASSERT_EQ(store.size(), unit.frames) << "unit " << u;
+    // Sample frames (all for small units) against the per-frame builders.
+    const std::uint64_t step = std::max<std::uint64_t>(1, unit.frames / 16);
+    for (std::uint64_t j = 0; j < unit.frames; j += step) {
+      const util::Nanos t = draws.bounded_at(j, 0, params.duration - 1);
+      const std::uint32_t seq = static_cast<std::uint32_t>(j) * 1000;
+      const net::Frame expected = unit.acks
+                                      ? make_ack_frame(unit.flow, t, seq)
+                                      : make_data_frame(unit.flow, t, seq);
+      const net::FrameView v = store.view(j);
+      EXPECT_EQ(v.timestamp, expected.timestamp())
+          << "unit " << u << " frame " << j;
+      ASSERT_EQ(v.bytes.size(), expected.bytes().size())
+          << "unit " << u << " frame " << j;
+      EXPECT_TRUE(
+          std::equal(v.bytes.begin(), v.bytes.end(), expected.bytes().begin()))
+          << "unit " << u << " frame " << j << " bytes differ";
+    }
+  }
+}
+
 TEST(FlowGen, GenerateWindowMatchesManualPlanAndRender) {
   // generate_window is exactly fork → plan(kWindowPlanStream) →
   // render each unit off its substream → (timestamp, index) sort. A
