@@ -21,6 +21,14 @@
 //     --anonymize         scrub addresses at capture time
 //     --nice X            enable dynamic scaling with this nice factor
 //     --out DIR           write CSV reports to DIR (default ".")
+//     --scrape-port N     serve GET /metrics, /metrics?deterministic=1,
+//                         /healthz, /manifest.json live on 127.0.0.1:N
+//                         (0 = ephemeral; PATCHWORK_SCRAPE=port is the
+//                         env equivalent, the flag wins)
+//
+// PATCHWORK_TRACE=path[:capacity] arms the flight recorder: every stage
+// span (and per-burst render_unit scope) lands on a per-worker timeline,
+// written to `path` as Chrome trace-event JSON at exit (open in Perfetto).
 //
 // Longitudinal archive subcommands (see src/archive):
 //   patchwork_cli archive append --archive F [--label L] [run options]
@@ -50,6 +58,8 @@
 #include "archive/writer.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scrape_server.hpp"
+#include "obs/trace.hpp"
 #include "util/philox_simd.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -81,6 +91,7 @@ struct Options {
   std::uint64_t budget_bytes = 256 * 1024;
   std::size_t group_size = 4;
   std::size_t top_k = 10;
+  int scrape_port = -1;  // -1 = not requested (PATCHWORK_SCRAPE may still).
 };
 
 Options parse_args(int argc, char** argv) {
@@ -184,6 +195,10 @@ Options parse_args(int argc, char** argv) {
       options.group_size = std::stoul(next_value(i));
     } else if (arg == "--top") {
       options.top_k = std::stoul(next_value(i));
+    } else if (arg == "--scrape-port") {
+      const unsigned long port = std::stoul(next_value(i));
+      if (port > 65535) usage_error("--scrape-port out of range");
+      options.scrape_port = static_cast<int>(port);
     } else {
       usage_error("unknown option '" + arg + "'");
     }
@@ -304,6 +319,41 @@ int main(int argc, char** argv) {
   if (options.archive_cmd == "query") return archive_query(options);
   if (options.archive_cmd == "stat") return archive_stat(options);
 
+  // Manifest identity is a pure function of the parsed options, so build
+  // it up front: the live /manifest.json route can then serve it mid-run.
+  obs::ManifestInfo info;
+  info.seed = options.seed;
+  info.config = {
+      {"sites", std::to_string(options.sites)},
+      {"cycles", std::to_string(options.config.plan.cycles)},
+      {"samples_per_run",
+       std::to_string(options.config.plan.samples_per_run)},
+      {"snaplen", std::to_string(options.config.capture.snaplen)},
+  };
+
+  // Live observability: the --scrape-port flag wins over PATCHWORK_SCRAPE;
+  // both coexist with the end-of-run file exports below.
+  const auto manifest_provider = [info] { return obs::render_manifest(info); };
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  if (options.scrape_port >= 0) {
+    obs::ScrapeServerOptions scrape_options;
+    scrape_options.port = static_cast<std::uint16_t>(options.scrape_port);
+    scrape_options.manifest = manifest_provider;
+    scrape = std::make_unique<obs::ScrapeServer>(std::move(scrape_options));
+    if (!scrape->ok()) {
+      std::cerr << "cannot bind scrape port "
+                << options.scrape_port << "\n";
+      return 1;
+    }
+  } else {
+    scrape = obs::maybe_start_scrape_server_from_env(manifest_provider);
+  }
+  if (scrape) {
+    std::cout << "scrape endpoint: http://127.0.0.1:" << scrape->port()
+              << "/metrics\n";
+  }
+  obs::trace::configure_from_env();
+
   // Simulated FABRIC world.
   util::Rng rng(options.seed);
   testbed::Federation fed = testbed::make_fabric_like_federation(rng);
@@ -361,15 +411,6 @@ int main(int argc, char** argv) {
 
   // Every run leaves its identity next to the outputs: the manifest ties
   // the CSVs to seed/config/build, the exposition snapshots final metrics.
-  obs::ManifestInfo info;
-  info.seed = options.seed;
-  info.config = {
-      {"sites", std::to_string(options.sites)},
-      {"cycles", std::to_string(options.config.plan.cycles)},
-      {"samples_per_run",
-       std::to_string(options.config.plan.samples_per_run)},
-      {"snaplen", std::to_string(options.config.capture.snaplen)},
-  };
   const std::string manifest_path =
       (std::filesystem::path(options.out_dir) / "patchwork_manifest.json")
           .string();
@@ -383,6 +424,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "wrote " << manifest_path << "\nwrote " << metrics_path
             << "\n";
+
+  if (obs::trace::write_env_configured()) {
+    std::cout << "wrote " << obs::trace::env_configured_path()
+              << " (Chrome trace-event JSON; open in Perfetto)\n";
+  }
 
   if (options.archive_cmd == "append") {
     archive::ArchiveWriter writer;

@@ -6,18 +6,28 @@
 // the full Digest -> Index -> Analyze -> Process pipeline and prints the
 // profile. This is the program behind Figures 11-13 and 15.
 //
-// Build & run:  ./build/examples/testbed_wide_profile
+// Build & run:  ./build/examples/testbed_wide_profile [--scrape-port N]
 //
 // Alongside the printed profile it writes the run's self-telemetry next to
 // the output: patchwork_manifest.json (seed, config, per-stage timings,
 // final counters) and patchwork_metrics.prom (Prometheus text exposition).
+// With --scrape-port N (or PATCHWORK_SCRAPE=port) the same exposition is
+// additionally served live at http://127.0.0.1:N/metrics — plus /healthz
+// and /manifest.json — while the run progresses; with
+// PATCHWORK_TRACE=path[:capacity] the run leaves a per-worker flight
+// recorder timeline at `path` (Chrome trace-event JSON, open in Perfetto).
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <set>
+#include <string>
 
 #include "analysis/pipeline.hpp"
 #include "core/coordinator.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scrape_server.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "telemetry/mflib.hpp"
 #include "testbed/federation.hpp"
@@ -27,9 +37,54 @@
 
 using namespace patchwork;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 2024;
   obs::registry().reset();  // Metrics below describe this run only.
+
+  int scrape_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scrape-port" && i + 1 < argc) {
+      scrape_port = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: testbed_wide_profile [--scrape-port N]\n";
+      return 2;
+    }
+  }
+  // Manifest identity is fixed up front so the live /manifest.json route
+  // can serve it mid-run; the same info feeds the end-of-run file write.
+  obs::ManifestInfo info;
+  info.seed = kSeed;
+  info.config = {
+      {"policy", "busiest_bias"},
+      {"cycles", "3"},
+      {"samples_per_run", "2"},
+      {"max_frames_per_sample", "2000"},
+      {"capture_method", "fpga_dpdk"},
+      {"snaplen", "200"},
+  };
+  info.notes.push_back("testbed_wide_profile example (Section 8.2)");
+
+  const auto manifest_provider = [info] { return obs::render_manifest(info); };
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  if (scrape_port >= 0 && scrape_port <= 65535) {
+    obs::ScrapeServerOptions scrape_options;
+    scrape_options.port = static_cast<std::uint16_t>(scrape_port);
+    scrape_options.manifest = manifest_provider;
+    scrape = std::make_unique<obs::ScrapeServer>(std::move(scrape_options));
+    if (!scrape->ok()) {
+      std::cerr << "cannot bind scrape port " << scrape_port << "\n";
+      return 1;
+    }
+  } else {
+    scrape = obs::maybe_start_scrape_server_from_env(manifest_provider);
+  }
+  if (scrape) {
+    std::cout << "scrape endpoint: http://127.0.0.1:" << scrape->port()
+              << "/metrics\n";
+  }
+  obs::trace::configure_from_env();
+
   util::Rng rng(kSeed);
   testbed::Federation fed = testbed::make_fabric_like_federation(rng);
   testbed::ActivityModel activity;
@@ -109,17 +164,6 @@ int main() {
   }
   std::cout << congestion << " of " << run.captures.size() << " samples\n";
 
-  obs::ManifestInfo info;
-  info.seed = kSeed;
-  info.config = {
-      {"policy", "busiest_bias"},
-      {"cycles", "3"},
-      {"samples_per_run", "2"},
-      {"max_frames_per_sample", "2000"},
-      {"capture_method", "fpga_dpdk"},
-      {"snaplen", "200"},
-  };
-  info.notes.push_back("testbed_wide_profile example (Section 8.2)");
   const bool manifest_ok =
       obs::write_manifest("patchwork_manifest.json", info);
   const bool metrics_ok = obs::expose_to_file("patchwork_metrics.prom");
@@ -128,5 +172,9 @@ int main() {
             << ", "
             << (metrics_ok ? "patchwork_metrics.prom" : "(metrics FAILED)")
             << "\n";
+  if (obs::trace::write_env_configured()) {
+    std::cout << "wrote " << obs::trace::env_configured_path()
+              << " (Chrome trace-event JSON; open in Perfetto)\n";
+  }
   return manifest_ok && metrics_ok ? 0 : 1;
 }

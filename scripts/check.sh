@@ -44,7 +44,12 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   # folds) and the background metrics file exporter.
   # PhiloxSimd/RngBulk ride along: the tier dispatch word is a relaxed
   # atomic that tests flip while pool workers draw.
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*'
+  # ScrapeServer (serving thread + concurrent HTTP readers folding the
+  # sharded registry), Trace (per-thread flight-recorder lanes + the
+  # work-steal observer hook), and TraceDeterminism (rings written from
+  # pool workers, drained after quiescence) are the newest concurrency
+  # surface.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*:ScrapeServer.*:Trace.*:TraceDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
@@ -68,7 +73,9 @@ if [[ "$mode" == "all" || "$mode" == "asan" ]]; then
   # The corrupt-file surface first: the archive reader/writer walking
   # truncated, bit-flipped, and version-skewed files is where a bounds bug
   # would hide, so it gets an explicit leg before the full sweep.
-  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:EpochRecord.Decode*:TopFlowSketch.*'
+  # ScrapeServer rides along for its hostile-input path: malformed request
+  # lines and oversized headers hitting the fixed parsing buffers.
+  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:EpochRecord.Decode*:TopFlowSketch.*:ScrapeServer.*'
   ./build-asan/tests/patchwork_tests
 fi
 

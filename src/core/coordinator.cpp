@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/scrape_server.hpp"
 #include "obs/span.hpp"
 #include "util/compress.hpp"
 #include "util/parallel.hpp"
@@ -68,6 +69,15 @@ ProfileRun Coordinator::run_sites(
   ProfileRun out;
   out.mode = mode;
 
+  // Live phase marker for /healthz scrapers: 1 control, 2 render, 3 merge,
+  // back to 0 (idle) on return. Wall-clock class — a point-in-time reading
+  // depends on when the scrape lands.
+  obs::Gauge& phase = obs::run_phase_gauge();
+  struct PhaseReset {
+    obs::Gauge& gauge;
+    ~PhaseReset() { gauge.set(0.0); }
+  } phase_reset{phase};
+
   // One data-plane seed for the whole run, drawn before any site touches
   // the environment RNG: site i renders from split(site id), so its pcap
   // bytes depend only on (run seed, site) — never on which worker thread
@@ -89,6 +99,7 @@ ProfileRun Coordinator::run_sites(
   // switches, telemetry, environment RNG), so they stay single-threaded
   // and deterministic.
   {
+    phase.set(1.0);
     OBS_SPAN_SIM("run_sites/control", &env_.clock());
     for (std::size_t i = 0; i < sites.size(); ++i) {
       const testbed::SiteId site = sites[i];
@@ -127,6 +138,7 @@ ProfileRun Coordinator::run_sites(
   // dominated by one hot site therefore still fills the pool: wall-clock
   // scales with total samples, not with the slowest site.
   {
+    phase.set(2.0);
     OBS_SPAN("run_sites/render");
 
     // Flatten the work-list. Sample k of site i renders from
@@ -165,7 +177,10 @@ ProfileRun Coordinator::run_sites(
         // worker compresses.
         static thread_local util::Compressor t_compressor;
         const std::vector<std::uint8_t> wire = [&] {
-          OBS_SPAN("render/compress");
+          OBS_SPAN_ARGS("render/compress",
+                        .site = static_cast<std::int64_t>(
+                            sites[task.site_index].value),
+                        .sample = static_cast<std::int64_t>(task.sample));
           return t_compressor.compress(slot.capture.pcap);
         }();
         slot.transferred_bytes = wire.size();
@@ -214,6 +229,7 @@ ProfileRun Coordinator::run_sites(
 
   // Phase 3 — merge in site order; teardown mutates switch/allocator
   // state, so it is serial again.
+  phase.set(3.0);
   OBS_SPAN("run_sites/merge");
   for (std::size_t i = 0; i < sites.size(); ++i) {
     const testbed::SiteId site = sites[i];

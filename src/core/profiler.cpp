@@ -434,7 +434,9 @@ std::size_t resolve_render_batch(std::size_t configured) {
 analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
                                                  util::Rng& rng) const {
   // Per-sample wall latency (kWallClock) plus a deterministic render count.
-  OBS_SPAN("profiler/render_sample");
+  OBS_SPAN_ARGS("profiler/render_sample",
+                .site = static_cast<std::int64_t>(site_.value),
+                .sample = static_cast<std::int64_t>(k));
   const PendingSample& p = pending_.at(k);
   const testbed::Site& site = env_.federation().site(site_);
   const traffic::SiteWorkloadProfile& profile = env_.traffic().profile(site_);
@@ -482,8 +484,20 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
         rng.split(traffic::kWindowUnitStreamBase + static_cast<uint64_t>(u)));
   }
   {
-    OBS_SPAN("render/synthesis");
+    OBS_SPAN_ARGS("render/synthesis",
+                  .site = static_cast<std::int64_t>(site_.value),
+                  .sample = static_cast<std::int64_t>(k));
+    // Burst index for the trace timeline: position in the decomposition,
+    // itself deterministic (plan + batch knob only). The event is
+    // trace-only (obs::trace::ScopedEvent) so per-burst instrumentation
+    // registers no metric families — the deterministic exposition is
+    // byte-identical with tracing on or off.
     auto render_burst = [&](Burst& burst) {
+      const obs::trace::ScopedEvent trace_burst(
+          "render_unit",
+          {.site = static_cast<std::int64_t>(site_.value),
+           .sample = static_cast<std::int64_t>(k),
+           .burst = &burst - bursts.data()});
       net::FrameBuilder builder;
       traffic::render_unit(plan.units[burst.unit], unit_draws[burst.unit],
                            params.duration, burst.begin, burst.end, builder,
@@ -552,7 +566,9 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
   util::Rng capture_rng = rng.split(traffic::kWindowCaptureStream);
   capture::CaptureSession capturer(config_.capture, host_, capture_rng);
   capture::CaptureResult captured = [&] {
-    OBS_SPAN("render/capture");
+    OBS_SPAN_ARGS("render/capture",
+                  .site = static_cast<std::int64_t>(site_.value),
+                  .sample = static_cast<std::int64_t>(k));
     return capturer.run(std::span<const net::FrameView>(views), offered_pps);
   }();
 

@@ -15,10 +15,10 @@ FileExporter::FileExporter(std::string path, std::chrono::milliseconds period,
 
 FileExporter::~FileExporter() { stop(); }
 
-void FileExporter::stop() {
+bool FileExporter::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopped_) return;
+    if (stopped_) return final_flush_ok();
     stopping_ = true;
   }
   wake_.notify_all();
@@ -27,7 +27,11 @@ void FileExporter::stop() {
     std::lock_guard<std::mutex> lock(mutex_);
     stopped_ = true;
   }
-  write_now();  // Final state, after the thread is quiet.
+  // Shutdown flush, after the thread is quiet: the periodic loop may have
+  // exited mid-interval, before observing the run's final registry state.
+  const bool ok = write_now();
+  final_flush_ok_.store(ok, std::memory_order_relaxed);
+  return ok;
 }
 
 bool FileExporter::write_now() {

@@ -36,8 +36,17 @@ class FileExporter {
   FileExporter(const FileExporter&) = delete;
   FileExporter& operator=(const FileExporter&) = delete;
 
-  /// Stop the thread and write one final snapshot. Idempotent.
-  void stop();
+  /// Stop the thread and write one final snapshot after it is quiet, so
+  /// registry updates from the last period are never lost (the periodic
+  /// thread may exit mid-interval without ever observing them).
+  /// Idempotent; returns whether the shutdown flush (or, on repeat calls,
+  /// the first one) hit the disk.
+  bool stop();
+
+  /// Whether the shutdown flush succeeded (meaningful after stop()).
+  bool final_flush_ok() const {
+    return final_flush_ok_.load(std::memory_order_relaxed);
+  }
 
   /// Write a snapshot right now (also called by the background thread).
   /// Returns false on IO failure.
@@ -57,6 +66,7 @@ class FileExporter {
   const std::chrono::milliseconds period_;
   const bool deterministic_only_;
   std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<bool> final_flush_ok_{false};
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

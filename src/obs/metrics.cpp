@@ -6,7 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/manifest.hpp"
 #include "util/logging.hpp"
+#include "util/philox_simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace patchwork::obs {
@@ -260,10 +262,41 @@ void Registry::gauge_fn(std::string_view name, std::string_view help,
   s.read_gauge = std::move(read);
 }
 
+namespace {
+
+/// The self-describing build-identity family: a constant-1 gauge whose
+/// labels carry everything a scraper needs to place the sample without
+/// fetching the manifest. The thread count (and potentially the simd
+/// tier) vary run to run, so the family is wall-clock class and synthetic:
+/// it never registers a series, it is rendered straight into the
+/// exposition at its sorted position.
+std::string render_build_info() {
+  std::string out =
+      "# HELP patchwork_build_info Build and runtime identity "
+      "(constant 1; values live in the labels)\n"
+      "# TYPE patchwork_build_info gauge\n";
+  out += "patchwork_build_info{git_describe=\"";
+  append_escaped(out, build_git_describe(), /*escape_quotes=*/true);
+  out += "\",simd_tier=\"";
+  out += std::string(util::to_string(util::simd_tier()));
+  out += "\",threads=\"" + std::to_string(util::thread_count()) + "\"} 1\n";
+  return out;
+}
+
+constexpr std::string_view kBuildInfoFamily = "patchwork_build_info";
+
+}  // namespace
+
 std::string Registry::expose_text(bool deterministic_only) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  // The synthetic family is wall-clock class: deterministic views skip it.
+  bool build_info_emitted = deterministic_only || !emit_build_info_;
   for (const auto& [name, family] : families_) {
+    if (!build_info_emitted && name > kBuildInfoFamily) {
+      out += render_build_info();
+      build_info_emitted = true;
+    }
     if (deterministic_only && family->det == Determinism::kWallClock) {
       continue;
     }
@@ -303,6 +336,7 @@ std::string Registry::expose_text(bool deterministic_only) const {
       }
     }
   }
+  if (!build_info_emitted) out += render_build_info();
   return out;
 }
 
@@ -353,6 +387,8 @@ namespace {
 /// layering: the shared worker pool's scheduling stats and the logger's
 /// bounded-buffer drop count.
 void register_builtins(Registry& reg) {
+  // Scrapes of the live process are self-describing without the manifest.
+  reg.enable_build_info();
   // Scheduling telemetry is inherently thread-count-dependent: kWallClock.
   reg.gauge_fn("patchwork_pool_workers", "Worker threads in the shared pool",
                {}, Determinism::kWallClock,

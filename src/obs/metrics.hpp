@@ -162,6 +162,14 @@ class Registry {
   /// the byte-comparable view.
   std::string expose_text(bool deterministic_only = false) const;
 
+  /// Opt in to the synthetic patchwork_build_info gauge: a constant-1
+  /// series whose labels carry git describe, simd tier, and thread count,
+  /// rendered at exposition time (never registered — the thread count is
+  /// run-dependent, so the family is wall-clock class and omitted from
+  /// the deterministic view). The process-wide registry() enables it;
+  /// standalone test registries stay byte-stable without it.
+  void enable_build_info() { emit_build_info_ = true; }
+
   /// Zero every push metric and re-baseline every pull counter. Keeps all
   /// registrations (handles stay valid).
   void reset();
@@ -185,6 +193,7 @@ class Registry {
                  Labels labels, Determinism det);
 
   mutable std::mutex mutex_;
+  bool emit_build_info_ = false;
   std::map<std::string, std::unique_ptr<Family>, std::less<>> families_;
 };
 

@@ -2,7 +2,8 @@
 
 namespace patchwork::obs {
 
-StageSpan::StageSpan(std::string_view stage, const sim::Clock* clock)
+StageSpan::StageSpan(std::string_view stage, const sim::Clock* clock,
+                     trace::SpanArgs args)
     : runs_(registry().counter("patchwork_stage_runs_total",
                                "Completed stage span scopes",
                                {{"stage", std::string(stage)}},
@@ -12,7 +13,10 @@ StageSpan::StageSpan(std::string_view stage, const sim::Clock* clock)
                                     {{"stage", std::string(stage)}},
                                     Determinism::kWallClock)),
       clock_(clock),
-      wall_start_(std::chrono::steady_clock::now()) {
+      wall_start_(std::chrono::steady_clock::now()),
+      stage_(stage),
+      trace_args_(args),
+      traced_(trace::enabled()) {
   if (clock_ != nullptr) {
     sim_ns_ = &registry().histogram("patchwork_stage_sim_ns",
                                     "Simulated stage duration (ns)",
@@ -20,6 +24,7 @@ StageSpan::StageSpan(std::string_view stage, const sim::Clock* clock)
                                     Determinism::kDeterministic);
     sim_start_ = clock_->now();
   }
+  if (traced_) trace_begin_ns_ = trace::now_ns();
 }
 
 StageSpan::~StageSpan() {
@@ -32,6 +37,10 @@ StageSpan::~StageSpan() {
     sim_ns_->observe(elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
   }
   runs_.add();
+  if (traced_) {
+    trace::record_complete(stage_, trace_begin_ns_, trace::now_ns(),
+                           trace_args_);
+  }
 }
 
 }  // namespace patchwork::obs

@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "util/units.hpp"
 
@@ -28,8 +29,12 @@ class StageSpan {
   /// Opens a span for `stage`. With a clock, the simulated duration
   /// (clock->now() delta between construction and destruction) is recorded
   /// into the deterministic patchwork_stage_sim_ns histogram as well.
+  /// When the flight recorder is armed (obs/trace.hpp) the span also
+  /// records a begin/end timeline event carrying `args` on the recording
+  /// thread's lane; disarmed, that costs one relaxed flag load.
   explicit StageSpan(std::string_view stage,
-                     const sim::Clock* clock = nullptr);
+                     const sim::Clock* clock = nullptr,
+                     trace::SpanArgs args = {});
   ~StageSpan();
 
   StageSpan(const StageSpan&) = delete;
@@ -42,6 +47,10 @@ class StageSpan {
   const sim::Clock* clock_ = nullptr;
   util::Nanos sim_start_ = 0;
   std::chrono::steady_clock::time_point wall_start_;
+  std::string_view stage_;  ///< Callers pass literals; spans are scoped.
+  trace::SpanArgs trace_args_;
+  bool traced_ = false;
+  std::uint64_t trace_begin_ns_ = 0;
 };
 
 #define OBS_SPAN_CONCAT_INNER(a, b) a##b
@@ -55,5 +64,12 @@ class StageSpan {
 #define OBS_SPAN_SIM(stage, clock)                                  \
   ::patchwork::obs::StageSpan OBS_SPAN_CONCAT(obs_span_, __LINE__)( \
       stage, clock)
+
+/// OBS_SPAN_ARGS("profiler/render_sample", .site = 3, .sample = 1); —
+/// same metrics as OBS_SPAN, plus site/sample/burst args on the trace
+/// timeline event when the flight recorder is armed.
+#define OBS_SPAN_ARGS(stage, ...)                                   \
+  ::patchwork::obs::StageSpan OBS_SPAN_CONCAT(obs_span_, __LINE__)( \
+      stage, nullptr, ::patchwork::obs::trace::SpanArgs{__VA_ARGS__})
 
 }  // namespace patchwork::obs

@@ -1,0 +1,279 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace patchwork::obs::trace {
+
+namespace {
+
+/// One thread's ring. The owning thread is the only writer of `ring` and
+/// `head`; the control thread reads them only after the traced work has
+/// quiesced (see the lifecycle contract in trace.hpp) and zeroes them only
+/// from start()/reset(), which the same contract serializes.
+struct Lane {
+  explicit Lane(std::uint32_t id, std::size_t capacity)
+      : lane_id(id), ring(capacity) {}
+  const std::uint32_t lane_id;
+  std::vector<Event> ring;
+  std::uint64_t head = 0;  ///< Total events ever written on this lane.
+};
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;  ///< Lane registration + config fields below.
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::size_t capacity = kDefaultCapacity;
+  std::chrono::steady_clock::time_point epoch{};
+  std::string env_path;
+  bool env_armed = false;
+};
+
+State& state() {
+  // Leaked like the metrics registry: spans may close during late static
+  // destruction.
+  static State* instance = new State();
+  return *instance;
+}
+
+thread_local Lane* t_lane = nullptr;
+
+Counter& dropped_counter() {
+  // Which lane overflows (and how often) depends on scheduling. Resolved
+  // once (start() primes it from the control thread) so the record path
+  // never takes the registry mutex.
+  static Counter& counter =
+      registry().counter("patchwork_trace_dropped_events_total",
+                         "Trace events overwritten by ring overflow", {},
+                         Determinism::kWallClock);
+  return counter;
+}
+
+Lane& lane_for_this_thread() {
+  if (t_lane != nullptr) return *t_lane;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.lanes.push_back(std::make_unique<Lane>(
+      static_cast<std::uint32_t>(s.lanes.size()), s.capacity));
+  t_lane = s.lanes.back().get();
+  return *t_lane;
+}
+
+void fill_event(Event& e, std::string_view name, std::uint64_t begin_ns,
+                std::uint64_t end_ns, const SpanArgs& args, char phase) {
+  const std::size_t n = std::min(name.size(), Event::kNameCapacity - 1);
+  std::memcpy(e.name, name.data(), n);
+  e.name[n] = '\0';
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns;
+  e.args = args;
+  e.phase = phase;
+}
+
+void record(std::string_view name, std::uint64_t begin_ns,
+            std::uint64_t end_ns, const SpanArgs& args, char phase) {
+  Lane& lane = lane_for_this_thread();
+  if (lane.ring.empty()) {  // capacity 0: everything is overflow.
+    dropped_counter().add();
+    return;
+  }
+  if (lane.head >= lane.ring.size()) dropped_counter().add();
+  fill_event(lane.ring[lane.head % lane.ring.size()], name, begin_ns, end_ns,
+             args, phase);
+  ++lane.head;
+}
+
+void append_args_json(std::string& out, const SpanArgs& args) {
+  bool first = true;
+  auto field = [&](const char* key, std::int64_t v) {
+    if (v < 0) return;
+    out += first ? "" : ",";
+    first = false;
+    out += "\"";
+    out += key;
+    out += "\":" + std::to_string(v);
+  };
+  out += ",\"args\":{";
+  field("site", args.site);
+  field("sample", args.sample);
+  field("burst", args.burst);
+  out += "}";
+}
+
+}  // namespace
+
+bool enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  const auto epoch = state().epoch;
+  if (epoch == std::chrono::steady_clock::time_point{}) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void start(std::size_t capacity_per_thread) {
+  dropped_counter();  // Prime: registration locks, later adds do not.
+  State& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.capacity = capacity_per_thread;
+    for (auto& lane : s.lanes) {
+      lane->head = 0;
+      lane->ring.assign(capacity_per_thread, Event{});
+    }
+    s.epoch = std::chrono::steady_clock::now();
+  }
+  util::set_task_steal_observer(
+      [] { record_instant("task_steal"); });
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop() {
+  State& s = state();
+  s.enabled.store(false, std::memory_order_relaxed);
+  util::set_task_steal_observer(nullptr);
+}
+
+void reset() {
+  stop();
+  dropped_counter().reset();
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& lane : s.lanes) {
+    lane->head = 0;
+  }
+  s.env_path.clear();
+  s.env_armed = false;
+}
+
+void record_complete(std::string_view name, std::uint64_t begin_ns,
+                     std::uint64_t end_ns, const SpanArgs& args) {
+  if (!enabled()) return;
+  record(name, begin_ns, end_ns, args, 'X');
+}
+
+void record_instant(std::string_view name, const SpanArgs& args) {
+  if (!enabled()) return;
+  const std::uint64_t now = now_ns();
+  record(name, now, now, args, 'i');
+}
+
+std::uint64_t dropped_events() { return dropped_counter().value(); }
+
+std::vector<LaneEvent> snapshot_events() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<LaneEvent> out;
+  for (const auto& lane : s.lanes) {
+    if (lane->ring.empty()) continue;
+    const std::uint64_t cap = lane->ring.size();
+    const std::uint64_t first = lane->head > cap ? lane->head - cap : 0;
+    for (std::uint64_t i = first; i < lane->head; ++i) {
+      out.push_back(LaneEvent{lane->lane_id, lane->ring[i % cap]});
+    }
+  }
+  return out;
+}
+
+std::string render_chrome_json() {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const LaneEvent& le : snapshot_events()) {
+    const Event& e = le.event;
+    out += first ? "\n" : ",\n";
+    first = false;
+    char ts[64];
+    // Chrome trace timestamps are microseconds; keep ns precision.
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(e.begin_ns) / 1000.0);
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"patchwork\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(le.lane) +
+           ",\"ts\":" + ts;
+    if (e.phase == 'X') {
+      char dur[64];
+      const std::uint64_t d = e.end_ns >= e.begin_ns
+                                  ? e.end_ns - e.begin_ns
+                                  : 0;
+      std::snprintf(dur, sizeof(dur), "%.3f",
+                    static_cast<double>(d) / 1000.0);
+      out += ",\"dur\":";
+      out += dur;
+    } else {
+      out += ",\"s\":\"t\"";  // Instant scope: thread.
+    }
+    append_args_json(out, e.args);
+    out += "}";
+  }
+  out += first ? "]}" : "\n]}";
+  out += "\n";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << render_chrome_json();
+  return static_cast<bool>(out);
+}
+
+bool configure_from_env() {
+  const char* env = std::getenv("PATCHWORK_TRACE");
+  if (env == nullptr || *env == '\0') return false;
+  std::string spec(env);
+  std::size_t capacity = kDefaultCapacity;
+  // path[:capacity] — only split on a colon followed by pure digits, so
+  // paths containing colons stay intact.
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    const std::string tail = spec.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(tail.c_str(), &end, 10);
+    if (end != tail.c_str() && *end == '\0') {
+      capacity = static_cast<std::size_t>(parsed);
+      spec.resize(colon);
+    }
+  }
+  if (spec.empty()) return false;
+  start(capacity);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_path = spec;
+  s.env_armed = true;
+  return true;
+}
+
+std::string env_configured_path() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.env_path;
+}
+
+bool write_env_configured() {
+  State& s = state();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.env_armed || s.env_path.empty()) return false;
+    path = s.env_path;
+  }
+  stop();
+  return write_chrome_json(path);
+}
+
+}  // namespace patchwork::obs::trace

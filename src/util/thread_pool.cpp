@@ -28,6 +28,21 @@ std::optional<std::size_t>& thread_count_override() {
   return value;
 }
 
+std::atomic<TaskStealObserver> g_steal_observer{nullptr};
+
+}  // namespace
+
+void set_task_steal_observer(TaskStealObserver observer) {
+  g_steal_observer.store(observer, std::memory_order_release);
+}
+
+namespace {
+void notify_steal_observer() {
+  if (TaskStealObserver observer =
+          g_steal_observer.load(std::memory_order_acquire)) {
+    observer();
+  }
+}
 }  // namespace
 
 TaskGroup::~TaskGroup() {
@@ -136,7 +151,7 @@ void ThreadPool::spawn(TaskGroup& group, std::function<void()> task) {
 
 bool ThreadPool::take_group_task_locked(std::size_t self,
                                         const TaskGroup* only,
-                                        GroupTask& out) {
+                                        GroupTask& out, bool& stole) {
   if (self != kNoWorker && self < deques_.size()) {
     std::deque<GroupTask>& own = deques_[self];
     if (only == nullptr) {
@@ -172,6 +187,7 @@ bool ThreadPool::take_group_task_locked(std::size_t self,
       --group_tasks_queued_;
       queue_depth_.fetch_sub(1, std::memory_order_relaxed);
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      stole = true;
       return true;
     }
   }
@@ -184,12 +200,13 @@ void ThreadPool::wait(TaskGroup& group) {
   for (;;) {
     GroupTask task;
     bool have = false;
+    bool stole = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
         // Only tasks of the waited group are eligible — helping an
         // unrelated group could recurse without bound.
-        if (take_group_task_locked(self, &group, task)) {
+        if (take_group_task_locked(self, &group, task, stole)) {
           have = true;
           break;
         }
@@ -198,6 +215,7 @@ void ThreadPool::wait(TaskGroup& group) {
       }
     }
     if (!have) break;
+    if (stole) notify_steal_observer();
     run_group_task(task);
   }
   std::exception_ptr error;
@@ -277,6 +295,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::packaged_task<void()> task;
     GroupTask group_task;
     bool have_group_task = false;
+    bool stole = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] {
@@ -293,7 +312,7 @@ void ThreadPool::worker_loop(std::size_t index) {
         task_wait_ns_total_.fetch_add(static_cast<std::uint64_t>(wait_ns),
                                       std::memory_order_relaxed);
         task = std::move(queued.task);
-      } else if (take_group_task_locked(index, nullptr, group_task)) {
+      } else if (take_group_task_locked(index, nullptr, group_task, stole)) {
         have_group_task = true;
       } else if (stopping_) {
         return;  // Both queues drained.
@@ -302,6 +321,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       }
     }
     if (have_group_task) {
+      if (stole) notify_steal_observer();
       run_group_task(group_task);
     } else {
       run_task(task);

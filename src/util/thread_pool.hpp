@@ -150,9 +150,14 @@ class ThreadPool {
   void run_group_task(GroupTask& task);
   /// Pop from the caller's own deque (back, any group) or steal from
   /// another deque (front; restricted to `only` when non-null). Caller
-  /// must hold mutex_. `self` is the worker index or kNoWorker.
+  /// must hold mutex_. `self` is the worker index or kNoWorker. Sets
+  /// `stole` when the task came off another worker's deque; the caller
+  /// reports it to the steal observer only after dropping mutex_ (the
+  /// observer may take unrelated locks — calling it under the pool mutex
+  /// would order pool-before-observer against exposition paths that
+  /// sample pool stats while holding their own locks).
   bool take_group_task_locked(std::size_t self, const TaskGroup* only,
-                              GroupTask& out);
+                              GroupTask& out, bool& stole);
   void note_queue_depth_locked();
   void worker_loop(std::size_t index);
 
@@ -180,6 +185,15 @@ class ThreadPool {
   std::atomic<std::uint64_t> task_run_ns_total_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
 };
+
+/// Observer invoked on the thief thread, after the pool mutex is
+/// released, each time a group task migrates off another worker's deque.
+/// The obs trace layer installs one to surface steals on the
+/// flight-recorder timeline; pass nullptr to clear. The hook is a bare
+/// function pointer read with one relaxed load on the steal path —
+/// uninstalled, the cost is that load.
+using TaskStealObserver = void (*)();
+void set_task_steal_observer(TaskStealObserver observer);
 
 /// The process-lifetime pool the parallel primitives fan out on. Created
 /// empty on first use and grown on demand by parallel_for(); workers

@@ -92,6 +92,41 @@ TEST(ObsExpose, SeriesWithinFamilySortByLabelString) {
   EXPECT_LT(alpha, zeta);
 }
 
+TEST(ObsExpose, BuildInfoIsOptInAndWallClockClass) {
+  // Standalone registries never emit it (golden bytes above stay stable).
+  Registry plain;
+  plain.counter("patchwork_plain_total", "p").add(1);
+  EXPECT_EQ(plain.expose_text().find("patchwork_build_info"),
+            std::string::npos);
+
+  // Once enabled, the synthetic gauge appears in name-sorted position in
+  // the full exposition with the build identity labels...
+  Registry enabled;
+  enabled.enable_build_info();
+  enabled.counter("patchwork_aaa_total", "before").add(1);
+  enabled.counter("patchwork_zzz_total", "after").add(1);
+  const std::string full = enabled.expose_text();
+  const std::size_t info = full.find(
+      "patchwork_build_info{git_describe=\"");
+  ASSERT_NE(info, std::string::npos) << full;
+  EXPECT_NE(full.find("simd_tier=\""), std::string::npos);
+  EXPECT_NE(full.find("threads=\""), std::string::npos);
+  EXPECT_NE(full.find("# TYPE patchwork_build_info gauge\n"),
+            std::string::npos);
+  EXPECT_LT(full.find("patchwork_aaa_total 1"), info);
+  EXPECT_LT(info, full.find("patchwork_zzz_total 1"));
+
+  // ...but the thread count label is run-dependent, so the deterministic
+  // view still omits it.
+  EXPECT_EQ(enabled.expose_text(/*deterministic_only=*/true)
+                .find("patchwork_build_info"),
+            std::string::npos);
+
+  // The process-wide registry opts in via register_builtins.
+  EXPECT_NE(registry().expose_text().find("patchwork_build_info{"),
+            std::string::npos);
+}
+
 TEST(ObsExpose, EmptyHistogramStillExposesInfSumCount) {
   Registry reg;
   reg.histogram("patchwork_empty_ns", "never observed");

@@ -59,6 +59,32 @@ TEST(ObsFileExporter, TailsTwoSnapshotsAcrossACounterBump) {
   std::remove(path.c_str());
 }
 
+TEST(ObsFileExporter, StopFlushesTheFinalRegistryState) {
+  const std::string path = ::testing::TempDir() + "/exporter_flush.prom";
+  std::remove(path.c_str());
+  Counter& tick = registry().counter("patchwork_exporter_flush_total",
+                                     "shutdown flush test counter");
+  tick.add(1);
+
+  // An hour-long period: the only snapshots are the immediate first one
+  // and the shutdown flush — so the bump below can only reach the file
+  // through stop().
+  FileExporter exporter(path, std::chrono::hours(1));
+  ASSERT_TRUE(wait_for_content(path, "patchwork_exporter_flush_total 1\n"));
+
+  tick.add(99);
+  EXPECT_TRUE(exporter.stop());
+  EXPECT_TRUE(exporter.final_flush_ok());
+  EXPECT_NE(slurp(path).find("patchwork_exporter_flush_total 100\n"),
+            std::string::npos)
+      << "stop() did not flush the post-bump state";
+  // Idempotent: a second stop() reports the same outcome, writes nothing.
+  const std::uint64_t written = exporter.snapshots_written();
+  EXPECT_TRUE(exporter.stop());
+  EXPECT_EQ(exporter.snapshots_written(), written);
+  std::remove(path.c_str());
+}
+
 TEST(ObsFileExporter, SnapshotIsACompleteExposition) {
   const std::string path = ::testing::TempDir() + "/exporter_complete.prom";
   std::remove(path.c_str());

@@ -1,0 +1,205 @@
+// Socket-level contract of the live scrape endpoint: real ephemeral-port
+// GETs of /metrics and /healthz, the deterministic view, malformed-request
+// handling, concurrent readers, and a clean stop that unblocks accept.
+#include "obs/scrape_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace patchwork::obs {
+namespace {
+
+/// Connect to 127.0.0.1:port, send `request` raw, read until EOF.
+std::string raw_round_trip(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return raw_round_trip(port, "GET " + target +
+                                  " HTTP/1.1\r\nHost: localhost\r\n"
+                                  "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+TEST(ScrapeServer, ServesMetricsOnAnEphemeralPort) {
+  registry().counter("patchwork_scrape_test_total", "scrape test").add(5);
+  ScrapeServer server(ScrapeServerOptions{});
+  ASSERT_TRUE(server.ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("patchwork_scrape_test_total 5\n"), std::string::npos);
+  // The scrape is self-describing: build identity rides along.
+  EXPECT_NE(body.find("patchwork_build_info{git_describe="),
+            std::string::npos);
+  // Content-Length matches the body actually sent.
+  const std::string cl = "Content-Length: " + std::to_string(body.size());
+  EXPECT_NE(response.find(cl), std::string::npos);
+  server.stop();
+}
+
+TEST(ScrapeServer, DeterministicQuerySelectsTheByteComparableView) {
+  registry().counter("patchwork_scrape_det_total", "deterministic").add(1);
+  ScrapeServer server(ScrapeServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  const std::string det =
+      body_of(http_get(server.port(), "/metrics?deterministic=1"));
+  EXPECT_NE(det.find("patchwork_scrape_det_total 1\n"), std::string::npos);
+  // Wall-clock families (pool telemetry, build info) are omitted.
+  EXPECT_EQ(det.find("patchwork_pool_workers"), std::string::npos);
+  EXPECT_EQ(det.find("patchwork_build_info"), std::string::npos);
+  // The live deterministic view and the file-export view are the same
+  // bytes when the registry is quiet.
+  EXPECT_EQ(det, expose_text(/*deterministic_only=*/true));
+  server.stop();
+}
+
+TEST(ScrapeServer, HealthzReportsUptimeAndPhase) {
+  run_phase_gauge().set(2.0);
+  ScrapeServer server(ScrapeServerOptions{});
+  ASSERT_TRUE(server.ok());
+  const std::string response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"run_phase\":2"), std::string::npos);
+  run_phase_gauge().set(0.0);
+  server.stop();
+}
+
+TEST(ScrapeServer, ManifestIsRebuiltOnDemand) {
+  ManifestInfo info;
+  info.seed = 99;
+  info.config = {{"sites", "4"}};
+  ScrapeServerOptions options;
+  options.manifest = [info] { return render_manifest(info); };
+  ScrapeServer server(std::move(options));
+  ASSERT_TRUE(server.ok());
+  const std::string body = body_of(http_get(server.port(), "/manifest.json"));
+  EXPECT_NE(body.find("\"patchwork_manifest_version\": 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("\"seed\": 99"), std::string::npos);
+
+  // Without a provider the route is a 404, not a crash.
+  ScrapeServer bare(ScrapeServerOptions{});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(http_get(bare.port(), "/manifest.json")
+                .rfind("HTTP/1.1 404", 0),
+            0u);
+}
+
+TEST(ScrapeServer, MalformedRequestGets400) {
+  ScrapeServer server(ScrapeServerOptions{});
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(raw_round_trip(server.port(), "this is not http\r\n\r\n")
+                .rfind("HTTP/1.1 400", 0),
+            0u);
+  EXPECT_EQ(raw_round_trip(server.port(), "GETnospace\r\n\r\n")
+                .rfind("HTTP/1.1 400", 0),
+            0u);
+  // Proper syntax, wrong method / unknown route.
+  EXPECT_EQ(raw_round_trip(server.port(),
+                           "POST /metrics HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 405", 0),
+            0u);
+  EXPECT_EQ(http_get(server.port(), "/nope").rfind("HTTP/1.1 404", 0), 0u);
+  // The server survives all of it and still serves.
+  EXPECT_EQ(http_get(server.port(), "/metrics").rfind("HTTP/1.1 200", 0),
+            0u);
+  server.stop();
+}
+
+TEST(ScrapeServer, ConcurrentReadersAllGetCompleteResponses) {
+  registry().counter("patchwork_scrape_concurrent_total", "c").add(7);
+  ScrapeServer server(ScrapeServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kReaders = 8;
+  std::vector<std::string> bodies(kReaders);
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&, r] {
+        bodies[static_cast<std::size_t>(r)] =
+            body_of(http_get(server.port(), "/metrics"));
+      });
+    }
+    for (std::thread& t : readers) t.join();
+  }
+  for (const std::string& body : bodies) {
+    EXPECT_NE(body.find("patchwork_scrape_concurrent_total 7\n"),
+              std::string::npos);
+  }
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kReaders));
+  server.stop();
+}
+
+TEST(ScrapeServer, StopUnblocksAcceptAndIsIdempotent) {
+  auto server = std::make_unique<ScrapeServer>(ScrapeServerOptions{});
+  ASSERT_TRUE(server->ok());
+  const std::uint16_t port = server->port();
+  // No connection in flight: stop() must not hang on accept().
+  server->stop();
+  server->stop();  // Idempotent.
+  // The listener is gone: a new connection is refused (or immediately
+  // closed), never served.
+  EXPECT_EQ(http_get(port, "/metrics").rfind("HTTP/1.1 200", 0),
+            std::string::npos);
+  server.reset();  // Destructor after stop() is fine too.
+}
+
+}  // namespace
+}  // namespace patchwork::obs
