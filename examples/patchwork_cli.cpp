@@ -34,11 +34,19 @@
 //   patchwork_cli archive append --archive F [--label L] [run options]
 //       profile once and append the epoch record to archive F
 //   patchwork_cli archive compact --archive F --budget BYTES [--group N]
-//       merge the oldest records into rollups until F fits BYTES
+//       [--full] merge the oldest records into rollups until the live image
+//       fits BYTES; commits are incremental appends unless --full
+//   patchwork_cli archive gc --archive F
+//       rewrite F shedding superseded blocks, orphans, and damage
+//   patchwork_cli archive merge --archive OUT --input F[=ORIGIN] ...
+//       federate several archives into OUT; each input's records are
+//       stamped with its deployment origin (default: the file stem)
 //   patchwork_cli archive query --archive F [--site NAME] [--top K]
+//       [--from-epoch N] [--to-epoch N] [--from-nanos N] [--to-nanos N]
 //       print the jumbo/IPv6/TCP trend table, per-site loads, top flows
+//       (windowed to the given inclusive epoch/time ranges)
 //   patchwork_cli archive stat --archive F
-//       record/epoch counts, span, damage counters
+//       record/epoch counts, span, damage and garbage counters
 //
 // Example:
 //   ./build/examples/patchwork_cli --sites 5 --filter "ip and tcp"
@@ -49,12 +57,16 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <set>
 #include <string>
 
 #include "analysis/epoch_extract.hpp"
 #include "analysis/pipeline.hpp"
 #include "archive/compactor.hpp"
+#include "archive/federation.hpp"
 #include "archive/query.hpp"
+#include "archive/query_cache.hpp"
 #include "archive/writer.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -91,6 +103,9 @@ struct Options {
   std::uint64_t budget_bytes = 256 * 1024;
   std::size_t group_size = 4;
   std::size_t top_k = 10;
+  bool full_rewrite = false;  // --full: compact by whole-file rewrite.
+  std::vector<archive::FederationInput> merge_inputs;
+  archive::QueryWindow window;
   int scrape_port = -1;  // -1 = not requested (PATCHWORK_SCRAPE may still).
 };
 
@@ -109,7 +124,8 @@ Options parse_args(int argc, char** argv) {
     if (argc < 3) usage_error("archive needs a subcommand");
     options.archive_cmd = argv[2];
     if (options.archive_cmd != "append" && options.archive_cmd != "compact" &&
-        options.archive_cmd != "query" && options.archive_cmd != "stat") {
+        options.archive_cmd != "query" && options.archive_cmd != "stat" &&
+        options.archive_cmd != "merge" && options.archive_cmd != "gc") {
       usage_error("unknown archive subcommand '" + options.archive_cmd + "'");
     }
     first = 3;
@@ -195,6 +211,30 @@ Options parse_args(int argc, char** argv) {
       options.group_size = std::stoul(next_value(i));
     } else if (arg == "--top") {
       options.top_k = std::stoul(next_value(i));
+    } else if (arg == "--full") {
+      options.full_rewrite = true;
+    } else if (arg == "--input") {
+      // PATH or PATH=ORIGIN; without an origin the file stem tags the
+      // records (prof_a.pwar -> "prof_a").
+      const std::string value = next_value(i);
+      archive::FederationInput input;
+      const std::size_t eq = value.rfind('=');
+      if (eq != std::string::npos && eq + 1 < value.size()) {
+        input.path = value.substr(0, eq);
+        input.origin = value.substr(eq + 1);
+      } else {
+        input.path = value;
+        input.origin = std::filesystem::path(value).stem().string();
+      }
+      options.merge_inputs.push_back(std::move(input));
+    } else if (arg == "--from-epoch") {
+      options.window.from_epoch = std::stoull(next_value(i));
+    } else if (arg == "--to-epoch") {
+      options.window.to_epoch = std::stoull(next_value(i));
+    } else if (arg == "--from-nanos") {
+      options.window.from_nanos = std::stoull(next_value(i));
+    } else if (arg == "--to-nanos") {
+      options.window.to_nanos = std::stoull(next_value(i));
     } else if (arg == "--scrape-port") {
       const unsigned long port = std::stoul(next_value(i));
       if (port > 65535) usage_error("--scrape-port out of range");
@@ -206,13 +246,37 @@ Options parse_args(int argc, char** argv) {
   if (!options.archive_cmd.empty() && options.archive_path.empty()) {
     usage_error("archive " + options.archive_cmd + " needs --archive FILE");
   }
+  if (options.archive_cmd == "merge" && options.merge_inputs.empty()) {
+    usage_error("archive merge needs at least one --input FILE[=ORIGIN]");
+  }
   return options;
+}
+
+/// One stderr line per kind of damage the open found; the query still runs
+/// over whatever decoded (the archive is self-resynchronizing), but the
+/// caller deserves to know the answer may be missing mass.
+void warn_damage(const std::string& path, const archive::OpenStatus& status) {
+  if (status.corrupt_blocks > 0) {
+    std::cerr << "warning: " << path << ": skipped " << status.corrupt_blocks
+              << " corrupt block(s); results may be incomplete\n";
+  }
+  if (status.damaged_tail) {
+    std::cerr << "warning: " << path << ": damaged tail after "
+              << status.valid_bytes
+              << " valid bytes (crash or truncation); trailing records were "
+                 "dropped\n";
+  }
+  if (status.skipped_newer > 0) {
+    std::cerr << "warning: " << path << ": skipped " << status.skipped_newer
+              << " block(s) written by a newer build\n";
+  }
 }
 
 int archive_compact(const Options& options) {
   archive::CompactionOptions compaction;
   compaction.storage_budget_bytes = options.budget_bytes;
   compaction.group_size = options.group_size;
+  compaction.incremental = !options.full_rewrite;
   const archive::CompactionResult result =
       archive::compact_archive(options.archive_path, compaction);
   if (!result.ok()) {
@@ -223,21 +287,71 @@ int archive_compact(const Options& options) {
   std::cout << options.archive_path << ": " << result.bytes_before << " -> "
             << result.bytes_after << " bytes, " << result.records_before
             << " -> " << result.records_after << " records ("
-            << result.passes << " pass(es)"
-            << (result.changed ? ")" : ", no rewrite needed)") << "\n";
+            << result.passes << " pass(es)";
+  if (!result.changed) {
+    std::cout << ", no change needed)";
+  } else if (result.gc) {
+    std::cout << ", full rewrite)";
+  } else {
+    std::cout << ", " << result.rollups_committed << " rollup(s) in a "
+              << result.bytes_appended << "-byte incremental commit)";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int archive_gc(const Options& options) {
+  const archive::CompactionResult result =
+      archive::gc_archive(options.archive_path);
+  if (!result.ok()) {
+    std::cerr << "gc failed: " << archive::to_string(result.error) << "\n";
+    return 1;
+  }
+  if (!result.changed) {
+    std::cout << options.archive_path << ": already clean ("
+              << result.bytes_before << " bytes)\n";
+  } else {
+    std::cout << options.archive_path << ": " << result.bytes_before << " -> "
+              << result.bytes_after << " bytes (" << result.records_after
+              << " records kept)\n";
+  }
+  return 0;
+}
+
+int archive_merge(const Options& options) {
+  const archive::FederationResult result =
+      archive::merge_archives(options.merge_inputs, options.archive_path);
+  if (!result.ok()) {
+    std::cerr << "merge failed: " << archive::to_string(result.error)
+              << " (" << result.failed_path << ")\n";
+    return 1;
+  }
+  std::cout << "merged " << result.archives_read << " archive(s), "
+            << result.records_out << " record(s) -> " << options.archive_path
+            << " (" << result.bytes_written << " bytes)\n";
+  if (result.corrupt_blocks > 0 || result.damaged_tails > 0) {
+    std::cerr << "warning: inputs carried damage (" << result.corrupt_blocks
+              << " corrupt block(s), " << result.damaged_tails
+              << " damaged tail(s)); those records were skipped\n";
+  }
   return 0;
 }
 
 int archive_query(const Options& options) {
-  archive::OpenError error = archive::OpenError::kNone;
-  const archive::ArchiveQuery query =
-      archive::ArchiveQuery::from_file(options.archive_path, &error);
-  if (error != archive::OpenError::kNone) {
-    std::cerr << "query failed: " << archive::to_string(error) << "\n";
+  archive::OpenStatus status;
+  const std::shared_ptr<const archive::ArchiveQuery> cached =
+      archive::QueryCache::instance().get(options.archive_path,
+                                          options.window, &status);
+  if (!status.ok()) {
+    std::cerr << "query failed: " << archive::to_string(status.error) << "\n";
     return 1;
   }
+  warn_damage(options.archive_path, status);
+  const archive::ArchiveQuery& query = *cached;
   if (query.record_count() == 0) {
-    std::cout << "archive is empty\n";
+    std::cout << (options.window.everything()
+                      ? "archive is empty\n"
+                      : "no records in the requested window\n");
     return 0;
   }
 
@@ -290,18 +404,35 @@ int archive_stat(const Options& options) {
     return 1;
   }
   std::uint64_t epochs = 0, rollups = 0;
+  std::set<std::string> origins;
   for (const auto& record : reader.records()) {
     epochs += record.epoch_count;
     rollups += record.is_rollup() ? 1 : 0;
+    if (!record.origin.empty()) origins.insert(record.origin);
   }
   std::cout << options.archive_path << ":\n"
             << "  records:        " << reader.records().size() << " ("
             << rollups << " rollup(s))\n"
             << "  epochs covered: " << epochs << "\n"
             << "  file bytes:     " << reader.valid_bytes() << "\n"
+            << "  live bytes:     " << reader.live_bytes() << "\n"
+            << "  garbage bytes:  " << reader.garbage_bytes() << " ("
+            << reader.superseded_records() << " superseded, "
+            << reader.orphan_pending() << " orphan pending)\n"
             << "  corrupt blocks: " << reader.corrupt_blocks() << "\n"
             << "  damaged tail:   " << (reader.damaged_tail() ? "yes" : "no")
             << "\n";
+  if (!origins.empty()) {
+    std::cout << "  origins:       ";
+    for (const auto& origin : origins) std::cout << " " << origin;
+    std::cout << "\n";
+  }
+  archive::OpenStatus status;
+  status.corrupt_blocks = reader.corrupt_blocks();
+  status.damaged_tail = reader.damaged_tail();
+  status.valid_bytes = reader.valid_bytes();
+  status.skipped_newer = reader.skipped_newer_blocks();
+  warn_damage(options.archive_path, status);
   if (!reader.records().empty()) {
     const auto& first = reader.records().front();
     const auto& last = reader.records().back();
@@ -316,6 +447,8 @@ int archive_stat(const Options& options) {
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
   if (options.archive_cmd == "compact") return archive_compact(options);
+  if (options.archive_cmd == "gc") return archive_gc(options);
+  if (options.archive_cmd == "merge") return archive_merge(options);
   if (options.archive_cmd == "query") return archive_query(options);
   if (options.archive_cmd == "stat") return archive_stat(options);
 

@@ -49,7 +49,11 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   # work-steal observer hook), and TraceDeterminism (rings written from
   # pool workers, drained after quiescence) are the newest concurrency
   # surface.
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*:ScrapeServer.*:Trace.*:TraceDeterminism.*'
+  # FederationTest (parallel_map archive loads must be byte-deterministic
+  # at any worker count), IncrementalCompactionTest (parallel group folds
+  # feeding append-only commits), WindowedQueryTest (the mutex-guarded
+  # query cache), and the compaction legs ride the same pool.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:FederationTest.*:IncrementalCompactionTest.*:WindowedQueryTest.*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*:ScrapeServer.*:Trace.*:TraceDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
@@ -75,7 +79,10 @@ if [[ "$mode" == "all" || "$mode" == "asan" ]]; then
   # would hide, so it gets an explicit leg before the full sweep.
   # ScrapeServer rides along for its hostile-input path: malformed request
   # lines and oversized headers hitting the fixed parsing buffers.
-  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:EpochRecord.Decode*:TopFlowSketch.*:ScrapeServer.*'
+  # ArchiveCorruptTest is the hostile-payload suite: CRC-valid blocks whose
+  # decoded structures violate invariants (entries > capacity, absurd
+  # supersede-marker counts) must be rejected without a poisoned read.
+  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:ArchiveCorruptTest.*:EpochRecord.Decode*:TopFlowSketch.*:ScrapeServer.*'
   ./build-asan/tests/patchwork_tests
 fi
 

@@ -21,29 +21,52 @@ std::uint64_t image_bytes(const std::vector<std::uint64_t>& sizes) {
                          std::uint64_t{kFileHeaderSize});
 }
 
+/// Whole-file rewrite commit: atomically replaces `path` with the live
+/// records, shedding garbage, corrupt blocks, and damaged tails.
+void rewrite_live(const std::string& path,
+                  const std::vector<EpochRecord>& records,
+                  CompactionResult& result) {
+  if (!write_all(path, records)) {
+    result.error = OpenError::kIo;
+    return;
+  }
+  result.changed = true;
+  result.gc = true;
+  result.bytes_after = util::file_size_bytes(path).value_or(0);
+  obs::registry()
+      .counter("patchwork_archive_compactions_total",
+               "Archive compactions that rewrote the file")
+      .add(1);
+}
+
 }  // namespace
 
-std::vector<EpochRecord> compact_records(std::vector<EpochRecord> records,
-                                         const CompactionOptions& options,
-                                         std::size_t* passes_out) {
+CompactionPlan plan_compaction(std::vector<EpochRecord> records,
+                               const CompactionOptions& options) {
   const std::size_t group_size = options.group_size < 2 ? 2
                                                         : options.group_size;
-  std::size_t passes = 0;
+  CompactionPlan plan;
+  plan.records = std::move(records);
+  plan.cover.reserve(plan.records.size());
+  for (std::size_t i = 0; i < plan.records.size(); ++i) {
+    plan.cover.push_back({i, i + 1});
+  }
   std::vector<std::uint64_t> sizes = util::parallel_map(
-      records, [](const EpochRecord& r) { return block_bytes(r); });
+      plan.records, [](const EpochRecord& r) { return block_bytes(r); });
 
-  while (records.size() > 1 &&
+  while (plan.records.size() > 1 &&
          image_bytes(sizes) > options.storage_budget_bytes) {
-    ++passes;
+    ++plan.passes;
 
     // Group consecutive records from the oldest end and fold each group
     // left-to-right. The folds are independent, so they run in parallel;
     // each group's result depends only on its members and order, never on
     // the schedule.
     std::vector<std::pair<std::size_t, std::size_t>> groups;  // [begin, end)
-    for (std::size_t begin = 0; begin < records.size();
+    for (std::size_t begin = 0; begin < plan.records.size();
          begin += group_size) {
-      groups.push_back({begin, std::min(begin + group_size, records.size())});
+      groups.push_back(
+          {begin, std::min(begin + group_size, plan.records.size())});
     }
     struct Merged {
       EpochRecord record;
@@ -51,9 +74,9 @@ std::vector<EpochRecord> compact_records(std::vector<EpochRecord> records,
     };
     const std::vector<Merged> merged = util::parallel_map(
         groups, [&](const std::pair<std::size_t, std::size_t>& g) {
-          EpochRecord fold = records[g.first];
+          EpochRecord fold = plan.records[g.first];
           for (std::size_t i = g.first + 1; i < g.second; ++i) {
-            fold.merge_from(records[i]);
+            fold.merge_from(plan.records[i]);
           }
           return Merged{std::move(fold), 0};
         });
@@ -77,23 +100,36 @@ std::vector<EpochRecord> compact_records(std::vector<EpochRecord> records,
     if (accepted == 0) break;
 
     std::vector<EpochRecord> next;
+    std::vector<std::pair<std::size_t, std::size_t>> next_cover;
     std::vector<std::uint64_t> next_sizes;
     for (std::size_t g = 0; g < accepted; ++g) {
       next.push_back(merged[g].record);
+      // A fold's cover is the span of *original input* records it absorbed,
+      // composed across passes (its members may themselves be folds).
+      next_cover.push_back({plan.cover[groups[g].first].first,
+                            plan.cover[groups[g].second - 1].second});
       next_sizes.push_back(merged_sizes[g]);
     }
     const std::size_t tail_begin = groups[accepted - 1].second;
-    for (std::size_t i = tail_begin; i < records.size(); ++i) {
-      next.push_back(std::move(records[i]));
+    for (std::size_t i = tail_begin; i < plan.records.size(); ++i) {
+      next.push_back(std::move(plan.records[i]));
+      next_cover.push_back(plan.cover[i]);
       next_sizes.push_back(sizes[i]);
     }
-    if (next.size() >= records.size()) break;  // No shrink: cannot converge.
-    records = std::move(next);
+    if (next.size() >= plan.records.size()) break;  // No shrink: stuck.
+    plan.records = std::move(next);
+    plan.cover = std::move(next_cover);
     sizes = std::move(next_sizes);
   }
+  return plan;
+}
 
-  if (passes_out != nullptr) *passes_out = passes;
-  return records;
+std::vector<EpochRecord> compact_records(std::vector<EpochRecord> records,
+                                         const CompactionOptions& options,
+                                         std::size_t* passes_out) {
+  CompactionPlan plan = plan_compaction(std::move(records), options);
+  if (passes_out != nullptr) *passes_out = plan.passes;
+  return std::move(plan.records);
 }
 
 CompactionResult compact_archive(const std::string& path,
@@ -106,29 +142,94 @@ CompactionResult compact_archive(const std::string& path,
   if (!result.ok()) return result;
   result.bytes_before = util::file_size_bytes(path).value_or(0);
   result.records_before = reader.records().size();
+  const bool dirty = reader.damaged_tail() || reader.corrupt_blocks() > 0;
 
-  std::vector<EpochRecord> compacted =
-      compact_records(reader.take_records(), options, &result.passes);
-  result.records_after = compacted.size();
+  std::vector<EpochRecord> input = reader.take_records();
+  std::vector<RecordIdent> input_idents;
+  input_idents.reserve(input.size());
+  for (const EpochRecord& r : input) input_idents.push_back(record_ident(r));
 
-  if (result.passes == 0 && !reader.damaged_tail() &&
-      reader.corrupt_blocks() == 0) {
-    result.bytes_after = result.bytes_before;
-    return result;  // Already under budget and clean: leave bytes untouched.
-  }
+  CompactionPlan plan = plan_compaction(std::move(input), options);
+  result.records_after = plan.records.size();
+  result.passes = plan.passes;
 
-  // Commit by atomic replace; rewriting also sheds any corrupt blocks or
-  // damaged tail the reader skipped.
-  if (!write_all(path, compacted)) {
-    result.error = OpenError::kIo;
+  if (!options.incremental || dirty) {
+    // Legacy mode, or the file carries damage an append cannot shed.
+    if (result.passes == 0 && !dirty) {
+      result.bytes_after = result.bytes_before;
+      return result;  // Under budget and clean: leave bytes untouched.
+    }
+    rewrite_live(path, plan.records, result);
     return result;
   }
-  result.changed = true;
-  result.bytes_after = util::file_size_bytes(path).value_or(0);
-  obs::registry()
-      .counter("patchwork_archive_compactions_total",
-               "Archive compactions that rewrote the file")
-      .add(1);
+
+  // Incremental commit: append every new rollup as a pending block, then
+  // one supersede marker that commits them all. The marker is the atomicity
+  // point — a crash anywhere before it leaves the raw records authoritative
+  // and the partial append as garbage (truncated tails are dropped by the
+  // next open; complete orphans wait for GC).
+  SupersedeMarker marker;
+  std::vector<std::uint8_t> commit;
+  for (std::size_t i = 0; i < plan.records.size(); ++i) {
+    const auto [begin, end] = plan.cover[i];
+    if (end - begin <= 1) continue;  // An input record the plan kept as-is.
+    append_block(commit, BlockType::kPendingRollup,
+                 encode_record(plan.records[i]));
+    SupersedeMarker::Commit c;
+    c.rollup = record_ident(plan.records[i]);
+    c.replaced.assign(input_idents.begin() + static_cast<std::ptrdiff_t>(begin),
+                      input_idents.begin() + static_cast<std::ptrdiff_t>(end));
+    marker.commits.push_back(std::move(c));
+  }
+  if (!marker.commits.empty()) {
+    append_block(commit, BlockType::kSupersede,
+                 encode_supersede_marker(marker));
+    if (!util::append_file(path, commit)) {
+      result.error = OpenError::kIo;
+      return result;
+    }
+    result.changed = true;
+    result.bytes_appended = commit.size();
+    result.rollups_committed = marker.commits.size();
+    obs::registry()
+        .counter("patchwork_archive_incremental_commits_total",
+                 "Compaction commits appended as pending rollups + marker")
+        .add(1);
+  }
+
+  // The commit grew the file while shrinking the live image; rewrite only
+  // once garbage crosses the configured fraction (default: never).
+  const std::uint64_t file_bytes = result.bytes_before + result.bytes_appended;
+  std::uint64_t live = kFileHeaderSize;
+  for (const EpochRecord& r : plan.records) live += block_bytes(r);
+  const std::uint64_t garbage = file_bytes > live ? file_bytes - live : 0;
+  if (file_bytes > 0 && static_cast<double>(garbage) >
+                            options.gc_garbage_fraction *
+                                static_cast<double>(file_bytes)) {
+    rewrite_live(path, plan.records, result);
+    return result;
+  }
+  result.bytes_after = file_bytes;
+  return result;
+}
+
+CompactionResult gc_archive(const std::string& path) {
+  OBS_SPAN("archive/gc");
+  CompactionResult result;
+
+  ArchiveReader reader;
+  result.error = reader.open(path);
+  if (!result.ok()) return result;
+  result.bytes_before = util::file_size_bytes(path).value_or(0);
+  result.records_before = reader.records().size();
+  result.records_after = result.records_before;
+
+  if (reader.garbage_bytes() == 0 && !reader.damaged_tail() &&
+      reader.corrupt_blocks() == 0) {
+    result.bytes_after = result.bytes_before;
+    return result;  // Nothing to shed; leave the file byte-untouched.
+  }
+  rewrite_live(path, reader.take_records(), result);
   return result;
 }
 

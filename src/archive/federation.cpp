@@ -1,0 +1,96 @@
+#include "archive/federation.hpp"
+
+#include <algorithm>
+
+#include "archive/writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/file_io.hpp"
+#include "util/parallel.hpp"
+
+namespace patchwork::archive {
+
+bool federated_record_less(const EpochRecord& a, const EpochRecord& b) {
+  if (a.start_nanos != b.start_nanos) return a.start_nanos < b.start_nanos;
+  if (a.origin != b.origin) return a.origin < b.origin;
+  if (a.first_epoch != b.first_epoch) return a.first_epoch < b.first_epoch;
+  if (a.last_epoch != b.last_epoch) return a.last_epoch < b.last_epoch;
+  return a.level < b.level;
+}
+
+namespace {
+
+struct LoadedInput {
+  OpenError error = OpenError::kNone;
+  std::vector<EpochRecord> records;
+  std::uint64_t corrupt_blocks = 0;
+  bool damaged_tail = false;
+};
+
+LoadedInput load_input(const FederationInput& input) {
+  LoadedInput loaded;
+  ArchiveReader reader;
+  loaded.error = reader.open(input.path);
+  if (loaded.error != OpenError::kNone) return loaded;
+  loaded.corrupt_blocks = reader.corrupt_blocks();
+  loaded.damaged_tail = reader.damaged_tail();
+  loaded.records = reader.take_records();
+  for (EpochRecord& record : loaded.records) {
+    // Stamp this deployment's origin; records that already carry one were
+    // federated before and keep their original provenance.
+    if (record.origin.empty()) record.origin = input.origin;
+  }
+  return loaded;
+}
+
+}  // namespace
+
+FederationResult merge_archives(const std::vector<FederationInput>& inputs,
+                                const std::string& out_path) {
+  OBS_SPAN("archive/federate");
+  FederationResult result;
+
+  // parallel_map preserves input order, so the concatenation below — and
+  // with it the stable sort's tie-breaking — is schedule-independent.
+  const std::vector<LoadedInput> loaded =
+      util::parallel_map(inputs, load_input);
+
+  std::vector<EpochRecord> merged;
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    if (loaded[i].error != OpenError::kNone) {
+      result.error = loaded[i].error;
+      result.failed_path = inputs[i].path;
+      return result;
+    }
+    ++result.archives_read;
+    result.corrupt_blocks += loaded[i].corrupt_blocks;
+    if (loaded[i].damaged_tail) ++result.damaged_tails;
+    merged.insert(merged.end(),
+                  std::make_move_iterator(loaded[i].records.begin()),
+                  std::make_move_iterator(loaded[i].records.end()));
+  }
+  result.records_in = merged.size();
+
+  // Chronological interleave under a deterministic total order; stable so
+  // any records still tied (identical key) keep input order.
+  std::stable_sort(merged.begin(), merged.end(), federated_record_less);
+  result.records_out = merged.size();
+
+  if (!write_all(out_path, merged)) {
+    result.error = OpenError::kIo;
+    result.failed_path = out_path;
+    return result;
+  }
+  result.bytes_written = util::file_size_bytes(out_path).value_or(0);
+  obs::registry()
+      .counter("patchwork_archive_federations_total",
+               "Cross-archive merges written by merge_archives")
+      .add(1);
+  obs::registry()
+      .counter("patchwork_archive_federated_records_total",
+               "Records merged across archives by merge_archives")
+      .add(result.records_out);
+  return result;
+}
+
+}  // namespace patchwork::archive

@@ -1,0 +1,69 @@
+// Cross-archive federation: merge epoch records from several deployments'
+// archives into one queryable archive.
+//
+// Each testbed deployment writes its own archive with its own epoch index
+// sequence, so indices and span labels collide across files. Federation
+// resolves this with the origin tag (record.hpp): every record loaded from
+// an input is stamped with that input's deployment origin (unless it
+// already carries one — re-federating a federated archive keeps the
+// original provenance), which makes RecordIdent unique across the union
+// and keeps rollup labels distinguishable after cross-origin merges.
+//
+// The merged sequence is the chronological interleave of the inputs,
+// ordered by a deterministic key (start_nanos, origin, first_epoch, level)
+// so the output bytes depend only on the input files — never on worker
+// count or read scheduling. Input archives are read concurrently through
+// util::parallel_map, which preserves input order.
+//
+// Merging is record-level concatenation, not folding: every input record
+// survives verbatim (plus its origin stamp), so querying the merged
+// archive gives exactly the same answers as querying the union of the
+// inputs. Compaction may later fold across origins; HistCounts and
+// TopFlowSketch merges stay sum-invariant across heterogeneous configs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/reader.hpp"
+#include "archive/record.hpp"
+
+namespace patchwork::archive {
+
+/// One input archive plus the deployment origin to stamp its records with.
+/// An empty origin leaves records tagged as they are (local records stay
+/// local — useful when merging *into* this deployment's own view).
+struct FederationInput {
+  std::string path;
+  std::string origin;
+};
+
+struct FederationResult {
+  OpenError error = OpenError::kNone;
+  /// The input that failed to open, when error != kNone.
+  std::string failed_path;
+  std::size_t archives_read = 0;
+  std::size_t records_in = 0;   ///< Live records loaded across all inputs.
+  std::size_t records_out = 0;  ///< Records written (== records_in).
+  /// Damage diagnostics aggregated across the inputs (federation reads
+  /// the logical view, so damage is skipped, not propagated).
+  std::uint64_t corrupt_blocks = 0;
+  std::uint64_t damaged_tails = 0;
+  std::uint64_t bytes_written = 0;
+
+  bool ok() const { return error == OpenError::kNone; }
+};
+
+/// Merge the live records of `inputs` into a fresh archive at `out_path`
+/// (atomic replace). Deterministic: the output bytes are a pure function
+/// of the input file contents and origins, at any worker count.
+FederationResult merge_archives(const std::vector<FederationInput>& inputs,
+                                const std::string& out_path);
+
+/// The deterministic record order federation writes: by start time, then
+/// origin, then epoch span, then level. Exposed so tests and callers can
+/// reproduce the interleave on a manual union of records.
+bool federated_record_less(const EpochRecord& a, const EpochRecord& b);
+
+}  // namespace patchwork::archive

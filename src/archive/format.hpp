@@ -30,7 +30,9 @@ namespace patchwork::archive {
 
 inline constexpr std::array<std::uint8_t, 4> kMagic = {'P', 'W', 'A', 'R'};
 inline constexpr std::uint16_t kFormatVersion = 1;
-inline constexpr std::uint8_t kPayloadVersion = 1;
+/// Payload codec v2 added the record origin tag (federation) and the
+/// pending-rollup/supersede block types. v1 records still decode.
+inline constexpr std::uint8_t kPayloadVersion = 2;
 
 inline constexpr std::size_t kFileHeaderSize = 8;
 inline constexpr std::size_t kBlockHeaderSize = 12;
@@ -45,6 +47,15 @@ inline constexpr std::uint64_t kMaxArchiveBytes = 1ull << 30;
 enum class BlockType : std::uint8_t {
   kEpoch = 1,   ///< One raw profiling run.
   kRollup = 2,  ///< A compacted merge of consecutive epochs.
+  /// A rollup appended by an incremental compaction commit. Invisible to
+  /// queries until a later kSupersede marker commits it; an uncommitted
+  /// pending rollup (crash between the two appends) is garbage the next
+  /// GC rewrite sheds. Readers older than v2 skip both types and keep
+  /// serving the raw records, which stay physically present until GC.
+  kPendingRollup = 3,
+  /// Commit marker: activates named pending rollups and retires the
+  /// records each one replaces (payload: SupersedeMarker, record.hpp).
+  kSupersede = 4,
 };
 
 /// The 8-byte file header for a fresh archive.

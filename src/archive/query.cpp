@@ -5,8 +5,25 @@
 
 namespace patchwork::archive {
 
-ArchiveQuery::ArchiveQuery(std::vector<EpochRecord> records)
-    : records_(std::move(records)) {
+bool QueryWindow::contains(const EpochRecord& record) const {
+  if (from_epoch && record.last_epoch < *from_epoch) return false;
+  if (to_epoch && record.first_epoch > *to_epoch) return false;
+  const std::uint64_t end_nanos = record.start_nanos + record.duration_nanos;
+  if (from_nanos && end_nanos < *from_nanos) return false;
+  if (to_nanos && record.start_nanos > *to_nanos) return false;
+  return true;
+}
+
+ArchiveQuery::ArchiveQuery(std::vector<EpochRecord> records,
+                           const QueryWindow& window)
+    : records_(std::move(records)), window_(window) {
+  // Filter before any fold: out-of-window records must not contribute to
+  // totals, sketches, or trends.
+  if (!window_.everything()) {
+    std::erase_if(records_, [this](const EpochRecord& r) {
+      return !window_.contains(r);
+    });
+  }
   if (records_.empty()) return;
   totals_ = records_.front();
   for (std::size_t i = 1; i < records_.size(); ++i) {
@@ -15,12 +32,27 @@ ArchiveQuery::ArchiveQuery(std::vector<EpochRecord> records)
 }
 
 ArchiveQuery ArchiveQuery::from_file(const std::string& path,
-                                     OpenError* error) {
+                                     const QueryWindow& window,
+                                     OpenStatus* status) {
   ArchiveReader reader;
-  const OpenError status = reader.open(path);
-  if (error != nullptr) *error = status;
-  if (status != OpenError::kNone) return ArchiveQuery({});
-  return ArchiveQuery(reader.take_records());
+  const OpenError error = reader.open(path);
+  if (status != nullptr) {
+    status->error = error;
+    status->corrupt_blocks = reader.corrupt_blocks();
+    status->damaged_tail = reader.damaged_tail();
+    status->valid_bytes = reader.valid_bytes();
+    status->skipped_newer = reader.skipped_newer_blocks();
+  }
+  if (error != OpenError::kNone) return ArchiveQuery({});
+  return ArchiveQuery(reader.take_records(), window);
+}
+
+ArchiveQuery ArchiveQuery::from_file(const std::string& path,
+                                     OpenError* error) {
+  OpenStatus status;
+  ArchiveQuery query = from_file(path, QueryWindow{}, &status);
+  if (error != nullptr) *error = status.error;
+  return query;
 }
 
 std::uint64_t ArchiveQuery::epochs_covered() const {

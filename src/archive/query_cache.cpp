@@ -1,0 +1,92 @@
+#include "archive/query_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/file_io.hpp"
+
+namespace patchwork::archive {
+
+namespace {
+
+obs::Counter& cache_counter(const char* name, const char* help) {
+  // kWallClock: hit/miss behavior depends on call order and filesystem
+  // state, so it stays out of the byte-comparable metrics view.
+  return obs::registry().counter(name, help, {},
+                                 obs::Determinism::kWallClock);
+}
+
+}  // namespace
+
+QueryCache::QueryCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+QueryCache& QueryCache::instance() {
+  static QueryCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ArchiveQuery> QueryCache::get(const std::string& path,
+                                                    const QueryWindow& window,
+                                                    OpenStatus* status) {
+  auto& hits = cache_counter("patchwork_archive_query_cache_hits_total",
+                             "Archive queries served from the cache");
+  auto& misses = cache_counter("patchwork_archive_query_cache_misses_total",
+                               "Archive queries that had to load the file");
+  auto& invalidations =
+      cache_counter("patchwork_archive_query_cache_invalidations_total",
+                    "Cache entries dropped because the file changed");
+
+  const auto size_now = util::file_size_bytes(path);
+  const auto mtime_now = util::file_mtime_nanos(path);
+
+  if (size_now && mtime_now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->path != path || it->window != window) continue;
+      if (it->file_size == *size_now && it->file_mtime_nanos == *mtime_now) {
+        entries_.splice(entries_.begin(), entries_, it);  // LRU touch.
+        hits.add(1);
+        if (status != nullptr) *status = entries_.front().status;
+        return entries_.front().query;
+      }
+      entries_.erase(it);  // Stale: the file was appended to or rewritten.
+      invalidations.add(1);
+      break;
+    }
+  }
+
+  // Load outside the lock; concurrent misses for the same key may load
+  // twice, which is benign (both results are equally fresh).
+  misses.add(1);
+  OpenStatus loaded_status;
+  auto query = std::make_shared<const ArchiveQuery>(
+      ArchiveQuery::from_file(path, window, &loaded_status));
+  if (status != nullptr) *status = loaded_status;
+  if (!loaded_status.ok()) return query;  // Don't cache failures.
+
+  // Re-stat *after* the load: if the file changed while we read it, the
+  // recorded identity must not validate a torn read on the next lookup.
+  const auto size_after = util::file_size_bytes(path);
+  const auto mtime_after = util::file_mtime_nanos(path);
+  if (!size_after || !mtime_after || size_after != size_now ||
+      mtime_after != mtime_now) {
+    return query;  // Unstable while reading; serve it but don't cache.
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_front(Entry{path, window, *size_after, *mtime_after,
+                            loaded_status, query});
+  while (entries_.size() > capacity_) entries_.pop_back();
+  return query;
+}
+
+void QueryCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace patchwork::archive

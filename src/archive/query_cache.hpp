@@ -1,0 +1,68 @@
+// Read-path response cache for archive queries.
+//
+// Federation turns "open the archive, fold every record" from a once-a-week
+// operation into something dashboards and the live endpoint hit repeatedly,
+// often with the same window. QueryCache fronts ArchiveQuery::from_file
+// with validation-based caching: entries are keyed by (path, window) and
+// carry the file identity (size + mtime nanos) observed at load time. A
+// lookup revalidates by stat — if the file changed (archive append, a
+// compaction commit, GC), the entry is invalid and the query reloads.
+// stat-per-hit keeps the cache coherent without any write-path hooks.
+//
+// Queries are returned as shared_ptr-to-const so a hit costs one stat and
+// one refcount, never a record copy, and an entry evicted mid-use stays
+// alive for its holders.
+//
+// Hit/miss/invalidation counters are registered kWallClock: cache behavior
+// depends on call timing and file system state, not the seeded work, so
+// it must not leak into the byte-comparable metrics view.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "archive/query.hpp"
+
+namespace patchwork::archive {
+
+class QueryCache {
+ public:
+  /// `capacity` bounds the number of cached (path, window) entries; least
+  /// recently used entries are evicted first.
+  explicit QueryCache(std::size_t capacity = 16);
+
+  /// Process-wide instance the CLI and services share.
+  static QueryCache& instance();
+
+  /// Cached equivalent of ArchiveQuery::from_file(path, window, status).
+  /// Failed opens are not cached (the next call retries the file).
+  std::shared_ptr<const ArchiveQuery> get(const std::string& path,
+                                          const QueryWindow& window = {},
+                                          OpenStatus* status = nullptr);
+
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string path;
+    QueryWindow window;
+    std::uint64_t file_size = 0;
+    std::uint64_t file_mtime_nanos = 0;
+    OpenStatus status;
+    std::shared_ptr<const ArchiveQuery> query;
+  };
+
+  // LRU list, most recent first. Linear scan is fine at dashboard-scale
+  // capacities; correctness lives in the validation, not the lookup.
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;
+  std::size_t capacity_;
+};
+
+}  // namespace patchwork::archive

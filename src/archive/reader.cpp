@@ -76,6 +76,131 @@ ScanResult scan_archive_bytes(std::span<const std::uint8_t> bytes) {
   return result;
 }
 
+namespace {
+
+struct Slot {
+  EpochRecord record;
+  std::uint64_t bytes = 0;
+};
+
+/// Where a committed rollup lands when none of its superseded records are
+/// present (a replayed marker on an already-GC'd file): keep the sequence
+/// chronological so the oldest-first fold convention survives.
+std::size_t chronological_position(const std::vector<Slot>& live,
+                                   const EpochRecord& record) {
+  const auto less = [](const EpochRecord& a, const EpochRecord& b) {
+    if (a.start_nanos != b.start_nanos) return a.start_nanos < b.start_nanos;
+    return a.first_epoch < b.first_epoch;
+  };
+  std::size_t pos = live.size();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (less(record, live[i].record)) {
+      pos = i;
+      break;
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
+AssembledArchive assemble_blocks(std::vector<ScannedBlock> blocks) {
+  AssembledArchive out;
+  std::vector<Slot> live;
+  std::vector<Slot> pending;
+
+  for (ScannedBlock& block : blocks) {
+    const std::uint64_t block_bytes = kBlockHeaderSize + block.payload.size();
+    if (block.payload_version > kPayloadVersion) {
+      ++out.skipped_newer;  // Written by a newer build; not ours to guess at.
+      continue;
+    }
+    switch (block.type) {
+      case BlockType::kEpoch:
+      case BlockType::kRollup:
+      case BlockType::kPendingRollup: {
+        EpochRecord record;
+        if (!decode_record(block.payload, block.payload_version, &record)) {
+          ++out.undecodable_blocks;  // CRC passed, payload doesn't parse.
+          break;
+        }
+        Slot slot{std::move(record), block_bytes};
+        if (block.type == BlockType::kPendingRollup) {
+          pending.push_back(std::move(slot));  // Invisible until committed.
+        } else {
+          live.push_back(std::move(slot));
+        }
+        break;
+      }
+      case BlockType::kSupersede: {
+        SupersedeMarker marker;
+        if (!decode_supersede_marker(block.payload, &marker)) {
+          ++out.undecodable_blocks;
+          break;
+        }
+        for (const SupersedeMarker::Commit& commit : marker.commits) {
+          // Activate the most recent matching pending rollup. A commit
+          // with no pending match is a replay whose work is already done
+          // (or whose rollup block was lost to corruption) — ignore it.
+          std::size_t take = pending.size();
+          for (std::size_t i = pending.size(); i-- > 0;) {
+            if (record_ident(pending[i].record) == commit.rollup) {
+              take = i;
+              break;
+            }
+          }
+          if (take == pending.size()) continue;
+          Slot rollup = std::move(pending[take]);
+          pending.erase(pending.begin() +
+                        static_cast<std::ptrdiff_t>(take));
+
+          // Retire the records it replaces — plus any earlier record with
+          // the rollup's own identity, which makes a replayed commit
+          // idempotent instead of duplicating the rollup.
+          std::vector<std::size_t> retired;
+          const auto retire_last_match = [&](const RecordIdent& ident) {
+            for (std::size_t i = live.size(); i-- > 0;) {
+              if (record_ident(live[i].record) == ident &&
+                  std::find(retired.begin(), retired.end(), i) ==
+                      retired.end()) {
+                retired.push_back(i);
+                return;
+              }
+            }
+          };
+          retire_last_match(commit.rollup);
+          for (const RecordIdent& ident : commit.replaced) {
+            retire_last_match(ident);
+          }
+          std::sort(retired.begin(), retired.end());
+          const std::size_t insert_at =
+              retired.empty() ? chronological_position(live, rollup.record)
+                              : retired.front();
+          for (std::size_t i = retired.size(); i-- > 0;) {
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(retired[i]));
+            ++out.superseded_records;
+          }
+          live.insert(live.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                      std::move(rollup));
+        }
+        break;
+      }
+      default:
+        ++out.skipped_newer;  // Unknown block type from a future build.
+        break;
+    }
+  }
+
+  out.orphan_pending = pending.size();
+  out.records.reserve(live.size());
+  for (Slot& slot : live) {
+    out.live_block_bytes += slot.bytes;
+    out.records.push_back(std::move(slot.record));
+  }
+  return out;
+}
+
 OpenError ArchiveReader::open(const std::string& path) {
   auto& corrupt_total = obs::registry().counter(
       "patchwork_archive_corrupt_blocks_total",
@@ -91,6 +216,9 @@ OpenError ArchiveReader::open(const std::string& path) {
   valid_bytes_ = 0;
   corrupt_blocks_ = 0;
   skipped_newer_ = 0;
+  superseded_records_ = 0;
+  orphan_pending_ = 0;
+  live_bytes_ = 0;
   damaged_tail_ = false;
 
   const auto bytes = util::read_file_bytes(path, kMaxArchiveBytes);
@@ -99,30 +227,25 @@ OpenError ArchiveReader::open(const std::string& path) {
   if (!scan.ok()) return scan.error;
 
   valid_bytes_ = scan.valid_bytes;
-  corrupt_blocks_ = scan.corrupt_blocks;
   damaged_tail_ = scan.damaged_tail;
-  for (const ScannedBlock& block : scan.blocks) {
-    if (block.payload_version > kPayloadVersion) {
-      ++skipped_newer_;  // Written by a newer build; not ours to guess at.
-      continue;
-    }
-    if (block.type != BlockType::kEpoch &&
-        block.type != BlockType::kRollup) {
-      ++skipped_newer_;
-      continue;
-    }
-    EpochRecord record;
-    if (!decode_record(block.payload, &record)) {
-      ++corrupt_blocks_;  // CRC passed but the payload doesn't parse.
-      continue;
-    }
-    records_.push_back(std::move(record));
-  }
+
+  AssembledArchive assembled = assemble_blocks(std::move(scan.blocks));
+  records_ = std::move(assembled.records);
+  corrupt_blocks_ = scan.corrupt_blocks + assembled.undecodable_blocks;
+  skipped_newer_ = assembled.skipped_newer;
+  superseded_records_ = assembled.superseded_records;
+  orphan_pending_ = assembled.orphan_pending;
+  live_bytes_ = assembled.live_block_bytes;
 
   if (corrupt_blocks_ > 0) corrupt_total.add(corrupt_blocks_);
   if (damaged_tail_) tail_total.add(1);
   read_total.add(records_.size());
   return OpenError::kNone;
+}
+
+std::uint64_t ArchiveReader::garbage_bytes() const {
+  const std::uint64_t accounted = kFileHeaderSize + live_bytes_;
+  return valid_bytes_ > accounted ? valid_bytes_ - accounted : 0;
 }
 
 }  // namespace patchwork::archive

@@ -1,4 +1,4 @@
-// Reading side of the archive: a defensive scan plus a record loader.
+// Reading side of the archive: a defensive scan plus a record assembler.
 //
 // The scan walks the block framing and classifies damage:
 //   - a complete block whose CRC fails is *skipped* (the length field still
@@ -11,6 +11,15 @@
 // A file-header version newer than this reader rejects cleanly
 // (kVersionTooNew) instead of misparsing; so does a per-block payload
 // version (those blocks are skipped and counted, the rest still load).
+//
+// Assembly turns the scanned blocks into the *logical* record sequence:
+// incremental compaction appends rollups as kPendingRollup blocks plus a
+// kSupersede marker instead of rewriting the file, so the assembler commits
+// each marked rollup in place of the records it supersedes (keeping the
+// oldest-first fold order) and ignores pending rollups whose marker never
+// landed (a crash mid-commit). Superseded and orphaned blocks stay on disk
+// as garbage until a GC rewrite; their byte total is reported so the
+// compactor can decide when a rewrite pays for itself.
 #pragma once
 
 #include <cstdint>
@@ -55,12 +64,27 @@ struct ScanResult {
 /// Scan in-memory archive bytes (no file I/O, no metrics).
 ScanResult scan_archive_bytes(std::span<const std::uint8_t> bytes);
 
-/// Loads every decodable record from an archive file, in file order
+/// The logical view of a scanned block sequence after supersede markers
+/// are applied (see the header comment).
+struct AssembledArchive {
+  std::vector<EpochRecord> records;  ///< Logical, oldest-first fold order.
+  /// Bytes (header + payload) of the blocks that produced `records`.
+  std::uint64_t live_block_bytes = 0;
+  std::uint64_t superseded_records = 0;  ///< Retired by supersede markers.
+  std::uint64_t orphan_pending = 0;   ///< Pending rollups with no marker.
+  std::uint64_t undecodable_blocks = 0;  ///< CRC-valid, payload won't parse.
+  std::uint64_t skipped_newer = 0;    ///< Newer payload version or type.
+};
+
+AssembledArchive assemble_blocks(std::vector<ScannedBlock> blocks);
+
+/// Loads every decodable record from an archive file, in logical order
 /// (oldest first — the fold order every consumer relies on).
 class ArchiveReader {
  public:
-  /// Scans the file, verifies CRCs, decodes records, and bumps the
-  /// archive_* metrics for any damage found. Never modifies the file.
+  /// Scans the file, verifies CRCs, decodes and assembles records, and
+  /// bumps the archive_* metrics for any damage found. Never modifies the
+  /// file.
   OpenError open(const std::string& path);
 
   const std::vector<EpochRecord>& records() const { return records_; }
@@ -71,11 +95,25 @@ class ArchiveReader {
   std::uint64_t skipped_newer_blocks() const { return skipped_newer_; }
   bool damaged_tail() const { return damaged_tail_; }
 
+  /// Records retired in place by supersede markers (their blocks remain on
+  /// disk as garbage until GC).
+  std::uint64_t superseded_records() const { return superseded_records_; }
+  /// Pending rollups whose commit marker never landed (crash mid-commit).
+  std::uint64_t orphan_pending() const { return orphan_pending_; }
+  /// Bytes of the blocks backing the logical records.
+  std::uint64_t live_bytes() const { return live_bytes_; }
+  /// Scanned bytes that no longer contribute a record: superseded blocks,
+  /// orphaned pending rollups, markers, and corrupt blocks.
+  std::uint64_t garbage_bytes() const;
+
  private:
   std::vector<EpochRecord> records_;
   std::uint64_t valid_bytes_ = 0;
   std::uint64_t corrupt_blocks_ = 0;
   std::uint64_t skipped_newer_ = 0;
+  std::uint64_t superseded_records_ = 0;
+  std::uint64_t orphan_pending_ = 0;
+  std::uint64_t live_bytes_ = 0;
   bool damaged_tail_ = false;
 };
 

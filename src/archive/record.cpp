@@ -4,6 +4,7 @@
 #include <bit>
 #include <map>
 
+#include "archive/format.hpp"
 #include "util/byte_io.hpp"
 
 namespace patchwork::archive {
@@ -17,25 +18,112 @@ std::uint64_t HistCounts::total() const {
 double HistCounts::fraction_at_or_above(double lo) const {
   const std::uint64_t all = total();
   if (all == 0) return 0.0;
-  std::uint64_t hits = overflow;
+  double hits = static_cast<double>(overflow);
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (i < edges.size() && edges[i] >= lo) hits += counts[i];
+    if (i >= edges.size()) break;
+    const double a = edges[i];
+    if (i + 1 >= edges.size()) {
+      // Trailing bucket without an upper edge (malformed shape): classify
+      // by its lower edge alone, as before.
+      if (a >= lo) hits += static_cast<double>(counts[i]);
+      continue;
+    }
+    const double b = edges[i + 1];
+    if (a >= lo) {
+      hits += static_cast<double>(counts[i]);
+    } else if (b > lo && b > a) {
+      // The bucket straddles lo: attribute the overlap fraction, so an
+      // off-edge threshold is no longer systematically undercounted.
+      hits += static_cast<double>(counts[i]) * ((b - lo) / (b - a));
+    }
   }
-  return static_cast<double>(hits) / static_cast<double>(all);
+  return hits / static_cast<double>(all);
 }
 
+namespace {
+
+/// Re-bin `src` into `dst`, whose edges are a subset of src's (plus
+/// under/overflow). Because dst's edges all appear in src's, no src bucket
+/// straddles a dst edge: each bucket lands wholly in one dst bucket, in
+/// underflow (below dst's first edge), or in overflow (at/above the last).
+void rebin_into(HistCounts& dst, const HistCounts& src) {
+  dst.underflow += src.underflow;
+  dst.overflow += src.overflow;
+  for (std::size_t i = 0; i < src.counts.size(); ++i) {
+    const std::uint64_t c = src.counts[i];
+    if (c == 0) continue;
+    if (dst.edges.empty() || i >= src.edges.size()) {
+      // No common layout (or a count with no lower edge): the shape is
+      // lost but the mass is kept, so total() stays sum-invariant.
+      dst.underflow += c;
+      continue;
+    }
+    const double a = src.edges[i];
+    if (a < dst.edges.front()) {
+      // Entirely below the common span: dst's first edge is also one of
+      // src's edges, so a bucket starting below it ends at or below it.
+      dst.underflow += c;
+      continue;
+    }
+    if (a >= dst.edges.back()) {
+      dst.overflow += c;
+      continue;
+    }
+    const auto it =
+        std::upper_bound(dst.edges.begin(), dst.edges.end(), a);
+    const std::size_t j =
+        static_cast<std::size_t>(it - dst.edges.begin()) - 1;
+    if (j < dst.counts.size()) {
+      dst.counts[j] += c;
+    } else {
+      dst.overflow += c;
+    }
+  }
+}
+
+}  // namespace
+
 void HistCounts::merge(const HistCounts& other) {
-  if (edges.empty() && counts.empty()) {
+  if (edges == other.edges && counts.size() == other.counts.size()) {
+    underflow += other.underflow;
+    overflow += other.overflow;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += other.counts[i];
+    }
+    return;
+  }
+  if (other.edges.empty()) {
+    // The other side has no layout: keep ours; its unclassifiable bucket
+    // mass joins underflow so total() still sums.
+    underflow += other.underflow;
+    overflow += other.overflow;
+    for (std::uint64_t c : other.counts) underflow += c;
+    return;
+  }
+  if (edges.empty()) {
+    // Adopt the other's layout; our mass joins its under/overflow.
+    std::uint64_t uf = underflow;
+    const std::uint64_t of = overflow;
+    for (std::uint64_t c : counts) uf += c;
     *this = other;
+    underflow += uf;
+    overflow += of;
     return;
   }
-  if (other.counts.empty() && other.underflow == 0 && other.overflow == 0) {
-    return;
-  }
-  underflow += other.underflow;
-  overflow += other.overflow;
-  const std::size_t n = std::min(counts.size(), other.counts.size());
-  for (std::size_t i = 0; i < n; ++i) counts[i] += other.counts[i];
+  // Heterogeneous layouts (federated deployments rarely share a config):
+  // re-bin both sides into the coarsest common layout — the intersection
+  // of the edge sets. Each side's buckets never straddle a shared edge, so
+  // the re-binning is exact; mass outside the common span falls back to
+  // underflow/overflow. total() is preserved under any merge.
+  HistCounts merged;
+  std::set_intersection(edges.begin(), edges.end(), other.edges.begin(),
+                        other.edges.end(),
+                        std::back_inserter(merged.edges));
+  merged.counts.assign(
+      merged.edges.size() > 1 ? merged.edges.size() - 1 : 0, 0);
+  rebin_into(merged, *this);
+  rebin_into(merged, other);
+  *this = std::move(merged);
 }
 
 void EpochRecord::merge_from(const EpochRecord& other) {
@@ -45,6 +133,8 @@ void EpochRecord::merge_from(const EpochRecord& other) {
   epoch_count += other.epoch_count;
 
   // Label: leading token of the oldest side, trailing token of the newest.
+  // Cross-origin merges qualify each end with its deployment tag — epoch
+  // labels are only unique per deployment.
   const auto leading = [](const std::string& l) {
     const std::size_t dots = l.find("..");
     return dots == std::string::npos ? l : l.substr(0, dots);
@@ -53,7 +143,16 @@ void EpochRecord::merge_from(const EpochRecord& other) {
     const std::size_t dots = l.rfind("..");
     return dots == std::string::npos ? l : l.substr(dots + 2);
   };
-  label = leading(label) + ".." + trailing(other.label);
+  if (origin != other.origin) {
+    const auto qualify = [](const std::string& o, const std::string& token) {
+      return o.empty() ? token : o + ":" + token;
+    };
+    label = qualify(origin, leading(label)) + ".." +
+            qualify(other.origin, trailing(other.label));
+    origin.clear();  // Mixed origins: the rollup belongs to no single one.
+  } else {
+    label = leading(label) + ".." + trailing(other.label);
+  }
 
   const std::uint64_t end = std::max(start_nanos + duration_nanos,
                                      other.start_nanos +
@@ -112,6 +211,11 @@ void EpochRecord::merge_from(const EpochRecord& other) {
 
   top_flows.merge(other.top_flows);
   manifest_json.clear();  // A merged manifest has no meaning.
+}
+
+RecordIdent record_ident(const EpochRecord& record) {
+  return {record.origin, record.level, record.first_epoch,
+          record.last_epoch};
 }
 
 namespace {
@@ -204,6 +308,24 @@ HistCounts get_hist(Cursor& c) {
   return h;
 }
 
+void put_ident(std::vector<std::uint8_t>& out, const RecordIdent& ident) {
+  put_string(out, ident.origin);
+  util::put_be32(out, ident.level);
+  util::put_be64(out, ident.first_epoch);
+  util::put_be64(out, ident.last_epoch);
+}
+
+RecordIdent get_ident(Cursor& c) {
+  RecordIdent ident;
+  ident.origin = c.string();
+  ident.level = c.u32();
+  ident.first_epoch = c.u64();
+  ident.last_epoch = c.u64();
+  return ident;
+}
+
+constexpr std::size_t kIdentMinBytes = 4 + 4 + 8 + 8;
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_record(const EpochRecord& r) {
@@ -213,6 +335,7 @@ std::vector<std::uint8_t> encode_record(const EpochRecord& r) {
   util::put_be64(out, r.last_epoch);
   util::put_be32(out, r.epoch_count);
   put_string(out, r.label);
+  put_string(out, r.origin);  // Payload v2: the deployment tag.
   util::put_be64(out, r.start_nanos);
   util::put_be64(out, r.duration_nanos);
   put_f64(out, r.offered_bps_sum);
@@ -268,7 +391,8 @@ std::vector<std::uint8_t> encode_record(const EpochRecord& r) {
   return out;
 }
 
-bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out) {
+bool decode_record(std::span<const std::uint8_t> payload,
+                   std::uint8_t payload_version, EpochRecord* out) {
   Cursor c(payload);
   EpochRecord r;
   r.level = c.u32();
@@ -276,6 +400,7 @@ bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out) {
   r.last_epoch = c.u64();
   r.epoch_count = c.u32();
   r.label = c.string();
+  if (payload_version >= 2) r.origin = c.string();
   r.start_nanos = c.u64();
   r.duration_nanos = c.u64();
   r.offered_bps_sum = c.f64();
@@ -324,12 +449,46 @@ bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out) {
     e.count = c.u64();
     e.error = c.u64();
   }
+  // A wire sketch that violates the space-saving invariants (entries above
+  // capacity, error above count) would make merge() silently wrong; treat
+  // it as corruption rather than building a poisoned sketch.
+  if (!TopFlowSketch::valid_parts(sketch_capacity, entries)) return false;
   r.top_flows = TopFlowSketch::from_parts(sketch_capacity, sketch_floor,
                                           std::move(entries));
 
   r.manifest_json = c.string();
   if (!c.exhausted()) return false;
   *out = std::move(r);
+  return true;
+}
+
+bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out) {
+  return decode_record(payload, kPayloadVersion, out);
+}
+
+std::vector<std::uint8_t> encode_supersede_marker(const SupersedeMarker& m) {
+  std::vector<std::uint8_t> out;
+  util::put_be32(out, static_cast<std::uint32_t>(m.commits.size()));
+  for (const SupersedeMarker::Commit& commit : m.commits) {
+    put_ident(out, commit.rollup);
+    util::put_be32(out, static_cast<std::uint32_t>(commit.replaced.size()));
+    for (const RecordIdent& ident : commit.replaced) put_ident(out, ident);
+  }
+  return out;
+}
+
+bool decode_supersede_marker(std::span<const std::uint8_t> payload,
+                             SupersedeMarker* out) {
+  Cursor c(payload);
+  SupersedeMarker m;
+  m.commits.resize(c.count(kIdentMinBytes + 4));
+  for (SupersedeMarker::Commit& commit : m.commits) {
+    commit.rollup = get_ident(c);
+    commit.replaced.resize(c.count(kIdentMinBytes));
+    for (RecordIdent& ident : commit.replaced) ident = get_ident(c);
+  }
+  if (!c.exhausted()) return false;
+  *out = std::move(m);
   return true;
 }
 

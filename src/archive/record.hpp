@@ -16,6 +16,13 @@
 // truncates, so the compactor and the query layer both fold records
 // oldest-first: a prefix rollup reproduces the raw query's fold exactly,
 // and any grouping keeps top-K counts within the sketch's error bound.
+//
+// Federation: records carry an `origin` deployment tag (empty for a local,
+// unfederated archive). Epoch indices are only unique per deployment, so
+// (origin, first_epoch..last_epoch, level) — a RecordIdent — is the
+// identity cross-archive merges and supersede markers address records by.
+// Merging records from different origins qualifies the span label with
+// each side's origin so "week38" from two testbeds stays distinguishable.
 #pragma once
 
 #include <cstdint>
@@ -37,11 +44,16 @@ struct HistCounts {
   std::uint64_t overflow = 0;
 
   std::uint64_t total() const;
-  /// Fraction of all samples in buckets with lower edge >= lo, plus
-  /// overflow (e.g. lo=1519 gives the jumbo share under the paper edges).
+  /// Fraction of all samples at or above `lo`, plus overflow (e.g. lo=1519
+  /// gives the jumbo share under the paper edges). A bucket that straddles
+  /// `lo` contributes the overlap fraction of its count (uniform-within-
+  /// bucket attribution), so off-edge thresholds are no longer undercounted.
   double fraction_at_or_above(double lo) const;
-  /// Bucket-wise sum. Histograms with different edges cannot merge; the
-  /// caller guarantees matching shapes (enforced by the payload version).
+  /// Sum-invariant merge. Identical layouts add bucket-wise; mismatched
+  /// layouts are both re-binned into the coarsest common layout (the
+  /// intersection of the two edge sets — exact, since neither side's
+  /// buckets straddle a shared edge). Buckets outside the common span fall
+  /// back to underflow/overflow, so total() is preserved under any merge.
   void merge(const HistCounts& other);
 
   bool operator==(const HistCounts&) const = default;
@@ -67,6 +79,10 @@ struct EpochRecord {
   std::uint64_t last_epoch = 0;
   std::uint32_t epoch_count = 1;
   std::string label;  ///< "week38", or "week38..week41" for rollups.
+  /// Deployment tag for federated archives ("" = local). Epoch indices are
+  /// per-deployment, so origin disambiguates colliding indices and labels
+  /// when archives from several deployments merge into one.
+  std::string origin;
   std::uint64_t start_nanos = 0;
   std::uint64_t duration_nanos = 0;  ///< Span from start to last epoch end.
   double offered_bps_sum = 0.0;  ///< Sum over covered epochs (divide by
@@ -104,15 +120,59 @@ struct EpochRecord {
 
   bool is_rollup() const { return level > 0; }
 
-  /// Fold `other` (the chronologically later record) into this one.
+  /// Fold `other` (the chronologically later record) into this one. When
+  /// the origins differ, the span label qualifies each end with its origin
+  /// ("testbedA:week3..testbedB:week5") and the rollup's own origin becomes
+  /// empty (mixed); same-origin merges keep the tag.
   void merge_from(const EpochRecord& other);
 
   bool operator==(const EpochRecord&) const = default;
 };
 
+/// The identity supersede markers and federation address a record by:
+/// epoch indices are per-deployment, so origin is part of the key.
+struct RecordIdent {
+  std::string origin;
+  std::uint32_t level = 0;
+  std::uint64_t first_epoch = 0;
+  std::uint64_t last_epoch = 0;
+
+  bool operator==(const RecordIdent&) const = default;
+};
+
+RecordIdent record_ident(const EpochRecord& record);
+
+/// The payload of a kSupersede block: commits the pending rollups named in
+/// `commits` (appended just before the marker) and retires the records each
+/// one replaces. The marker is what makes an incremental compaction commit
+/// atomic: a pending rollup without a matching marker is invisible, so a
+/// crash between the rollup append and the marker append leaves the raw
+/// records authoritative and the orphan block as garbage for the next GC.
+struct SupersedeMarker {
+  struct Commit {
+    RecordIdent rollup;                 ///< Pending rollup to activate.
+    std::vector<RecordIdent> replaced;  ///< Records it supersedes.
+
+    bool operator==(const Commit&) const = default;
+  };
+  std::vector<Commit> commits;
+
+  bool operator==(const SupersedeMarker&) const = default;
+};
+
 /// Deterministic payload codec (big-endian, length-prefixed strings).
 std::vector<std::uint8_t> encode_record(const EpochRecord& record);
-/// Strict decode: any out-of-bounds length or trailing garbage fails.
+/// Strict decode: any out-of-bounds length, trailing garbage, or a top-flow
+/// sketch violating its own invariants (entries above capacity, error above
+/// count) fails. `payload_version` selects the wire layout: version 1
+/// predates the origin tag, version 2 carries it.
+bool decode_record(std::span<const std::uint8_t> payload,
+                   std::uint8_t payload_version, EpochRecord* out);
+/// Current-version convenience (tests, round-trips).
 bool decode_record(std::span<const std::uint8_t> payload, EpochRecord* out);
+
+std::vector<std::uint8_t> encode_supersede_marker(const SupersedeMarker& m);
+bool decode_supersede_marker(std::span<const std::uint8_t> payload,
+                             SupersedeMarker* out);
 
 }  // namespace patchwork::archive

@@ -101,10 +101,21 @@ const std::vector<TopFlowSketch::Entry>& TopFlowSketch::entries() const {
   return entries_;
 }
 
+bool TopFlowSketch::valid_parts(std::size_t capacity,
+                                const std::vector<Entry>& entries) {
+  if (!entries.empty() && (capacity == 0 || entries.size() > capacity)) {
+    return false;
+  }
+  for (const Entry& e : entries) {
+    if (e.error > e.count) return false;
+  }
+  return true;
+}
+
 TopFlowSketch TopFlowSketch::from_parts(std::size_t capacity,
                                         std::uint64_t floor,
                                         std::vector<Entry> entries) {
-  TopFlowSketch s(capacity);
+  TopFlowSketch s(std::max(capacity, entries.size()));
   s.floor_ = floor;
   s.entries_ = std::move(entries);
   s.dirty_ = true;

@@ -53,7 +53,18 @@ class TopFlowSketch {
   std::uint64_t floor() const { return floor_; }
   std::size_t size() const { return entries_.size(); }
 
-  /// Rebuild from serialized parts (record decode).
+  /// Whether serialized parts satisfy the sketch's invariants: entries fit
+  /// the declared capacity (capacity 0 with entries is hostile input) and
+  /// every entry's error bound is at most its count (count - error is the
+  /// certain share; a negative certain count cannot come from insert or
+  /// merge). Wire decoders must check this before from_parts, because a
+  /// sketch violating these invariants makes merge() silently wrong.
+  static bool valid_parts(std::size_t capacity,
+                          const std::vector<Entry>& entries);
+
+  /// Rebuild from serialized parts (record decode). Defensive against
+  /// callers that skipped valid_parts: an undersized capacity is clamped
+  /// up to the entry count so the invariants hold by construction.
   static TopFlowSketch from_parts(std::size_t capacity, std::uint64_t floor,
                                   std::vector<Entry> entries);
 

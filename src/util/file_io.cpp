@@ -1,5 +1,6 @@
 #include "util/file_io.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -78,6 +79,16 @@ std::optional<std::uint64_t> file_size_bytes(const std::string& path) {
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
   if (ec) return std::nullopt;
   return static_cast<std::uint64_t>(size);
+}
+
+std::optional<std::uint64_t> file_mtime_nanos(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  const auto since_epoch =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          mtime.time_since_epoch());
+  return static_cast<std::uint64_t>(since_epoch.count());
 }
 
 bool truncate_file(const std::string& path, std::uint64_t new_size) {

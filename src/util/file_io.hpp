@@ -39,6 +39,12 @@ bool append_file(const std::string& path, std::span<const std::uint8_t> bytes);
 /// Size of `path` in bytes, or nullopt if it cannot be stat'ed.
 std::optional<std::uint64_t> file_size_bytes(const std::string& path);
 
+/// Last-modification time of `path` in nanoseconds since the filesystem
+/// clock's epoch, or nullopt if it cannot be stat'ed. Only meaningful for
+/// comparing against earlier readings of the same path (cache validation);
+/// the epoch is unspecified across platforms.
+std::optional<std::uint64_t> file_mtime_nanos(const std::string& path);
+
 /// Shrink `path` to exactly `new_size` bytes (the archive's corrupt-tail
 /// recovery). Returns false on failure or if the file is smaller already.
 bool truncate_file(const std::string& path, std::uint64_t new_size);

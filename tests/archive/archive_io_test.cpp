@@ -242,9 +242,11 @@ TEST_F(ArchiveIoTest, CompactionRespectsBudgetAndIsIdempotent) {
   CompactionOptions options;
   options.storage_budget_bytes = raw_size / 2;
   options.group_size = 4;
+  options.incremental = false;  // Exercise the whole-file rewrite commit.
   const CompactionResult first = compact_archive(path_, options);
   ASSERT_TRUE(first.ok());
   EXPECT_TRUE(first.changed);
+  EXPECT_TRUE(first.gc);
   EXPECT_LE(first.bytes_after, options.storage_budget_bytes);
   EXPECT_LT(first.records_after, first.records_before);
 

@@ -85,6 +85,113 @@ TEST(HistCounts, MergeIsBucketwiseSum) {
   EXPECT_EQ(empty, b);
 }
 
+TEST(HistCounts, MergeReBinsMismatchedLayoutsWithoutDroppingCounts) {
+  // Regression: mismatched bucket shapes used to silently drop the other
+  // side's counts. Heterogeneous configs must re-bin, not discard.
+  HistCounts a, b;
+  a.edges = {0, 10, 20, 30};
+  a.counts = {1, 2, 3};
+  a.underflow = 4;
+  a.overflow = 5;  // total 15.
+  b.edges = {0, 20, 40};  // Shares edges 0 and 20 with a.
+  b.counts = {10, 20};
+  b.underflow = 1;
+  b.overflow = 2;  // total 33.
+  const std::uint64_t want_total = a.total() + b.total();
+
+  a.merge(b);
+  EXPECT_EQ(a.total(), want_total);
+  // Coarsest common layout: the intersection {0, 20} -> one bucket [0,20).
+  EXPECT_EQ(a.edges, (std::vector<double>{0, 20}));
+  ASSERT_EQ(a.counts.size(), 1u);
+  EXPECT_EQ(a.counts[0], 13u);  // a's [0,10)+[10,20) plus b's [0,20).
+  // Mass past the common span falls to overflow, not the floor.
+  EXPECT_EQ(a.overflow, 30u);   // 5 + a's [20,30)=3 + 2 + b's [20,40)=20.
+  EXPECT_EQ(a.underflow, 5u);
+}
+
+TEST(HistCounts, MergeWithDisjointLayoutsStillPreservesTotal) {
+  HistCounts a, b;
+  a.edges = {0, 10};
+  a.counts = {5};
+  b.edges = {100, 200};
+  b.counts = {7};
+  const std::uint64_t want_total = a.total() + b.total();
+  a.merge(b);
+  EXPECT_EQ(a.total(), want_total);  // No common bucket: nothing dropped.
+}
+
+TEST(HistCounts, FractionAtOrAboveOffEdgeUsesOverlapFraction) {
+  // Regression: a threshold inside a bucket used to exclude that bucket
+  // entirely, undercounting off-edge queries.
+  HistCounts h;
+  h.edges = {0, 100};
+  h.counts = {100};
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(75.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(100.0), 0.0);
+  // Partially covered plus fully covered buckets compose.
+  HistCounts two;
+  two.edges = {0, 10, 20};
+  two.counts = {10, 30};
+  EXPECT_DOUBLE_EQ(two.fraction_at_or_above(5.0), (5.0 + 30.0) / 40.0);
+}
+
+TEST(EpochRecord, CrossOriginMergeQualifiesLabelAndClearsOrigin) {
+  // Two deployments can both have an epoch 0 labeled "week38"; the origin
+  // tag keeps their identities and their rollup label distinguishable.
+  EpochRecord a = sample_record(0, "week38");
+  a.origin = "starlight";
+  EpochRecord b = sample_record(0, "week38");
+  b.origin = "dallas";
+  EXPECT_FALSE(record_ident(a) == record_ident(b));
+
+  a.merge_from(b);
+  EXPECT_EQ(a.label, "starlight:week38..dallas:week38");
+  EXPECT_TRUE(a.origin.empty());  // Mixed provenance.
+
+  // Same-origin merges keep the tag and the plain span label.
+  EpochRecord c = sample_record(1, "week39");
+  c.origin = "dallas";
+  EpochRecord d = sample_record(2, "week40");
+  d.origin = "dallas";
+  c.merge_from(d);
+  EXPECT_EQ(c.label, "week39..week40");
+  EXPECT_EQ(c.origin, "dallas");
+}
+
+TEST(EpochRecord, Version1PayloadsDecodeWithoutOriginTag) {
+  // A v1 payload is the v2 layout minus the origin string (which sits
+  // right after the label). Splice it out and decode as version 1.
+  EpochRecord original = sample_record(2, "w2");
+  original.origin.clear();
+  const std::vector<std::uint8_t> v2 = encode_record(original);
+  const std::size_t origin_off = 24 + 4 + original.label.size();
+  std::vector<std::uint8_t> v1 = v2;
+  v1.erase(v1.begin() + static_cast<std::ptrdiff_t>(origin_off),
+           v1.begin() + static_cast<std::ptrdiff_t>(origin_off + 4));
+  EpochRecord decoded;
+  ASSERT_TRUE(decode_record(v1, 1, &decoded));
+  EXPECT_TRUE(decoded == original);
+}
+
+TEST(EpochRecord, SupersedeMarkerRoundTrip) {
+  SupersedeMarker marker;
+  SupersedeMarker::Commit commit;
+  commit.rollup = {"", 1, 0, 3};
+  commit.replaced = {{"", 0, 0, 0}, {"dallas", 0, 1, 1}};
+  marker.commits.push_back(commit);
+  const std::vector<std::uint8_t> payload = encode_supersede_marker(marker);
+  SupersedeMarker decoded;
+  ASSERT_TRUE(decode_supersede_marker(payload, &decoded));
+  EXPECT_TRUE(decoded == marker);
+  // Truncation fails, never misparses.
+  for (std::size_t cut = 0; cut < payload.size(); cut += 5) {
+    EXPECT_FALSE(decode_supersede_marker(
+        std::span<const std::uint8_t>(payload.data(), cut), &decoded));
+  }
+}
+
 TEST(EpochRecord, EncodeDecodeRoundTrip) {
   const EpochRecord original = sample_record(3, "week3");
   const std::vector<std::uint8_t> payload = encode_record(original);
