@@ -15,6 +15,16 @@
 //     --method M          tcpdump | dpdk | fpga (default fpga)
 //     --simd T            avx2 | sse4 | scalar draw-kernel tier (default:
 //                         widest supported; output bytes identical on all)
+//     --flow-model M      mix | event window planner (default mix; event =
+//                         flow arrivals/durations/churn, src/flowsched)
+//     --arrival P         exp | uniform interarrival process (event model)
+//     --duration-model P  pareto | uniform flow durations (event model)
+//     --flow-rate X       flow arrivals per second (default 40)
+//     --flow-duration S   mean flow lifetime seconds (default 5)
+//     --zipf-param S      flow-popularity Zipf exponent (default 1.26)
+//     --flow-keys N       bounded flow-key pool size (default 512)
+//     --max-active-flows N  concurrent-flow pool bound (default 4096)
+//     --churn-fpm X       flow-key churn, replacements per minute
 //     --snaplen N         truncation bytes (default 200)
 //     --filter EXPR       capture filter, e.g. "ip and tcp and not port 22"
 //     --policy P          busiest | uplinks | all (default busiest)
@@ -68,6 +78,7 @@
 #include "archive/query.hpp"
 #include "archive/query_cache.hpp"
 #include "archive/writer.hpp"
+#include "flowsched/event_gen.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scrape_server.hpp"
@@ -165,6 +176,34 @@ Options parse_args(int argc, char** argv) {
       } else {
         usage_error("unknown method '" + m + "'");
       }
+    } else if (arg == "--flow-model") {
+      const std::string m = next_value(i);
+      const auto model = flowsched::parse_flow_model(m);
+      if (!model) usage_error("unknown --flow-model '" + m + "'");
+      options.config.flow_model.model = *model;
+    } else if (arg == "--arrival") {
+      const std::string a = next_value(i);
+      const auto arrival = flowsched::parse_arrival(a);
+      if (!arrival) usage_error("unknown --arrival '" + a + "'");
+      options.config.flow_model.arrival = *arrival;
+    } else if (arg == "--duration-model") {
+      const std::string d = next_value(i);
+      const auto duration = flowsched::parse_duration(d);
+      if (!duration) usage_error("unknown --duration-model '" + d + "'");
+      options.config.flow_model.duration = *duration;
+    } else if (arg == "--flow-rate") {
+      options.config.flow_model.flows_per_second = std::stod(next_value(i));
+    } else if (arg == "--flow-duration") {
+      options.config.flow_model.mean_flow_duration_s =
+          std::stod(next_value(i));
+    } else if (arg == "--zipf-param") {
+      options.config.flow_model.zipf_param = std::stod(next_value(i));
+    } else if (arg == "--flow-keys") {
+      options.config.flow_model.flow_keys = std::stoul(next_value(i));
+    } else if (arg == "--max-active-flows") {
+      options.config.flow_model.max_active_flows = std::stoul(next_value(i));
+    } else if (arg == "--churn-fpm") {
+      options.config.flow_model.churn_fpm = std::stod(next_value(i));
     } else if (arg == "--simd") {
       const std::string t = next_value(i);
       if (!util::parse_simd_tier(t).has_value()) {
@@ -462,6 +501,21 @@ int main(int argc, char** argv) {
       {"samples_per_run",
        std::to_string(options.config.plan.samples_per_run)},
       {"snaplen", std::to_string(options.config.capture.snaplen)},
+      {"flow_model",
+       std::string(flowsched::to_string(options.config.flow_model.model))},
+      {"arrival",
+       std::string(flowsched::to_string(options.config.flow_model.arrival))},
+      {"duration_model",
+       std::string(flowsched::to_string(options.config.flow_model.duration))},
+      {"flow_rate",
+       std::to_string(options.config.flow_model.flows_per_second)},
+      {"flow_duration_s",
+       std::to_string(options.config.flow_model.mean_flow_duration_s)},
+      {"zipf_param", std::to_string(options.config.flow_model.zipf_param)},
+      {"flow_keys", std::to_string(options.config.flow_model.flow_keys)},
+      {"max_active_flows",
+       std::to_string(options.config.flow_model.max_active_flows)},
+      {"churn_fpm", std::to_string(options.config.flow_model.churn_fpm)},
   };
 
   // Live observability: the --scrape-port flag wins over PATCHWORK_SCRAPE;

@@ -53,7 +53,11 @@ if [[ "$mode" == "all" || "$mode" == "tsan" ]]; then
   # at any worker count), IncrementalCompactionTest (parallel group folds
   # feeding append-only commits), WindowedQueryTest (the mutex-guarded
   # query cache), and the compaction legs ride the same pool.
-  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:FederationTest.*:IncrementalCompactionTest.*:WindowedQueryTest.*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*:ScrapeServer.*:Trace.*:TraceDeterminism.*'
+  # FlowChurnDeterminism is the event-planner analogue of
+  # CoordinatorDeterminism: the priority-queue plan feeds the same
+  # per-burst render fan-out, so its worker/batch/SIMD sweeps exercise the
+  # pool too; FlowSched rides along for the planner's obs-counter pushes.
+  ./build-tsan/tests/patchwork_tests --gtest_filter='SharedPool.*:ThreadPool.*:TaskGroup.*:Parallel.*:PipelineDeterminism.*:AggregateShards.*:CoordinatorDeterminism.*:FlowChurnDeterminism.*:FlowSched.*:SiteProfiler.RenderSampleCommitEquivalentToRenderPending:ObsRegistry.*:ObsDeterminism.*:ArchiveDeterminism.*:ArchiveIoTest.Compaction*:FederationTest.*:IncrementalCompactionTest.*:WindowedQueryTest.*:ObsFileExporter.*:PhiloxSimd.*:RngBulk.*:ScrapeServer.*:Trace.*:TraceDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
@@ -67,7 +71,10 @@ if [[ "$mode" == "all" || "$mode" == "ubsan" ]]; then
   # ASan's poisoning cannot.
   # gtest filter dots are literal: the SIMD suites (PhiloxSimd.*, RngBulk.*)
   # need their own entries — 'Philox.*'/'Rng.*' do not match them.
-  ./build-ubsan/tests/patchwork_tests --gtest_filter='Philox.*:PhiloxSimd.*:Rng.*:RngBulk.*:RngBlock.*:WeightedTable.*:FrameBuilder.*:FrameStore.*:Pcap.*:FlowGen.*:Compress.*:SessionTest.*:TaskGroup.*:CoordinatorDeterminism.*'
+  # FlowSched joins the counter-arithmetic surface: Pareto scale math,
+  # Zipf weight tables, and the event planner's fractional-frame rounding
+  # all feed the same bounded-draw kernels.
+  ./build-ubsan/tests/patchwork_tests --gtest_filter='Philox.*:PhiloxSimd.*:Rng.*:RngBulk.*:RngBlock.*:WeightedTable.*:FrameBuilder.*:FrameStore.*:Pcap.*:FlowGen.*:FlowSched.*:Compress.*:SessionTest.*:TaskGroup.*:CoordinatorDeterminism.*'
 fi
 
 if [[ "$mode" == "all" || "$mode" == "asan" ]]; then
@@ -82,7 +89,11 @@ if [[ "$mode" == "all" || "$mode" == "asan" ]]; then
   # ArchiveCorruptTest is the hostile-payload suite: CRC-valid blocks whose
   # decoded structures violate invariants (entries > capacity, absurd
   # supersede-marker counts) must be rejected without a poisoned read.
-  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:ArchiveCorruptTest.*:EpochRecord.Decode*:TopFlowSketch.*:ScrapeServer.*'
+  # FlowSched/FlowChurnDeterminism cover the event planner's queue and
+  # pool churn: thousands of heap push/pops, LIFO slot recycling, and
+  # activation vectors that grow under churn — the allocation-heavy new
+  # path where a stale-slot read would surface.
+  ./build-asan/tests/patchwork_tests --gtest_filter='ArchiveIoTest.*:ArchiveCorruptTest.*:EpochRecord.Decode*:TopFlowSketch.*:ScrapeServer.*:FlowSched.*:FlowChurnDeterminism.*'
   ./build-asan/tests/patchwork_tests
 fi
 

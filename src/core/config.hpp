@@ -14,6 +14,7 @@
 
 #include "capture/config.hpp"
 #include "core/scaler.hpp"
+#include "flowsched/config.hpp"
 #include "testbed/allocator.hpp"
 #include "testbed/ids.hpp"
 #include "util/units.hpp"
@@ -100,6 +101,14 @@ struct ProfilerConfig {
   /// back to 1024. Output bytes are invariant to this value (and to the
   /// worker count); it only tunes scheduling granularity.
   std::size_t render_batch_frames = 0;
+
+  /// Which traffic model plans each sample window: the per-window
+  /// population mix (default) or the event-driven flow generator
+  /// (arrivals, Pareto durations, Zipf popularity, churn — src/flowsched).
+  /// Either way the plan runs on the kWindowPlanStream substream and
+  /// rendering stays counter-addressed, so the determinism contract is
+  /// model-independent.
+  flowsched::FlowModelConfig flow_model;
 
   /// ISA tier for the vectorized Philox synthesis kernels: "avx2", "sse4",
   /// or "scalar". Empty = PATCHWORK_SIMD env var, falling back to the best

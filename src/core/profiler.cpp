@@ -6,6 +6,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "flowsched/event_gen.hpp"
 #include "net/frame_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -450,8 +451,19 @@ analysis::RawCapture SiteProfiler::render_sample(std::size_t k,
   params.target_bps = p.target_bps;
   params.max_frames = config_.plan.max_frames_per_sample;
   util::Rng plan_rng = rng.split(traffic::kWindowPlanStream);
-  const traffic::WindowPlan plan =
-      traffic::plan_window(plan_rng, profile, params);
+  traffic::WindowPlan plan;
+  {
+    // The plan is the render's only sequential phase; its wall share vs
+    // the counter-addressed synthesis below is what the flow-churn
+    // ablation bench breaks out.
+    OBS_SPAN_ARGS("render/plan",
+                  .site = static_cast<std::int64_t>(site_.value),
+                  .sample = static_cast<std::int64_t>(k));
+    plan = config_.flow_model.model == flowsched::FlowModel::kEvent
+               ? flowsched::plan_event_window(plan_rng, profile, params,
+                                              config_.flow_model)
+               : traffic::plan_window(plan_rng, profile, params);
+  }
   double offered_pps = plan.offered_pps;
 
   // Synthesis: decompose units into fixed-size bursts, each rendering a

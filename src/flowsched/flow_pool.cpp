@@ -1,0 +1,28 @@
+#include "flowsched/flow_pool.hpp"
+
+#include <algorithm>
+
+namespace patchwork::flowsched {
+
+std::optional<std::uint32_t> FlowPool::acquire() {
+  std::uint32_t slot = 0;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    ++reuses_;
+  } else if (next_fresh_ < capacity_) {
+    slot = next_fresh_++;
+  } else {
+    return std::nullopt;
+  }
+  ++active_;
+  high_water_ = std::max(high_water_, active_);
+  return slot;
+}
+
+void FlowPool::release(std::uint32_t slot) {
+  free_.push_back(slot);
+  if (active_ > 0) --active_;
+}
+
+}  // namespace patchwork::flowsched

@@ -1,0 +1,40 @@
+// Measured-mean Pareto durations.
+//
+// A truncated Pareto's analytic mean is awkward (and undefined untruncated
+// for shape <= 1), so — like BESS FlowGen's MeasureParetoMean — the sampler
+// measures the raw variate's mean numerically on a fixed calibration
+// stream and scales every draw so the empirical mean lands on the
+// configured one. The calibration is a pure function of the shape (fixed
+// seed, fixed draw count), so two samplers with equal parameters are
+// byte-for-byte interchangeable.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace patchwork::flowsched {
+
+class ParetoDurations {
+ public:
+  /// `shape`: tail index (clamped to >= 1.05); `mean`: desired mean draw.
+  ParetoDurations(double shape, double mean);
+
+  /// One duration with E[draw] ~= mean (consumes one uniform from `rng`).
+  double draw(util::Rng& rng) const;
+
+  double shape() const { return shape_; }
+  double mean() const { return mean_; }
+  /// The raw truncated variate's measured mean the scale was derived from.
+  double measured_raw_mean() const { return raw_mean_; }
+
+  /// Raw variates are truncated at this multiple of the scale parameter so
+  /// the mean exists (and one flow can't be 10^6 windows long).
+  static constexpr double kMaxRaw = 1000.0;
+
+ private:
+  double shape_;
+  double mean_;
+  double raw_mean_;
+  double scale_;
+};
+
+}  // namespace patchwork::flowsched

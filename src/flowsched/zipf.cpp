@@ -1,0 +1,34 @@
+#include "flowsched/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patchwork::flowsched {
+
+namespace {
+
+std::vector<double> zipf_weights(std::size_t ranks, double s) {
+  std::vector<double> w(std::max<std::size_t>(ranks, 1));
+  for (std::size_t r = 0; r < w.size(); ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -s);
+  }
+  return w;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t ranks, double s)
+    : s_(std::max(s, 0.0)),
+      weights_(zipf_weights(ranks, s_)),
+      table_(weights_) {}
+
+std::size_t ZipfSampler::draw(util::Rng& rng) const {
+  return rng.weighted_index(table_);
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= weights_.size() || table_.total() <= 0.0) return 0.0;
+  return weights_[rank] / table_.total();
+}
+
+}  // namespace patchwork::flowsched

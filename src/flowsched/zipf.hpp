@@ -1,0 +1,37 @@
+// Zipf flow popularity over a bounded rank set.
+//
+// Rank r (0-based) is drawn with probability proportional to
+// 1 / (r + 1)^s — the skewed flow popularity the synapse-klee generator
+// models with --zipf-param (default 1.26, Castan [SIGCOMM'18]). Weights
+// are precomputed into a util::WeightedTable so each draw costs one
+// uniform plus a binary search, and a draw consumes exactly one value
+// from the caller's sequential stream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace patchwork::flowsched {
+
+class ZipfSampler {
+ public:
+  /// `ranks`: pool size (>= 1); `s`: exponent (0 = uniform popularity).
+  ZipfSampler(std::size_t ranks, double s);
+
+  /// Draw a 0-based rank (one uniform consumed).
+  std::size_t draw(util::Rng& rng) const;
+
+  std::size_t ranks() const { return weights_.size(); }
+  double exponent() const { return s_; }
+  /// Normalized probability of rank r.
+  double probability(std::size_t rank) const;
+
+ private:
+  double s_;
+  std::vector<double> weights_;
+  util::WeightedTable table_;
+};
+
+}  // namespace patchwork::flowsched

@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/byte_io.hpp"
 
 namespace patchwork::telemetry {
+
+namespace {
+
+/// One counter per eviction cause, resolved once. The counts are sums of
+/// deterministic per-frame work, so the family stays in the
+/// byte-comparable exposition.
+obs::Counter& eviction_counter(NetflowCache::EvictCause cause) {
+  static const std::array<obs::Counter*, NetflowCache::kEvictCauses>
+      counters = [] {
+        constexpr std::string_view kName = "patchwork_netflow_evictions_total";
+        constexpr std::string_view kHelp =
+            "Flows expired out of the NetflowCache, by cause.";
+        std::array<obs::Counter*, NetflowCache::kEvictCauses> c{};
+        c[0] = &obs::registry().counter(kName, kHelp, {{"cause", "capacity"}});
+        c[1] = &obs::registry().counter(kName, kHelp, {{"cause", "idle"}});
+        c[2] = &obs::registry().counter(kName, kHelp, {{"cause", "active"}});
+        c[3] = &obs::registry().counter(kName, kHelp, {{"cause", "flush"}});
+        return c;
+      }();
+  return *counters[static_cast<std::size_t>(cause)];
+}
+
+}  // namespace
+
+std::map<NetflowCache::Key, NetflowCache::Entry>::iterator
+NetflowCache::expire(std::map<Key, Entry>::iterator it, EvictCause cause) {
+  expired_.push_back(it->second.record);
+  ++evictions_[static_cast<std::size_t>(cause)];
+  eviction_counter(cause).add();
+  by_last_.erase({it->second.last, it->first});
+  return flows_.erase(it);
+}
 
 bool NetflowCache::observe(const net::ParsedFrame& frame, util::Nanos now) {
   if (!frame.ipv4) {
@@ -23,7 +56,21 @@ bool NetflowCache::observe(const net::ParsedFrame& frame, util::Nanos now) {
     key.sport = frame.udp->src_port;
     key.dport = frame.udp->dst_port;
   }
-  Entry& entry = flows_[key];
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    // Bounded cache under admission pressure: evict the stalest flow
+    // (oldest last-seen, smallest key on ties — by_last_'s begin()) to
+    // make room. Content-ordered, so an eviction storm picks the same
+    // victims in the same order on every run.
+    if (config_.max_flows > 0 && flows_.size() >= config_.max_flows &&
+        !by_last_.empty()) {
+      expire(flows_.find(by_last_.begin()->second), EvictCause::kCapacity);
+    }
+    it = flows_.emplace(key, Entry{}).first;
+  } else {
+    by_last_.erase({it->second.last, key});
+  }
+  Entry& entry = it->second;
   if (entry.record.packets == 0) {
     entry.record.src_addr = key.src;
     entry.record.dst_addr = key.dst;
@@ -44,6 +91,7 @@ bool NetflowCache::observe(const net::ParsedFrame& frame, util::Nanos now) {
     entry.first = now;
   }
   entry.last = now;
+  by_last_.insert({now, key});
   entry.record.packets += 1;
   entry.octets += frame.wire_length;
   entry.record.octets = static_cast<std::uint32_t>(entry.octets);
@@ -62,8 +110,17 @@ void NetflowCache::sweep(util::Nanos now) {
     const bool active_too_long =
         now >= e.first && now - e.first >= config_.active_timeout;
     if (idle || active_too_long) {
-      expired_.push_back(e.record);
-      it = flows_.erase(it);
+      // Attribute the expiry to the rule whose deadline passed first
+      // (idle wins ties): a quiet flow is an idle expiry even when it is
+      // also old enough for the active timeout.
+      const EvictCause cause =
+          !idle ? EvictCause::kActive
+                : (!active_too_long ||
+                   e.last + config_.idle_timeout <=
+                       e.first + config_.active_timeout)
+                      ? EvictCause::kIdle
+                      : EvictCause::kActive;
+      it = expire(it, cause);
     } else {
       ++it;
     }
@@ -71,10 +128,9 @@ void NetflowCache::sweep(util::Nanos now) {
 }
 
 void NetflowCache::flush(util::Nanos) {
-  for (const auto& [key, entry] : flows_) {
-    expired_.push_back(entry.record);
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    it = expire(it, EvictCause::kFlush);
   }
-  flows_.clear();
 }
 
 std::vector<NetflowRecord> NetflowCache::drain() {

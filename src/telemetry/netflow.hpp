@@ -13,9 +13,12 @@
 // tag-aware classifier fixes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "net/parser.hpp"
@@ -48,7 +51,25 @@ class NetflowCache {
   struct Config {
     util::Nanos active_timeout = 60 * util::kSecond;
     util::Nanos idle_timeout = 15 * util::kSecond;
+    /// Cache capacity in flows; 0 = unbounded (the legacy behaviour).
+    /// When full, admitting a new flow evicts a deterministic victim: the
+    /// flow with the oldest last-seen time, smallest key on ties — never
+    /// an address- or hash-order accident, so an eviction storm drains
+    /// identically on every run and worker count.
+    std::size_t max_flows = 0;
   };
+
+  /// Why a flow left the cache. Timeout expiries are attributed to the
+  /// rule whose deadline passed first (idle wins exact ties): a flow that
+  /// went quiet is an idle expiry even when it is also old enough for the
+  /// active timeout.
+  enum class EvictCause : std::uint8_t {
+    kCapacity,  ///< Displaced by a new flow under max_flows pressure.
+    kIdle,      ///< idle_timeout without a packet.
+    kActive,    ///< active_timeout since the first packet.
+    kFlush,     ///< flush() at end of metering.
+  };
+  static constexpr std::size_t kEvictCauses = 4;
 
   NetflowCache() : NetflowCache(Config()) {}
   explicit NetflowCache(Config config) : config_(config) {}
@@ -69,6 +90,11 @@ class NetflowCache {
 
   std::size_t active_flows() const { return flows_.size(); }
   std::uint64_t ignored_frames() const { return ignored_; }
+  /// Flows that left the cache for `cause` so far. The same counts feed
+  /// the obs registry as patchwork_netflow_evictions_total{cause=...}.
+  std::uint64_t evictions(EvictCause cause) const {
+    return evictions_[static_cast<std::size_t>(cause)];
+  }
 
  private:
   struct Key {
@@ -89,10 +115,20 @@ class NetflowCache {
     util::Nanos last = 0;
   };
 
+  /// Export `it`'s record, count it against `cause`, and drop the flow
+  /// (and its recency-index entry). Returns the next iterator.
+  std::map<Key, Entry>::iterator expire(std::map<Key, Entry>::iterator it,
+                                        EvictCause cause);
+
   Config config_;
   std::map<Key, Entry> flows_;
+  /// Recency index: (last-seen, key), kept in lockstep with flows_. Its
+  /// begin() is the capacity-eviction victim — an ordered, content-only
+  /// criterion, so victim choice is reproducible by construction.
+  std::set<std::pair<util::Nanos, Key>> by_last_;
   std::vector<NetflowRecord> expired_;
   std::uint64_t ignored_ = 0;
+  std::array<std::uint64_t, kEvictCauses> evictions_{};
 };
 
 /// Serialize records into v5 export datagrams (several if > 30 records).

@@ -393,6 +393,10 @@ void render_unit(const RenderUnit& unit, const util::RngBlock& draws,
     buildable = fill_data_frame(builder, unit.flow, 0);
   }
 
+  // Timestamp range: the unit's active interval clamped into the window.
+  const util::Nanos lo = std::min(unit.ts_lo, duration - 1);
+  const util::Nanos hi = std::clamp(unit.ts_hi, lo, duration - 1);
+
   // Chunked SoA scratch: large enough to amortize the vector RNG kernel
   // dispatch, small enough to stay on a worker's stack.
   constexpr std::size_t kChunk = 1024;
@@ -403,7 +407,7 @@ void render_unit(const RenderUnit& unit, const util::RngBlock& draws,
         static_cast<std::size_t>(std::min<std::uint64_t>(kChunk, end - j));
     // Draw j is frame j's timestamp: pure counter addressing, so any
     // [begin, end) burst decomposition renders identical bytes.
-    draws.bounded_fill(j, 0, duration - 1, std::span<util::Nanos>(ts, n));
+    draws.bounded_fill(j, lo, hi, std::span<util::Nanos>(ts, n));
     for (std::size_t i = 0; i < n; ++i) {
       vals[i] = static_cast<std::uint32_t>(j + i) * 1000;
     }

@@ -93,6 +93,13 @@ struct RenderUnit {
   FlowSpec flow;
   bool acks = false;          ///< Reverse-direction pure-ACK frames.
   std::uint64_t frames = 0;   ///< Rendered frame count for this unit.
+  /// Inclusive timestamp bounds for the unit's frames, clamped to the
+  /// window by render_unit(). The defaults span the whole window (the mix
+  /// model's shape); the event-driven planner narrows them to each flow's
+  /// active interval. Still pure counter addressing: the bounds only
+  /// change the range draw j maps into, never which draw a frame reads.
+  util::Nanos ts_lo = 0;
+  util::Nanos ts_hi = ~std::uint64_t{0};
 };
 
 /// The deterministic plan for one window: which flows contribute, how many

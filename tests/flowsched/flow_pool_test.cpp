@@ -1,0 +1,61 @@
+// The bounded flow pool's two contracts: the bound is never exceeded
+// (acquire reports exhaustion instead), and released slots are reused
+// LIFO — most-recently-freed first, BESS's temporal-locality discipline.
+#include "flowsched/flow_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patchwork::flowsched {
+namespace {
+
+TEST(FlowSched, PoolNeverExceedsBound) {
+  FlowPool pool(3);
+  EXPECT_TRUE(pool.acquire().has_value());
+  EXPECT_TRUE(pool.acquire().has_value());
+  EXPECT_TRUE(pool.acquire().has_value());
+  EXPECT_EQ(pool.active(), 3u);
+  EXPECT_FALSE(pool.acquire().has_value()) << "bound exceeded";
+  EXPECT_EQ(pool.active(), 3u);
+  EXPECT_EQ(pool.high_water(), 3u);
+}
+
+TEST(FlowSched, PoolReusesSlotsLifo) {
+  FlowPool pool(8);
+  const std::uint32_t a = pool.acquire().value();
+  const std::uint32_t b = pool.acquire().value();
+  const std::uint32_t c = pool.acquire().value();
+  pool.release(a);
+  pool.release(b);
+  pool.release(c);
+  // Most-recently-released first: c, then b, then a.
+  EXPECT_EQ(pool.acquire().value(), c);
+  EXPECT_EQ(pool.acquire().value(), b);
+  EXPECT_EQ(pool.acquire().value(), a);
+  EXPECT_EQ(pool.reuses(), 3u);
+}
+
+TEST(FlowSched, PoolReleaseMakesRoomAtTheBound) {
+  FlowPool pool(2);
+  const std::uint32_t a = pool.acquire().value();
+  EXPECT_TRUE(pool.acquire().has_value());
+  EXPECT_FALSE(pool.acquire().has_value());
+  pool.release(a);
+  EXPECT_EQ(pool.active(), 1u);
+  const auto again = pool.acquire();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, a);  // The freed slot, not a fresh one.
+  EXPECT_EQ(pool.high_water(), 2u);
+}
+
+TEST(FlowSched, PoolHighWaterTracksPeakNotCurrent) {
+  FlowPool pool(16);
+  const std::uint32_t a = pool.acquire().value();
+  const std::uint32_t b = pool.acquire().value();
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.active(), 0u);
+  EXPECT_EQ(pool.high_water(), 2u);
+}
+
+}  // namespace
+}  // namespace patchwork::flowsched

@@ -158,6 +158,106 @@ TEST(NetflowCache, TcpFlagsAccumulate) {
                                       net::tcp_flags::kFin);
 }
 
+TEST(NetflowCache, CapacityEvictionPicksOldestLastSeen) {
+  NetflowCache::Config config;
+  config.max_flows = 2;
+  NetflowCache cache(config);
+  cache.observe(tcp_frame(1, 2, 1000, 443), 1 * util::kSecond);
+  cache.observe(tcp_frame(3, 4, 2000, 443), 2 * util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 2u);
+  // A third flow displaces the stalest one (host 1, last seen at t=1).
+  cache.observe(tcp_frame(5, 6, 3000, 443), 3 * util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 2u);
+  EXPECT_EQ(cache.evictions(NetflowCache::EvictCause::kCapacity), 1u);
+  const auto records = cache.drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].src_addr, 0x0a000001u);  // 10.0.0.1's flow.
+}
+
+TEST(NetflowCache, CapacityEvictionTieBreaksOnSmallestKey) {
+  NetflowCache::Config config;
+  config.max_flows = 2;
+  NetflowCache cache(config);
+  // Equal last-seen: the deterministic victim is the smaller key, never
+  // an iteration-order accident.
+  cache.observe(tcp_frame(2, 3, 1000, 443), util::kSecond);
+  cache.observe(tcp_frame(1, 2, 1000, 443), util::kSecond);
+  cache.observe(tcp_frame(9, 9, 9000, 443), 2 * util::kSecond);
+  const auto records = cache.drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].src_addr, 0x0a000001u)
+      << "victim must be the smallest key among equally stale flows";
+}
+
+TEST(NetflowCache, EvictionCountersAttributeCause) {
+  NetflowCache::Config config;
+  config.active_timeout = 60 * util::kSecond;
+  config.idle_timeout = 15 * util::kSecond;
+  NetflowCache cache(config);
+  // Flow A goes quiet after t=0: its idle deadline (15 s) passes long
+  // before its active deadline (60 s) -> idle cause.
+  cache.observe(tcp_frame(1, 2, 1000, 443), 0);
+  // Flow B stays busy to t=60: at sweep time it is not idle, only old ->
+  // active cause.
+  for (int s = 0; s <= 60; s += 5) {
+    cache.observe(tcp_frame(3, 4, 2000, 443),
+                  static_cast<util::Nanos>(s) * util::kSecond);
+  }
+  cache.sweep(62 * util::kSecond);
+  EXPECT_EQ(cache.active_flows(), 0u);
+  EXPECT_EQ(cache.evictions(NetflowCache::EvictCause::kIdle), 1u);
+  EXPECT_EQ(cache.evictions(NetflowCache::EvictCause::kActive), 1u);
+  EXPECT_EQ(cache.evictions(NetflowCache::EvictCause::kCapacity), 0u);
+  // End-of-metering flush is its own cause.
+  cache.observe(tcp_frame(5, 6, 3000, 443), 63 * util::kSecond);
+  cache.flush(64 * util::kSecond);
+  EXPECT_EQ(cache.evictions(NetflowCache::EvictCause::kFlush), 1u);
+}
+
+TEST(NetflowCache, UnboundedByDefaultNeverCapacityEvicts) {
+  NetflowCache cache;  // max_flows = 0: the legacy unbounded behaviour.
+  for (int i = 0; i < 100; ++i) {
+    cache.observe(tcp_frame(static_cast<std::uint8_t>(i / 10 + 1),
+                            static_cast<std::uint8_t>(i % 10 + 1),
+                            static_cast<std::uint16_t>(1000 + i), 443),
+                  static_cast<util::Nanos>(i) * util::kMillisecond);
+  }
+  EXPECT_EQ(cache.active_flows(), 100u);
+  EXPECT_EQ(cache.evictions(NetflowCache::EvictCause::kCapacity), 0u);
+}
+
+TEST(NetflowCache, EvictionStormDrainsIdenticallyAcrossRuns) {
+  // The churn-storm regression: under capacity pressure the victim
+  // sequence (and therefore the export stream) must reproduce exactly —
+  // same frames in, same records out, run after run.
+  auto storm = [] {
+    NetflowCache::Config config;
+    config.max_flows = 8;
+    NetflowCache cache(config);
+    // A deterministic churny workload: 40 distinct 5-tuples cycling
+    // through an 8-slot cache.
+    for (int i = 0; i < 200; ++i) {
+      const int k = (i * 7) % 40;
+      cache.observe(tcp_frame(static_cast<std::uint8_t>(k / 8 + 1),
+                              static_cast<std::uint8_t>(k % 8 + 1),
+                              static_cast<std::uint16_t>(5000 + k), 443),
+                    static_cast<util::Nanos>(i) * util::kMillisecond);
+    }
+    cache.flush(util::kSecond);
+    return cache.drain();
+  };
+  const auto a = storm();
+  const auto b = storm();
+  ASSERT_GT(a.size(), 8u) << "workload did not trigger evictions";
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_addr, b[i].src_addr) << "record " << i;
+    EXPECT_EQ(a[i].src_port, b[i].src_port) << "record " << i;
+    EXPECT_EQ(a[i].packets, b[i].packets) << "record " << i;
+    EXPECT_EQ(a[i].last_ms, b[i].last_ms) << "record " << i;
+  }
+}
+
 TEST(NetflowExport, RoundTripsThroughCollector) {
   std::vector<NetflowRecord> records;
   for (int i = 0; i < 3; ++i) {
